@@ -1,0 +1,56 @@
+"""E7 — Fig. 3: the timeline panel.
+
+Builds the timeline model from the audit log of a generated history and
+renders it, at several history sizes.  The paper's panel supports
+zooming and windowing; both are measured too.
+"""
+
+import pytest
+from conftest import report
+
+from repro import Database
+from repro.debugger import TransactionTimeline, render_timeline
+from repro.workloads import WorkloadConfig, WorkloadGenerator
+
+
+@pytest.fixture(scope="module", params=[10, 50, 200])
+def history_db(request):
+    n = request.param
+    db = Database()
+    generator = WorkloadGenerator(WorkloadConfig(
+        n_rows=50, n_transactions=n, seed=42,
+        mix={"update": 0.5, "insert": 0.3, "delete": 0.2}))
+    generator.setup(db)
+    generator.run(db, concurrency=3)
+    return db, n
+
+
+def test_timeline_build_and_render(benchmark, history_db):
+    db, n = history_db
+
+    def build_and_render():
+        timeline = TransactionTimeline.from_database(db)
+        return timeline, render_timeline(timeline, width=100)
+
+    timeline, text = benchmark(build_and_render)
+    assert len(timeline) >= n  # setup + generated transactions
+    benchmark.extra_info["transactions"] = len(timeline)
+    report(f"Fig. 3 timeline ({len(timeline)} transactions)",
+           text.splitlines()[:6] + ["..."])
+
+
+def test_timeline_window_zoom(benchmark, history_db):
+    db, _ = history_db
+    timeline = TransactionTimeline.from_database(db)
+    mid = (timeline.start_ts + timeline.end_ts) // 2
+
+    windowed = benchmark(
+        lambda: timeline.window(timeline.start_ts, mid))
+    assert len(windowed) <= len(timeline)
+
+
+def test_timeline_search(benchmark, history_db):
+    db, _ = history_db
+    timeline = TransactionTimeline.from_database(db)
+    hits = benchmark(lambda: timeline.search("UPDATE bench_account"))
+    assert hits

@@ -1,0 +1,101 @@
+"""E5 — §4 scaling claim.
+
+"By applying provenance-specific optimizations we can reenact complex
+transactions over tables with millions of rows within seconds."
+
+Our backend is a pure-Python interpreter, not a commercial DBMS, so
+absolute numbers shift by ~two orders of magnitude; the *shape* to
+reproduce: reenactment latency grows roughly linearly with table size
+and with transaction length (U1/U10/U100 transaction shapes from the
+reenactment papers), staying interactive at the largest sizes.
+"""
+
+import time
+
+import pytest
+from conftest import report
+
+from repro import Database
+from repro.core.reenactor import ReenactmentOptions, Reenactor
+from repro.workloads import populate_accounts, uN_transaction
+
+TABLE_SIZES = [2000, 10000, 50000]
+TXN_SIZES = [1, 10, 100]
+
+
+def make_db(n_rows: int):
+    db = Database()
+    db.execute("CREATE TABLE bench_account "
+               "(id INT, owner TEXT, branch INT, bal INT)")
+    populate_accounts(db, n_rows, seed=4)
+    return db
+
+
+@pytest.fixture(scope="module")
+def scaling_dbs():
+    out = {}
+    for n_rows in TABLE_SIZES:
+        db = make_db(n_rows)
+        xids = {n: uN_transaction(db, n, spread=max(n, 10))
+                for n in TXN_SIZES}
+        out[n_rows] = (db, xids)
+    return out
+
+
+@pytest.mark.parametrize("n_rows", TABLE_SIZES)
+@pytest.mark.parametrize("n_stmts", TXN_SIZES)
+def test_reenactment_scaling(benchmark, scaling_dbs, n_rows, n_stmts):
+    db, xids = scaling_dbs[n_rows]
+    reenactor = Reenactor(db)
+    xid = xids[n_stmts]
+
+    result = benchmark.pedantic(
+        lambda: reenactor.reenact(xid), rounds=2, iterations=1)
+    assert len(result.tables["bench_account"].rows) == n_rows
+    benchmark.extra_info["table_rows"] = n_rows
+    benchmark.extra_info["statements"] = n_stmts
+
+
+def test_scaling_shape_summary(benchmark):
+    """One-shot sweep with a linearity check and the summary table."""
+    def sweep():
+        results = {}
+        for n_rows in TABLE_SIZES:
+            db = make_db(n_rows)
+            xid = uN_transaction(db, 10, spread=10)
+            reenactor = Reenactor(db)
+            started = time.perf_counter()
+            reenactor.reenact(xid)
+            results[n_rows] = time.perf_counter() - started
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{n_rows:>6} rows, U10: {seconds * 1000:8.1f} ms"
+             for n_rows, seconds in results.items()]
+    report("E5: reenactment latency vs table size "
+           "(paper: millions of rows within seconds)", lines)
+    for n_rows, seconds in results.items():
+        benchmark.extra_info[f"u10_{n_rows}_ms"] = \
+            round(seconds * 1000, 1)
+    # shape: growth is roughly linear — 20x more rows should cost less
+    # than ~60x the time (allows interpreter noise), and the largest
+    # size stays "within seconds"
+    ratio = results[TABLE_SIZES[-1]] / max(results[TABLE_SIZES[0]],
+                                           1e-9)
+    size_ratio = TABLE_SIZES[-1] / TABLE_SIZES[0]
+    assert ratio < size_ratio * 3
+    assert results[TABLE_SIZES[-1]] < 30.0  # 'within seconds'
+
+
+def test_prefix_reenactment_cheaper_than_full(benchmark):
+    """Prefix reenactment (debugger columns) must not cost more than
+    the full transaction."""
+    db = make_db(5000)
+    xid = uN_transaction(db, 20, spread=20)
+    reenactor = Reenactor(db)
+
+    def prefix():
+        return reenactor.reenact(
+            xid, ReenactmentOptions(upto=5, table="bench_account"))
+
+    benchmark.pedantic(prefix, rounds=3, iterations=1)

@@ -1,0 +1,86 @@
+"""E10 — what-if scenarios (§2).
+
+Measures the three what-if interactions on the running example: adding
+the promotion statement (with conflict analysis), replacing the
+overdraft check, and editing table data.  What-if replay is just
+another reenactment, so its cost should be within a small factor of
+plain reenactment.
+"""
+
+import time
+
+from conftest import report
+
+from repro.core.reenactor import Reenactor
+from repro.core.whatif import WhatIfScenario
+
+
+def test_whatif_promotion(benchmark, skew_db):
+    db, t1, t2 = skew_db
+
+    def promotion():
+        scenario = WhatIfScenario(db, t1)
+        scenario.insert_statement(
+            0, "UPDATE account SET bal = bal WHERE cust = 'Alice'")
+        return scenario.run()
+
+    result = benchmark(promotion)
+    assert any(c.other_xid == t2 for c in result.conflicts)
+    report("E10: promotion what-if", [
+        f"conflicts detected: {len(result.conflicts)} "
+        f"(T2 would abort — §2's prediction)",
+    ])
+
+
+def test_whatif_statement_replacement(benchmark, skew_db):
+    db, _, t2 = skew_db
+
+    def replace():
+        scenario = WhatIfScenario(db, t2)
+        scenario.replace_statement(
+            1,
+            "INSERT INTO overdraft (SELECT a1.cust, a1.bal + a2.bal "
+            "FROM account a1, account a2 WHERE a1.cust = 'Alice' AND "
+            "a1.cust = a2.cust AND a1.typ != a2.typ "
+            "AND a1.bal + a2.bal < 50)")
+        return scenario.run()
+
+    result = benchmark(replace)
+    assert result.diffs["overdraft"].added
+
+
+def test_whatif_table_edit(benchmark, skew_db):
+    db, _, t2 = skew_db
+
+    def edit():
+        scenario = WhatIfScenario(db, t2)
+        scenario.edit_table("account", [("Alice", "Checking", -20),
+                                        ("Alice", "Savings", 30)])
+        return scenario.run()
+
+    result = benchmark(edit)
+    assert ("Alice", -30) in result.diffs["overdraft"].added
+
+
+def test_whatif_vs_plain_reenactment_cost(benchmark, skew_db):
+    """What-if ≈ 2x reenactment (original + modified) plus diffing."""
+    db, t1, _ = skew_db
+
+    def compare():
+        reenactor = Reenactor(db)
+        started = time.perf_counter()
+        reenactor.reenact(t1)
+        plain = time.perf_counter() - started
+
+        scenario = WhatIfScenario(db, t1)
+        scenario.replace_statement(
+            0, "UPDATE account SET bal = bal - 10 "
+               "WHERE cust = 'Alice' AND typ = 'Checking'")
+        started = time.perf_counter()
+        scenario.run()
+        whatif = time.perf_counter() - started
+        return plain, whatif
+
+    plain, whatif = benchmark.pedantic(compare, rounds=3, iterations=1)
+    benchmark.extra_info["plain_ms"] = round(plain * 1000, 2)
+    benchmark.extra_info["whatif_ms"] = round(whatif * 1000, 2)

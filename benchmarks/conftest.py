@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark module regenerates one figure or evaluation claim of the
+paper (see DESIGN.md §3 and EXPERIMENTS.md).  Measured facts that matter
+for the paper-vs-measured comparison are attached to
+``benchmark.extra_info`` and printed (visible with ``-s``).
+"""
+
+import pytest
+
+from repro import Database
+from repro.workloads import run_write_skew_history, setup_bank
+
+
+@pytest.fixture(scope="module")
+def skew_db():
+    """The running example history, shared per module."""
+    db = Database()
+    setup_bank(db)
+    t1, t2 = run_write_skew_history(db)
+    return db, t1, t2
+
+
+def report(title, lines):
+    """Uniform textual report block (shown with -s)."""
+    print()
+    print(f"== {title} ==")
+    for line in lines:
+        print("  " + line)

@@ -1,0 +1,20 @@
+"""Relational algebra: GProM's intermediate language plus interpreter
+and SQL code generator."""
+
+from repro.algebra.evaluator import (EvalContext, Evaluator, Relation,
+                                     StaticContext)
+from repro.algebra.operators import (AggSpec, Aggregation, AnnotateRowId,
+                                     ConstRel, Distinct, Join, Limit,
+                                     Operator, OrderBy, Projection,
+                                     Selection, SetOp, TableScan,
+                                     plan_tables, walk_plan)
+from repro.algebra.sqlgen import explain, generate_sql
+from repro.algebra.translator import Scope, Translator
+
+__all__ = [
+    "EvalContext", "Evaluator", "Relation", "StaticContext", "AggSpec",
+    "Aggregation", "AnnotateRowId", "ConstRel", "Distinct", "Join",
+    "Limit", "Operator", "OrderBy", "Projection", "Selection", "SetOp",
+    "TableScan", "plan_tables", "walk_plan", "explain", "generate_sql",
+    "Scope", "Translator",
+]

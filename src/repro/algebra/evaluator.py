@@ -1,0 +1,535 @@
+"""Relational algebra interpreter.
+
+Evaluates operator trees produced by the translator or the reenactor.
+The evaluator is deliberately a straightforward pull-based interpreter —
+it is the reproduction's stand-in for the backend DBMS executor — with
+one performance concession: equi-join conditions are detected and
+executed as hash joins, which the scaling experiment (E5) needs.
+
+Evaluation contexts decide what a :class:`~repro.algebra.operators.
+TableScan` sees:
+
+* the executing transaction's MVCC view (normal query execution),
+* a committed snapshot at ``AS OF`` time (time travel / reenactment),
+* a what-if override relation (the paper's "replace accesses to R with
+  R'" — §2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra import operators as op
+from repro.algebra.expressions import (BinaryOp, EvalState, Expr, RowEnv,
+                                       SubqueryExpr, columns_used,
+                                       eval_expr, walk)
+from repro.errors import ExecutionError, TimeTravelError
+
+
+class Relation:
+    """Materialized result: attribute names + list of row tuples."""
+
+    __slots__ = ("attrs", "rows")
+
+    def __init__(self, attrs: Sequence[str], rows: List[tuple]):
+        self.attrs = list(attrs)
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self.attrs.index(name)
+        except ValueError:
+            # allow suffix match ("bal" for "account.bal")
+            matches = [i for i, a in enumerate(self.attrs)
+                       if a.rsplit(".", 1)[-1] == name]
+            if len(matches) == 1:
+                return matches[0]
+            raise ExecutionError(
+                f"no column {name!r} in {self.attrs}") from None
+
+    def column(self, name: str) -> List[Any]:
+        idx = self.column_index(name)
+        return [row[idx] for row in self.rows]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.attrs, row)) for row in self.rows]
+
+    def as_multiset(self) -> Counter:
+        return Counter(self.rows)
+
+    def project(self, names: Sequence[str]) -> "Relation":
+        indexes = [self.column_index(n) for n in names]
+        rows = [tuple(row[i] for i in indexes) for row in self.rows]
+        return Relation(list(names), rows)
+
+    def sorted(self) -> "Relation":
+        def key(row):
+            return tuple((v is None, str(type(v)), v) for v in row)
+        return Relation(self.attrs, sorted(self.rows, key=key))
+
+    def pretty(self, max_rows: int = 50) -> str:
+        """ASCII table rendering (used by examples and the debugger)."""
+        headers = self.attrs
+        shown = self.rows[:max_rows]
+        cells = [[_render(v) for v in row] for row in shown]
+        widths = [len(h) for h in headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+        lines = [sep,
+                 "|" + "|".join(f" {h.ljust(w)} "
+                                for h, w in zip(headers, widths)) + "|",
+                 sep]
+        for row in cells:
+            lines.append("|" + "|".join(
+                f" {c.ljust(w)} " for c, w in zip(row, widths)) + "|")
+        lines.append(sep)
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Relation({self.attrs}, {len(self.rows)} rows)"
+
+
+def _render(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+class EvalContext:
+    """Scan resolution + bind parameters for one evaluation."""
+
+    def __init__(self, params: Optional[Dict[str, Any]] = None,
+                 overrides: Optional[Dict[str, Relation]] = None):
+        self.params = params or {}
+        self.overrides = overrides or {}
+
+    def with_overrides(self, overrides: Dict[str, Relation]
+                       ) -> "EvalContext":
+        merged = dict(self.overrides)
+        merged.update(overrides)
+        clone = self.__class__.__new__(self.__class__)
+        clone.__dict__.update(self.__dict__)
+        clone.overrides = merged
+        clone.params = self.params
+        return clone
+
+    # Subclasses implement the actual storage access.
+    def scan_table(self, table: str, as_of_ts: Optional[int]
+                   ) -> List[Tuple[int, tuple, Optional[int]]]:
+        """Return (rowid, values, creator_xid) triples with values in
+        the table's full schema order."""
+        raise NotImplementedError
+
+    def table_columns(self, table: str) -> List[str]:
+        """Full column list of ``table`` in storage order (needed when a
+        pruned scan reads a subset of the columns)."""
+        raise NotImplementedError
+
+
+class StaticContext(EvalContext):
+    """Context over plain in-memory relations — used in unit tests and
+    for evaluating subplans against what-if tables only."""
+
+    def __init__(self, tables: Dict[str, Relation],
+                 params: Optional[Dict[str, Any]] = None):
+        super().__init__(params=params)
+        self.tables = tables
+
+    def scan_table(self, table, as_of_ts):
+        relation = self.overrides.get(table) or self.tables.get(table)
+        if relation is None:
+            raise ExecutionError(f"unknown table {table!r}")
+        return [(i + 1, row, 0) for i, row in enumerate(relation.rows)]
+
+    def table_columns(self, table):
+        relation = self.overrides.get(table) or self.tables.get(table)
+        if relation is None:
+            raise ExecutionError(f"unknown table {table!r}")
+        return [a.rsplit(".", 1)[-1] for a in relation.attrs]
+
+
+class Evaluator:
+    """Interprets a plan against an :class:`EvalContext`."""
+
+    def __init__(self, ctx: EvalContext):
+        self.ctx = ctx
+        self.state = EvalState(params=ctx.params,
+                               execute_subquery=self._execute_subquery)
+        self._subquery_cache: Dict[int, List[tuple]] = {}
+
+    # -- public ------------------------------------------------------------
+
+    def evaluate(self, plan: op.Operator) -> Relation:
+        rows = self._eval(plan, None)
+        return Relation(plan.attrs, rows)
+
+    # -- subqueries ---------------------------------------------------------
+
+    def _execute_subquery(self, plan: op.Operator,
+                          env: Optional[RowEnv]) -> List[tuple]:
+        correlated = getattr(plan, "_correlated", None)
+        if correlated is None:
+            from repro.algebra.translator import plan_free_columns
+            correlated = bool(plan_free_columns(plan))
+            plan._correlated = correlated
+        if not correlated:
+            cached = self._subquery_cache.get(id(plan))
+            if cached is None:
+                cached = self._eval(plan, None)
+                self._subquery_cache[id(plan)] = cached
+            return cached
+        return self._eval(plan, env)
+
+    # -- dispatcher -----------------------------------------------------------
+
+    def _eval(self, plan: op.Operator,
+              outer: Optional[RowEnv]) -> List[tuple]:
+        if isinstance(plan, op.TableScan):
+            return self._eval_scan(plan, outer)
+        if isinstance(plan, op.ConstRel):
+            return [tuple(self._scalar(e, outer) for e in row)
+                    for row in plan.rows]
+        if isinstance(plan, op.Selection):
+            return self._eval_selection(plan, outer)
+        if isinstance(plan, op.Projection):
+            return self._eval_projection(plan, outer)
+        if isinstance(plan, op.Join):
+            return self._eval_join(plan, outer)
+        if isinstance(plan, op.Aggregation):
+            return self._eval_aggregation(plan, outer)
+        if isinstance(plan, op.Distinct):
+            return _distinct(self._eval(plan.child, outer))
+        if isinstance(plan, op.SetOp):
+            return self._eval_setop(plan, outer)
+        if isinstance(plan, op.OrderBy):
+            return self._eval_orderby(plan, outer)
+        if isinstance(plan, op.Limit):
+            count = self._scalar(plan.count, outer)
+            if count is None or int(count) < 0:
+                raise ExecutionError(f"invalid LIMIT {count!r}")
+            return self._eval(plan.child, outer)[:int(count)]
+        if isinstance(plan, op.AnnotateRowId):
+            rows = self._eval(plan.child, outer)
+            base = plan.seed * 1_000_000
+            return [row + (-(base + i + 1),)
+                    for i, row in enumerate(rows)]
+        raise ExecutionError(f"cannot evaluate operator {plan!r}")
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _scalar(self, expr: Expr, outer: Optional[RowEnv]) -> Any:
+        return eval_expr(expr, outer, self.state)
+
+    def _env(self, attrs: List[str], row: tuple,
+             outer: Optional[RowEnv]) -> RowEnv:
+        return RowEnv(dict(zip(attrs, row)), outer)
+
+    # -- operators ----------------------------------------------------------------
+
+    def _eval_scan(self, scan: op.TableScan,
+                   outer: Optional[RowEnv]) -> List[tuple]:
+        as_of_ts: Optional[int] = None
+        if scan.as_of is not None:
+            value = self._scalar(scan.as_of, outer)
+            if value is None:
+                raise TimeTravelError(
+                    f"AS OF timestamp for {scan.table!r} is NULL")
+            as_of_ts = int(value)
+        triples = self.ctx.scan_table(scan.table, as_of_ts)
+        want_rowid = op.ANNOT_ROWID in scan.annotations
+        want_xid = op.ANNOT_XID in scan.annotations
+        full = self.ctx.table_columns(scan.table)
+        # pruned scans read a subset of the stored columns
+        if scan.columns == full:
+            positions: Optional[List[int]] = None
+        else:
+            try:
+                positions = [full.index(c) for c in scan.columns]
+            except ValueError as exc:
+                raise ExecutionError(
+                    f"scan of {scan.table!r} asks for columns "
+                    f"{scan.columns} but storage has {full}") from exc
+        rows: List[tuple] = []
+        for rowid, values, xid in triples:
+            if positions is None:
+                row = tuple(values)
+            else:
+                row = tuple(values[i] for i in positions)
+            if want_rowid:
+                row = row + (rowid,)
+            if want_xid:
+                row = row + (xid,)
+            rows.append(row)
+        return rows
+
+    def _eval_selection(self, node: op.Selection,
+                        outer: Optional[RowEnv]) -> List[tuple]:
+        attrs = node.child.attrs
+        out = []
+        for row in self._eval(node.child, outer):
+            env = self._env(attrs, row, outer)
+            if eval_expr(node.condition, env, self.state) is True:
+                out.append(row)
+        return out
+
+    def _eval_projection(self, node: op.Projection,
+                         outer: Optional[RowEnv]) -> List[tuple]:
+        attrs = node.child.attrs
+        exprs = node.exprs
+        out = []
+        for row in self._eval(node.child, outer):
+            env = self._env(attrs, row, outer)
+            out.append(tuple(eval_expr(e, env, self.state)
+                             for e in exprs))
+        return out
+
+    # .. joins ....................................................................
+
+    def _eval_join(self, node: op.Join,
+                   outer: Optional[RowEnv]) -> List[tuple]:
+        left_rows = self._eval(node.left, outer)
+        right_rows = self._eval(node.right, outer)
+        left_attrs = node.left.attrs
+        right_attrs = node.right.attrs
+
+        if node.kind == "cross":
+            return [l + r for l in left_rows for r in right_rows]
+
+        equi, residual = self._split_equi(node.condition, left_attrs,
+                                          right_attrs)
+        if equi:
+            return self._hash_join(node, left_rows, right_rows, equi,
+                                   residual, outer)
+        return self._nested_loop_join(node, left_rows, right_rows, outer)
+
+    def _split_equi(self, condition: Optional[Expr],
+                    left_attrs: List[str], right_attrs: List[str]):
+        """Split a join condition into equi-join pairs and a residual."""
+        from repro.algebra.expressions import conjuncts, conjunction
+        if condition is None:
+            return [], None
+        left_set = set(left_attrs)
+        right_set = set(right_attrs)
+        pairs = []
+        residual = []
+        for part in conjuncts(condition):
+            if isinstance(part, BinaryOp) and part.op == "=" \
+                    and not any(isinstance(n, SubqueryExpr)
+                                for n in walk(part)):
+                lcols = set(columns_used(part.left))
+                rcols = set(columns_used(part.right))
+                if lcols and rcols:
+                    if lcols <= left_set and rcols <= right_set:
+                        pairs.append((part.left, part.right))
+                        continue
+                    if lcols <= right_set and rcols <= left_set:
+                        pairs.append((part.right, part.left))
+                        continue
+            residual.append(part)
+        return pairs, conjunction(residual)
+
+    def _hash_join(self, node: op.Join, left_rows, right_rows, equi,
+                   residual, outer) -> List[tuple]:
+        left_attrs = node.left.attrs
+        right_attrs = node.right.attrs
+        left_keys = [l for l, _ in equi]
+        right_keys = [r for _, r in equi]
+
+        index: Dict[tuple, List[tuple]] = {}
+        for row in right_rows:
+            env = self._env(right_attrs, row, outer)
+            key = tuple(eval_expr(k, env, self.state) for k in right_keys)
+            if any(v is None for v in key):
+                continue  # NULL never equi-joins
+            index.setdefault(key, []).append(row)
+
+        out: List[tuple] = []
+        for lrow in left_rows:
+            lenv = self._env(left_attrs, lrow, outer)
+            key = tuple(eval_expr(k, lenv, self.state) for k in left_keys)
+            matches: List[tuple] = []
+            if not any(v is None for v in key):
+                for rrow in index.get(key, ()):
+                    if residual is not None:
+                        env = self._env(left_attrs + right_attrs,
+                                        lrow + rrow, outer)
+                        if eval_expr(residual, env, self.state) is not True:
+                            continue
+                    matches.append(rrow)
+            self._emit_join_rows(node, lrow, matches, right_attrs, out)
+        return out
+
+    def _nested_loop_join(self, node: op.Join, left_rows, right_rows,
+                          outer) -> List[tuple]:
+        left_attrs = node.left.attrs
+        right_attrs = node.right.attrs
+        combined = left_attrs + right_attrs
+        out: List[tuple] = []
+        for lrow in left_rows:
+            matches = []
+            for rrow in right_rows:
+                if node.condition is None:
+                    matches.append(rrow)
+                    continue
+                env = self._env(combined, lrow + rrow, outer)
+                if eval_expr(node.condition, env, self.state) is True:
+                    matches.append(rrow)
+            self._emit_join_rows(node, lrow, matches, right_attrs, out)
+        return out
+
+    @staticmethod
+    def _emit_join_rows(node: op.Join, lrow: tuple, matches: List[tuple],
+                        right_attrs: List[str], out: List[tuple]) -> None:
+        if node.kind == "inner":
+            out.extend(lrow + r for r in matches)
+        elif node.kind == "left":
+            if matches:
+                out.extend(lrow + r for r in matches)
+            else:
+                out.append(lrow + (None,) * len(right_attrs))
+        elif node.kind == "semi":
+            if matches:
+                out.append(lrow)
+        elif node.kind == "anti":
+            if not matches:
+                out.append(lrow)
+        else:  # pragma: no cover - guarded in operator ctor
+            raise ExecutionError(f"unknown join kind {node.kind!r}")
+
+    # .. aggregation ...............................................................
+
+    def _eval_aggregation(self, node: op.Aggregation,
+                          outer: Optional[RowEnv]) -> List[tuple]:
+        child_attrs = node.child.attrs
+        rows = self._eval(node.child, outer)
+        groups: Dict[tuple, List[RowEnv]] = {}
+        order: List[tuple] = []
+        for row in rows:
+            env = self._env(child_attrs, row, outer)
+            key = tuple(eval_expr(g, env, self.state)
+                        for g in node.group_exprs)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(env)
+
+        if not node.group_exprs and not groups:
+            # global aggregation over an empty input: one row
+            groups[()] = []
+            order.append(())
+
+        out: List[tuple] = []
+        for key in order:
+            envs = groups[key]
+            aggs = tuple(self._eval_agg(spec, envs)
+                         for spec in node.aggregates)
+            out.append(key + aggs)
+        return out
+
+    def _eval_agg(self, spec: op.AggSpec, envs: List[RowEnv]) -> Any:
+        if spec.expr is None:  # COUNT(*)
+            return len(envs)
+        values = [eval_expr(spec.expr, env, self.state) for env in envs]
+        values = [v for v in values if v is not None]
+        if spec.distinct:
+            values = list(dict.fromkeys(values))
+        if spec.func == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if spec.func == "SUM":
+            return sum(values)
+        if spec.func == "AVG":
+            return sum(values) / len(values)
+        if spec.func == "MIN":
+            return min(values)
+        if spec.func == "MAX":
+            return max(values)
+        raise ExecutionError(f"unknown aggregate {spec.func!r}")
+
+    # .. set operations ...............................................................
+
+    def _eval_setop(self, node: op.SetOp,
+                    outer: Optional[RowEnv]) -> List[tuple]:
+        left = self._eval(node.left, outer)
+        right = self._eval(node.right, outer)
+        if node.kind == "union":
+            combined = left + right
+            return combined if node.all else _distinct(combined)
+        if node.kind == "intersect":
+            rcount = Counter(right)
+            if node.all:
+                out = []
+                for row in left:
+                    if rcount[row] > 0:
+                        rcount[row] -= 1
+                        out.append(row)
+                return out
+            rset = set(right)
+            return _distinct([row for row in left if row in rset])
+        if node.kind == "except":
+            if node.all:
+                rcount = Counter(right)
+                out = []
+                for row in left:
+                    if rcount[row] > 0:
+                        rcount[row] -= 1
+                    else:
+                        out.append(row)
+                return out
+            rset = set(right)
+            return _distinct([row for row in left if row not in rset])
+        raise ExecutionError(f"unknown set op {node.kind!r}")
+
+    # .. ordering ...................................................................
+
+    def _eval_orderby(self, node: op.OrderBy,
+                      outer: Optional[RowEnv]) -> List[tuple]:
+        attrs = node.child.attrs
+        rows = self._eval(node.child, outer)
+        keyed = []
+        for row in rows:
+            env = self._env(attrs, row, outer)
+            keys = tuple(eval_expr(e, env, self.state)
+                         for e, _ in node.items)
+            keyed.append((keys, row))
+        # stable multi-key sort: apply keys right-to-left
+        for index in range(len(node.items) - 1, -1, -1):
+            _, ascending = node.items[index]
+            keyed.sort(key=lambda pair, i=index: _sort_key(pair[0][i]),
+                       reverse=not ascending)
+        return [row for _, row in keyed]
+
+
+def _sort_key(value: Any):
+    # NULLs sort last under ASC (first under DESC via reverse)
+    if value is None:
+        return (1, 0)
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (0, value)
+
+
+def _distinct(rows: List[tuple]) -> List[tuple]:
+    seen = set()
+    out = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+    return out

@@ -1,0 +1,763 @@
+"""Scalar expression IR with SQL three-valued logic.
+
+Expressions are produced by the SQL parser, resolved by the translator
+(column references get rewritten to exact attribute keys of their scope),
+rewritten by the reenactor and the optimizer, evaluated by the algebra
+interpreter, and printed back to SQL by the formatter / code generator.
+
+Design notes
+------------
+* SQL NULL is Python ``None``.  Comparisons and arithmetic involving NULL
+  yield NULL; ``AND``/``OR`` follow Kleene logic; ``WHERE`` keeps only
+  rows whose condition is exactly ``True``.
+* After translation every :class:`Column` carries the exact attribute key
+  of the operator input schema (e.g. ``"a1.bal"``); evaluation is a plain
+  environment lookup.  Environments chain to outer scopes so correlated
+  subqueries resolve free columns against enclosing rows.
+* Aggregate function calls never reach :func:`eval_expr`; the translator
+  extracts them into :class:`~repro.algebra.operators.Aggregation`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.db.types import format_value
+from repro.errors import AnalysisError, ExecutionError
+
+#: Function names treated as aggregates (extracted by the translator).
+AGGREGATE_FUNCTIONS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+class Expr:
+    """Base class of all scalar expressions."""
+
+    def children(self) -> List["Expr"]:
+        return []
+
+    def __str__(self) -> str:
+        # The SQL formatter renders expressions; import locally to avoid
+        # a circular import at module load time.
+        from repro.sql.formatter import format_expr
+        return format_expr(self)
+
+
+@dataclass(eq=True)
+class Literal(Expr):
+    value: Any
+
+
+@dataclass(eq=True)
+class Column(Expr):
+    """A column reference.
+
+    ``table`` is the (optional) qualifier as written in SQL.  After name
+    resolution, :attr:`key` holds the exact attribute name in the operator
+    schema and is what evaluation uses.
+    """
+
+    name: str
+    table: Optional[str] = None
+    key: Optional[str] = None
+
+    @property
+    def display(self) -> str:
+        if self.table:
+            return f"{self.table}.{self.name}"
+        return self.name
+
+
+@dataclass(eq=True)
+class Param(Expr):
+    """A named bind parameter, ``:name`` in SQL (Fig. 1 of the paper)."""
+
+    name: str
+
+
+@dataclass(eq=True)
+class Star(Expr):
+    """``*`` or ``t.*`` — valid only in select lists and COUNT(*)."""
+
+    table: Optional[str] = None
+
+
+@dataclass(eq=True)
+class BinaryOp(Expr):
+    op: str  # + - * / % || = <> < <= > >= AND OR
+    left: Expr
+    right: Expr
+
+    def children(self) -> List[Expr]:
+        return [self.left, self.right]
+
+
+@dataclass(eq=True)
+class UnaryOp(Expr):
+    op: str  # NOT, -
+    operand: Expr
+
+    def children(self) -> List[Expr]:
+        return [self.operand]
+
+
+@dataclass(eq=True)
+class Case(Expr):
+    """Searched CASE: ``CASE WHEN c THEN r ... ELSE d END``.
+
+    Simple CASE (``CASE x WHEN v ...``) is normalized by the parser into
+    the searched form, so only this node exists downstream — the
+    reenactor's update rewriting (Example 3 of the paper) produces it.
+    """
+
+    whens: Tuple[Tuple[Expr, Expr], ...]
+    default: Optional[Expr] = None
+
+    def children(self) -> List[Expr]:
+        out: List[Expr] = []
+        for cond, result in self.whens:
+            out.append(cond)
+            out.append(result)
+        if self.default is not None:
+            out.append(self.default)
+        return out
+
+
+@dataclass(eq=True)
+class FuncCall(Expr):
+    name: str  # upper-cased
+    args: Tuple[Expr, ...]
+    distinct: bool = False  # COUNT(DISTINCT x)
+
+    def children(self) -> List[Expr]:
+        return list(self.args)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name in AGGREGATE_FUNCTIONS
+
+
+@dataclass(eq=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def children(self) -> List[Expr]:
+        return [self.operand]
+
+
+@dataclass(eq=True)
+class InList(Expr):
+    operand: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+    def children(self) -> List[Expr]:
+        return [self.operand] + list(self.items)
+
+
+@dataclass(eq=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def children(self) -> List[Expr]:
+        return [self.operand, self.low, self.high]
+
+
+@dataclass(eq=True)
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def children(self) -> List[Expr]:
+        return [self.operand, self.pattern]
+
+
+@dataclass(eq=False)
+class SubqueryExpr(Expr):
+    """Scalar / EXISTS / IN subquery.
+
+    ``query`` holds the parsed ``Select`` AST until the translator plans
+    it and stores the algebra plan in ``plan``.  Correlated columns are
+    resolved against enclosing scopes and evaluated via the environment
+    chain.
+    """
+
+    kind: str  # 'SCALAR' | 'EXISTS' | 'IN'
+    query: Any  # repro.sql.ast.Select until planned
+    operand: Optional[Expr] = None  # IN only
+    negated: bool = False
+    plan: Any = None  # repro.algebra.operators.Operator once planned
+    correlated: bool = False  # set by the translator
+
+    def children(self) -> List[Expr]:
+        return [self.operand] if self.operand is not None else []
+
+
+@dataclass(eq=True)
+class RawSQL(Expr):
+    """Pre-rendered SQL text, emitted verbatim by the formatter.
+
+    Only the SQL code generator creates these (for subqueries that must
+    share the outer query's name space); they are never evaluated.
+    """
+
+    text: str
+
+
+# ---------------------------------------------------------------------------
+# Traversal / rewriting utilities
+# ---------------------------------------------------------------------------
+
+def transform(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Bottom-up rewrite: rebuild ``expr`` with ``fn`` applied to every
+    node after its children have been transformed."""
+    if isinstance(expr, BinaryOp):
+        expr = BinaryOp(expr.op, transform(expr.left, fn),
+                        transform(expr.right, fn))
+    elif isinstance(expr, UnaryOp):
+        expr = UnaryOp(expr.op, transform(expr.operand, fn))
+    elif isinstance(expr, Case):
+        whens = tuple((transform(c, fn), transform(r, fn))
+                      for c, r in expr.whens)
+        default = transform(expr.default, fn) if expr.default else None
+        expr = Case(whens, default)
+    elif isinstance(expr, FuncCall):
+        expr = FuncCall(expr.name,
+                        tuple(transform(a, fn) for a in expr.args),
+                        expr.distinct)
+    elif isinstance(expr, IsNull):
+        expr = IsNull(transform(expr.operand, fn), expr.negated)
+    elif isinstance(expr, InList):
+        expr = InList(transform(expr.operand, fn),
+                      tuple(transform(i, fn) for i in expr.items),
+                      expr.negated)
+    elif isinstance(expr, Between):
+        expr = Between(transform(expr.operand, fn),
+                       transform(expr.low, fn), transform(expr.high, fn),
+                       expr.negated)
+    elif isinstance(expr, Like):
+        expr = Like(transform(expr.operand, fn),
+                    transform(expr.pattern, fn), expr.negated)
+    elif isinstance(expr, SubqueryExpr):
+        operand = transform(expr.operand, fn) if expr.operand else None
+        expr = SubqueryExpr(expr.kind, expr.query, operand, expr.negated,
+                            expr.plan, expr.correlated)
+    return fn(expr)
+
+
+def transform_topdown(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Top-down rewrite: ``fn`` is tried on each node first; if it
+    returns a replacement (anything not identical to the node), the
+    replacement is kept and its children are *not* visited.  Used when
+    whole-expression matches must win over sub-expression matches
+    (e.g. mapping GROUP BY expressions onto aggregation outputs)."""
+    replaced = fn(expr)
+    if replaced is not expr:
+        return replaced
+
+    def visit_children(node: Expr) -> Expr:
+        if node is expr:
+            return node
+        return transform_topdown(node, fn)
+
+    # Rebuild one level using the bottom-up machinery, but recurse with
+    # transform_topdown so deeper nodes also get first-match-wins.
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, transform_topdown(expr.left, fn),
+                        transform_topdown(expr.right, fn))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, transform_topdown(expr.operand, fn))
+    if isinstance(expr, Case):
+        whens = tuple((transform_topdown(c, fn), transform_topdown(r, fn))
+                      for c, r in expr.whens)
+        default = transform_topdown(expr.default, fn) \
+            if expr.default else None
+        return Case(whens, default)
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.name,
+                        tuple(transform_topdown(a, fn) for a in expr.args),
+                        expr.distinct)
+    if isinstance(expr, IsNull):
+        return IsNull(transform_topdown(expr.operand, fn), expr.negated)
+    if isinstance(expr, InList):
+        return InList(transform_topdown(expr.operand, fn),
+                      tuple(transform_topdown(i, fn) for i in expr.items),
+                      expr.negated)
+    if isinstance(expr, Between):
+        return Between(transform_topdown(expr.operand, fn),
+                       transform_topdown(expr.low, fn),
+                       transform_topdown(expr.high, fn), expr.negated)
+    if isinstance(expr, Like):
+        return Like(transform_topdown(expr.operand, fn),
+                    transform_topdown(expr.pattern, fn), expr.negated)
+    if isinstance(expr, SubqueryExpr):
+        operand = transform_topdown(expr.operand, fn) \
+            if expr.operand is not None else None
+        return SubqueryExpr(expr.kind, expr.query, operand, expr.negated,
+                            expr.plan, expr.correlated)
+    return expr
+
+
+def walk(expr: Expr) -> Iterable[Expr]:
+    """Pre-order iteration over all nodes of an expression tree.
+
+    Iterative (explicit stack): reenactment chains produce expressions
+    thousands of nodes deep, where generator recursion is both slow and
+    a recursion-limit hazard.
+    """
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        children = node.children()
+        if children:
+            stack.extend(reversed(children))
+
+
+def columns_used(expr: Expr) -> List[str]:
+    """Resolved attribute keys referenced by the expression, in order of
+    first occurrence (unresolved columns report their display name)."""
+    seen: Dict[str, None] = {}
+    for node in walk(expr):
+        if isinstance(node, Column):
+            seen.setdefault(node.key or node.display, None)
+    return list(seen)
+
+
+def substitute(expr: Expr, mapping: Dict[str, Expr]) -> Expr:
+    """Replace resolved column references by expressions (the core of
+    projection merging and of composing reenactment CASE stacks)."""
+
+    def visit(node: Expr) -> Expr:
+        if isinstance(node, Column):
+            key = node.key or node.display
+            if key in mapping:
+                return mapping[key]
+        return node
+
+    return transform(expr, visit)
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    return any(isinstance(n, FuncCall) and n.is_aggregate
+               for n in walk(expr))
+
+
+def contains_subquery(expr: Expr) -> bool:
+    return any(isinstance(n, SubqueryExpr) for n in walk(expr))
+
+
+def conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    """Split a condition into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def conjunction(parts: Sequence[Expr]) -> Optional[Expr]:
+    """AND together a list of conditions (None for the empty list)."""
+    result: Optional[Expr] = None
+    for part in parts:
+        result = part if result is None else BinaryOp("AND", result, part)
+    return result
+
+
+def negate(expr: Expr) -> Expr:
+    """Logical negation, with trivial simplifications."""
+    if isinstance(expr, UnaryOp) and expr.op == "NOT":
+        return expr.operand
+    if isinstance(expr, Literal) and isinstance(expr.value, bool):
+        return Literal(not expr.value)
+    return UnaryOp("NOT", expr)
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+class RowEnv:
+    """Chained evaluation environment: attribute key → value.
+
+    ``outer`` links to the enclosing scope for correlated subqueries.
+    """
+
+    __slots__ = ("values", "outer")
+
+    def __init__(self, values: Dict[str, Any],
+                 outer: Optional["RowEnv"] = None):
+        self.values = values
+        self.outer = outer
+
+    def lookup(self, key: str) -> Any:
+        env: Optional[RowEnv] = self
+        while env is not None:
+            if key in env.values:
+                return env.values[key]
+            env = env.outer
+        raise ExecutionError(f"unknown column {key!r} at evaluation time")
+
+
+#: Callback type used to evaluate subquery plans: (plan, env) -> rows.
+SubqueryExecutor = Callable[[Any, Optional[RowEnv]], List[tuple]]
+
+
+class EvalState:
+    """Evaluation-time context: bind parameters and the subquery
+    executor provided by the algebra evaluator."""
+
+    __slots__ = ("params", "execute_subquery")
+
+    def __init__(self, params: Optional[Dict[str, Any]] = None,
+                 execute_subquery: Optional[SubqueryExecutor] = None):
+        self.params = params or {}
+        self.execute_subquery = execute_subquery
+
+
+_LIKE_CACHE: Dict[str, "re.Pattern[str]"] = {}
+
+
+def _like_regex(pattern: str) -> "re.Pattern[str]":
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        regex = []
+        for ch in pattern:
+            if ch == "%":
+                regex.append(".*")
+            elif ch == "_":
+                regex.append(".")
+            else:
+                regex.append(re.escape(ch))
+        compiled = re.compile("^" + "".join(regex) + "$", re.DOTALL)
+        _LIKE_CACHE[pattern] = compiled
+    return compiled
+
+
+def _compare(op: str, left: Any, right: Any) -> Optional[bool]:
+    if left is None or right is None:
+        return None
+    try:
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError as exc:
+        raise ExecutionError(
+            f"cannot compare {left!r} and {right!r}") from exc
+    raise ExecutionError(f"unknown comparison operator {op!r}")
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            result = left / right
+            # SQL-style: INT / INT stays integral when exact.
+            if isinstance(left, int) and isinstance(right, int) \
+                    and not isinstance(left, bool) and result == int(result):
+                return int(result)
+            return result
+        if op == "%":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            return left % right
+        if op == "||":
+            return str(left) + str(right)
+    except TypeError as exc:
+        raise ExecutionError(
+            f"bad operands for {op!r}: {left!r}, {right!r}") from exc
+    raise ExecutionError(f"unknown arithmetic operator {op!r}")
+
+
+_SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {}
+
+
+def scalar_function(name: str):
+    def register(fn):
+        _SCALAR_FUNCTIONS[name] = fn
+        return fn
+    return register
+
+
+@scalar_function("ABS")
+def _fn_abs(value):
+    return None if value is None else abs(value)
+
+
+@scalar_function("COALESCE")
+def _fn_coalesce(*args):
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+@scalar_function("NULLIF")
+def _fn_nullif(left, right):
+    if left is None or right is None:
+        return left
+    return None if left == right else left
+
+
+@scalar_function("UPPER")
+def _fn_upper(value):
+    return None if value is None else str(value).upper()
+
+
+@scalar_function("LOWER")
+def _fn_lower(value):
+    return None if value is None else str(value).lower()
+
+
+@scalar_function("LENGTH")
+def _fn_length(value):
+    return None if value is None else len(str(value))
+
+
+@scalar_function("ROUND")
+def _fn_round(value, digits=0):
+    if value is None:
+        return None
+    return round(value, int(digits or 0))
+
+
+@scalar_function("MOD")
+def _fn_mod(left, right):
+    if left is None or right is None:
+        return None
+    if right == 0:
+        raise ExecutionError("division by zero in MOD")
+    return left % right
+
+
+@scalar_function("GREATEST")
+def _fn_greatest(*args):
+    if any(a is None for a in args):
+        return None
+    return max(args)
+
+
+@scalar_function("LEAST")
+def _fn_least(*args):
+    if any(a is None for a in args):
+        return None
+    return min(args)
+
+
+def eval_expr(expr: Expr, env: Optional[RowEnv],
+              state: EvalState) -> Any:
+    """Evaluate a (fully resolved, aggregate-free) expression."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Column):
+        if env is None:
+            raise ExecutionError(
+                f"column {expr.display!r} referenced outside a row context")
+        return env.lookup(expr.key or expr.display)
+    if isinstance(expr, Param):
+        if expr.name not in state.params:
+            raise ExecutionError(f"missing bind parameter :{expr.name}")
+        return state.params[expr.name]
+    if isinstance(expr, BinaryOp):
+        return _eval_binary(expr, env, state)
+    if isinstance(expr, UnaryOp):
+        value = eval_expr(expr.operand, env, state)
+        if expr.op == "NOT":
+            return None if value is None else (not _truthy(value))
+        if expr.op == "-":
+            return None if value is None else -value
+        raise ExecutionError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, Case):
+        for cond, result in expr.whens:
+            if eval_expr(cond, env, state) is True:
+                return eval_expr(result, env, state)
+        if expr.default is not None:
+            return eval_expr(expr.default, env, state)
+        return None
+    if isinstance(expr, FuncCall):
+        if expr.is_aggregate:
+            raise ExecutionError(
+                f"aggregate {expr.name} evaluated outside an aggregation "
+                f"operator (analyzer bug)")
+        if expr.name.startswith("CAST_"):
+            from repro.db.types import coerce_value, lookup_type
+            value = eval_expr(expr.args[0], env, state)
+            return coerce_value(value, lookup_type(expr.name[5:]))
+        fn = _SCALAR_FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise ExecutionError(f"unknown function {expr.name!r}")
+        args = [eval_expr(a, env, state) for a in expr.args]
+        return fn(*args)
+    if isinstance(expr, IsNull):
+        value = eval_expr(expr.operand, env, state)
+        result = value is None
+        return (not result) if expr.negated else result
+    if isinstance(expr, InList):
+        return _eval_in(expr, env, state)
+    if isinstance(expr, Between):
+        value = eval_expr(expr.operand, env, state)
+        low = eval_expr(expr.low, env, state)
+        high = eval_expr(expr.high, env, state)
+        lo_ok = _compare(">=", value, low)
+        hi_ok = _compare("<=", value, high)
+        result = _kleene_and(lo_ok, hi_ok)
+        if expr.negated:
+            return None if result is None else (not result)
+        return result
+    if isinstance(expr, Like):
+        value = eval_expr(expr.operand, env, state)
+        pattern = eval_expr(expr.pattern, env, state)
+        if value is None or pattern is None:
+            return None
+        result = bool(_like_regex(str(pattern)).match(str(value)))
+        return (not result) if expr.negated else result
+    if isinstance(expr, SubqueryExpr):
+        return _eval_subquery(expr, env, state)
+    if isinstance(expr, Star):
+        raise ExecutionError("* is not a scalar expression")
+    raise ExecutionError(f"cannot evaluate expression {expr!r}")
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise ExecutionError(
+        f"expected a boolean condition value, got {value!r}")
+
+
+def _kleene_and(left: Optional[bool], right: Optional[bool]
+                ) -> Optional[bool]:
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def _kleene_or(left: Optional[bool], right: Optional[bool]
+               ) -> Optional[bool]:
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def _eval_binary(expr: BinaryOp, env: Optional[RowEnv],
+                 state: EvalState) -> Any:
+    op = expr.op
+    if op == "AND":
+        left = eval_expr(expr.left, env, state)
+        if left is False:
+            return False
+        right = eval_expr(expr.right, env, state)
+        return _kleene_and(_as_bool(left), _as_bool(right))
+    if op == "OR":
+        left = eval_expr(expr.left, env, state)
+        if left is True:
+            return True
+        right = eval_expr(expr.right, env, state)
+        return _kleene_or(_as_bool(left), _as_bool(right))
+    left = eval_expr(expr.left, env, state)
+    right = eval_expr(expr.right, env, state)
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        return _compare(op, left, right)
+    return _arith(op, left, right)
+
+
+def _as_bool(value: Any) -> Optional[bool]:
+    if value is None:
+        return None
+    return _truthy(value)
+
+
+def _eval_in(expr: InList, env: Optional[RowEnv],
+             state: EvalState) -> Optional[bool]:
+    value = eval_expr(expr.operand, env, state)
+    saw_null = value is None
+    matched = False
+    for item in expr.items:
+        item_value = eval_expr(item, env, state)
+        verdict = _compare("=", value, item_value)
+        if verdict is True:
+            matched = True
+            break
+        if verdict is None:
+            saw_null = True
+    if matched:
+        result: Optional[bool] = True
+    elif saw_null:
+        result = None
+    else:
+        result = False
+    if expr.negated:
+        return None if result is None else (not result)
+    return result
+
+
+def _eval_subquery(expr: SubqueryExpr, env: Optional[RowEnv],
+                   state: EvalState) -> Any:
+    if state.execute_subquery is None or expr.plan is None:
+        raise ExecutionError(
+            "subquery evaluated without an executor (analyzer bug)")
+    rows = state.execute_subquery(expr.plan, env)
+    if expr.kind == "EXISTS":
+        result = len(rows) > 0
+        return (not result) if expr.negated else result
+    if expr.kind == "SCALAR":
+        if not rows:
+            return None
+        if len(rows) > 1:
+            raise ExecutionError(
+                "scalar subquery returned more than one row")
+        if len(rows[0]) != 1:
+            raise ExecutionError(
+                "scalar subquery must return exactly one column")
+        return rows[0][0]
+    if expr.kind == "IN":
+        value = eval_expr(expr.operand, env, state)
+        saw_null = value is None
+        matched = False
+        for row in rows:
+            if len(row) != 1:
+                raise ExecutionError(
+                    "IN subquery must return exactly one column")
+            verdict = _compare("=", value, row[0])
+            if verdict is True:
+                matched = True
+                break
+            if verdict is None:
+                saw_null = True
+        if matched:
+            result: Optional[bool] = True
+        elif saw_null:
+            result = None
+        else:
+            result = False
+        return (None if result is None else (not result)) \
+            if expr.negated else result
+    raise ExecutionError(f"unknown subquery kind {expr.kind!r}")

@@ -1,0 +1,374 @@
+"""SQL code generation: algebra plan → executable SQL text.
+
+This is the last stage of the GProM pipeline (Fig. 5): after the
+provenance rewriter and the reenactor have produced a plain relational
+algebra expression, it is printed as SQL in the backend's dialect and
+executed there.  Our backend dialect is the one in :mod:`repro.sql`, so
+generated SQL re-parses and re-evaluates on the engine — the round trip
+is covered by tests.
+
+Engine-specific pseudo-columns (``__rowid__``, ``__xid__``) are part of
+the dialect (every table scan exposes them), so even reenactment plans
+with row-identity bookkeeping are expressible.  The one exception is
+:class:`~repro.algebra.operators.AnnotateRowId` over a *dynamic* input
+(reenacted ``INSERT ... SELECT``): synthesizing row identities for an
+unknown number of rows needs ROW_NUMBER-style machinery the dialect does
+not have, so :func:`generate_sql` raises and callers fall back to direct
+plan evaluation (documented in DESIGN.md §4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra import operators as op
+from repro.algebra.expressions import Column, Expr, transform
+from repro.errors import ReenactmentError, ReproError
+from repro.sql.formatter import format_expr
+
+
+class _Generator:
+    def __init__(self):
+        self._counter = 0
+
+    def fresh(self, prefix: str = "c") -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    # Each _gen returns (sql_text, colmap) where colmap maps the plan's
+    # attribute keys to the flat column names used in the SQL text.
+
+    def gen(self, plan: op.Operator) -> Tuple[str, Dict[str, str]]:
+        if isinstance(plan, op.TableScan):
+            return self._gen_scan(plan)
+        if isinstance(plan, op.ConstRel):
+            return self._gen_const(plan)
+        if isinstance(plan, op.Selection):
+            return self._gen_selection(plan)
+        if isinstance(plan, op.Projection):
+            return self._gen_projection(plan)
+        if isinstance(plan, op.Join):
+            return self._gen_join(plan)
+        if isinstance(plan, op.Aggregation):
+            return self._gen_aggregation(plan)
+        if isinstance(plan, op.Distinct):
+            sql, colmap = self.gen(plan.child)
+            alias = self.fresh("t")
+            return (f"SELECT DISTINCT * FROM ({sql}) AS {alias}", colmap)
+        if isinstance(plan, op.SetOp):
+            return self._gen_setop(plan)
+        if isinstance(plan, op.OrderBy):
+            return self._gen_orderby(plan)
+        if isinstance(plan, op.Limit):
+            sql, colmap = self.gen(plan.child)
+            alias = self.fresh("t")
+            count = format_expr(plan.count)
+            return (f"SELECT * FROM ({sql}) AS {alias} LIMIT {count}",
+                    colmap)
+        if isinstance(plan, op.AnnotateRowId):
+            raise ReenactmentError(
+                "plan contains synthetic row-id annotation over a dynamic "
+                "input (reenacted INSERT ... SELECT); it cannot be printed "
+                "as SQL — evaluate the plan directly instead")
+        raise ReproError(f"cannot generate SQL for {plan!r}")
+
+    # -- leaves -------------------------------------------------------------
+
+    def _gen_scan(self, scan: op.TableScan):
+        colmap: Dict[str, str] = {}
+        pieces = []
+        for attr in scan.attrs:
+            short = attr.rsplit(".", 1)[-1]
+            flat = self.fresh("c")
+            colmap[attr] = flat
+            pieces.append(f"{short} AS {flat}")
+        from_clause = scan.table
+        if scan.as_of is not None:
+            from_clause += f" AS OF {format_expr(scan.as_of)}"
+        alias = self.fresh("t")
+        sql = (f"SELECT {', '.join(pieces)} FROM {from_clause} {alias}")
+        return sql, colmap
+
+    def _gen_const(self, const: op.ConstRel):
+        colmap: Dict[str, str] = {}
+        flats: List[str] = []
+        for attr in const.names:
+            flat = self.fresh("c")
+            colmap[attr] = flat
+            flats.append(flat)
+        if not const.names:
+            return "SELECT 1 AS __dummy", {}
+        if not const.rows:
+            null_items = ", ".join(f"NULL AS {f}" for f in flats)
+            return (f"SELECT {null_items} WHERE FALSE", colmap)
+        selects = []
+        for row in const.rows:
+            items = ", ".join(
+                f"{format_expr(value)} AS {flat}"
+                for value, flat in zip(row, flats))
+            selects.append(f"SELECT {items}")
+        return " UNION ALL ".join(selects), colmap
+
+    # -- unary ---------------------------------------------------------------
+
+    def _gen_selection(self, node: op.Selection):
+        sql, colmap = self.gen(node.child)
+        alias = self.fresh("t")
+        condition = format_expr(_remap(node.condition, colmap, self))
+        return (f"SELECT * FROM ({sql}) AS {alias} WHERE {condition}",
+                colmap)
+
+    def _gen_projection(self, node: op.Projection):
+        sql, child_map = self.gen(node.child)
+        alias = self.fresh("t")
+        colmap: Dict[str, str] = {}
+        pieces = []
+        for expr, name in zip(node.exprs, node.names):
+            flat = self.fresh("c")
+            colmap[name] = flat
+            pieces.append(f"{format_expr(_remap(expr, child_map, self))} "
+                          f"AS {flat}")
+        return (f"SELECT {', '.join(pieces)} FROM ({sql}) AS {alias}",
+                colmap)
+
+    # -- binary ----------------------------------------------------------------
+
+    def _gen_join(self, node: op.Join):
+        left_sql, left_map = self.gen(node.left)
+        right_sql, right_map = self.gen(node.right)
+        left_alias = self.fresh("t")
+        right_alias = self.fresh("t")
+        combined = dict(left_map)
+        combined.update(right_map)
+
+        if node.kind in ("semi", "anti"):
+            condition = format_expr(_remap(node.condition, combined, self)) \
+                if node.condition is not None else "TRUE"
+            word = "EXISTS" if node.kind == "semi" else "NOT EXISTS"
+            return (
+                f"SELECT * FROM ({left_sql}) AS {left_alias} WHERE {word} "
+                f"(SELECT 1 FROM ({right_sql}) AS {right_alias} "
+                f"WHERE {condition})", left_map)
+
+        select_list = ", ".join(
+            list(left_map.values()) + list(right_map.values())) or "*"
+        if node.kind == "cross":
+            return (
+                f"SELECT {select_list} FROM ({left_sql}) AS {left_alias} "
+                f"CROSS JOIN ({right_sql}) AS {right_alias}", combined)
+        condition = format_expr(_remap(node.condition, combined, self)) \
+            if node.condition is not None else "TRUE"
+        word = "LEFT JOIN" if node.kind == "left" else "JOIN"
+        return (
+            f"SELECT {select_list} FROM ({left_sql}) AS {left_alias} "
+            f"{word} ({right_sql}) AS {right_alias} ON {condition}",
+            combined)
+
+    def _gen_setop(self, node: op.SetOp):
+        left_sql, left_map = self.gen(node.left)
+        right_sql, right_map = self.gen(node.right)
+        # align right column order with left attr order
+        left_alias = self.fresh("t")
+        right_alias = self.fresh("t")
+        left_cols = [left_map[a] for a in node.left.attrs]
+        right_cols = [right_map[a] for a in node.right.attrs]
+        # re-select both sides so positional union lines up
+        left_body = (f"SELECT {', '.join(left_cols)} FROM ({left_sql}) "
+                     f"AS {left_alias}")
+        right_body = (f"SELECT "
+                      f"{', '.join(f'{r} AS {l}' for l, r in zip(left_cols, right_cols))} "
+                      f"FROM ({right_sql}) AS {right_alias}")
+        word = node.kind.upper() + (" ALL" if node.all else "")
+        colmap = {attr: left_map[attr] for attr in node.left.attrs}
+        return f"({left_body}) {word} ({right_body})", colmap
+
+    def _gen_aggregation(self, node: op.Aggregation):
+        sql, child_map = self.gen(node.child)
+        alias = self.fresh("t")
+        colmap: Dict[str, str] = {}
+        pieces: List[str] = []
+        group_texts: List[str] = []
+        for expr, name in zip(node.group_exprs, node.group_names):
+            text = format_expr(_remap(expr, child_map, self))
+            flat = self.fresh("c")
+            colmap[name] = flat
+            pieces.append(f"{text} AS {flat}")
+            group_texts.append(text)
+        for spec in node.aggregates:
+            flat = self.fresh("c")
+            colmap[spec.name] = flat
+            if spec.expr is None:
+                call = "COUNT(*)"
+            else:
+                arg = format_expr(_remap(spec.expr, child_map, self))
+                distinct = "DISTINCT " if spec.distinct else ""
+                call = f"{spec.func}({distinct}{arg})"
+            pieces.append(f"{call} AS {flat}")
+        sql_text = (f"SELECT {', '.join(pieces)} FROM ({sql}) AS {alias}")
+        if group_texts:
+            sql_text += f" GROUP BY {', '.join(group_texts)}"
+        return sql_text, colmap
+
+    def _gen_orderby(self, node: op.OrderBy):
+        sql, colmap = self.gen(node.child)
+        alias = self.fresh("t")
+        pieces = []
+        for expr, ascending in node.items:
+            text = format_expr(_remap(expr, colmap))
+            if not ascending:
+                text += " DESC"
+            pieces.append(text)
+        return (f"SELECT * FROM ({sql}) AS {alias} "
+                f"ORDER BY {', '.join(pieces)}", colmap)
+
+
+def _remap(expr: Expr, colmap: Dict[str, str],
+           gen: Optional["_Generator"] = None) -> Expr:
+    """Rewrite resolved column keys to the flat names of generated SQL.
+
+    Correlated subquery plans are rewritten too: their free references to
+    outer attributes must point at the outer query's flat names, since
+    those are the only names in scope in the generated text.  When a
+    generator is supplied the subquery is rendered immediately *with the
+    same name counter*, so inner aliases can never shadow the outer flat
+    names the correlation refers to.
+    """
+    from repro.algebra.expressions import RawSQL, SubqueryExpr
+    import copy as _copy
+
+    def visit(node: Expr) -> Expr:
+        if isinstance(node, Column):
+            key = node.key or node.display
+            if key in colmap:
+                return Column(name=colmap[key], key=colmap[key])
+        if isinstance(node, SubqueryExpr) and node.plan is not None:
+            plan = _remap_plan(_copy.deepcopy(node.plan), colmap)
+            if gen is None:
+                return SubqueryExpr(node.kind, node.query, node.operand,
+                                    node.negated, plan, node.correlated)
+            return _render_subquery(node, plan, colmap, gen)
+        return node
+
+    return transform(expr, visit)
+
+
+def _render_subquery(node, plan: op.Operator, colmap: Dict[str, str],
+                     gen: "_Generator") -> Expr:
+    from repro.algebra.expressions import RawSQL
+    body, submap = gen.gen(plan)
+    alias = gen.fresh("t")
+    columns = ", ".join(submap[a] for a in plan.attrs)
+    sub_sql = f"SELECT {columns} FROM ({body}) AS {alias}"
+    if node.kind == "EXISTS":
+        word = "NOT EXISTS" if node.negated else "EXISTS"
+        return RawSQL(f"{word} ({sub_sql})")
+    if node.kind == "SCALAR":
+        return RawSQL(f"({sub_sql})")
+    if node.kind == "IN":
+        operand = format_expr(_remap(node.operand, colmap, gen), 100)
+        word = "NOT IN" if node.negated else "IN"
+        return RawSQL(f"{operand} {word} ({sub_sql})")
+    raise ReproError(f"unknown subquery kind {node.kind!r}")
+
+
+def _remap_plan(plan: op.Operator, colmap: Dict[str, str]) -> op.Operator:
+    """Apply ``_remap`` to the *free* expressions inside a plan — only
+    columns the plan does not produce itself are correlated references
+    that need renaming to the outer query's flat names."""
+    available = set()
+    for child in plan.children():
+        available.update(child.attrs)
+    local = {key: flat for key, flat in colmap.items()
+             if key not in available}
+    if local:
+        if isinstance(plan, op.Selection):
+            plan.condition = _remap(plan.condition, local)
+        elif isinstance(plan, op.Projection):
+            plan.exprs = [_remap(e, local) for e in plan.exprs]
+        elif isinstance(plan, op.Join) and plan.condition is not None:
+            plan.condition = _remap(plan.condition, local)
+        elif isinstance(plan, op.Aggregation):
+            plan.group_exprs = [_remap(g, local)
+                                for g in plan.group_exprs]
+            for spec in plan.aggregates:
+                if spec.expr is not None:
+                    spec.expr = _remap(spec.expr, local)
+        elif isinstance(plan, op.OrderBy):
+            plan.items = [(_remap(e, local), asc)
+                          for e, asc in plan.items]
+        elif isinstance(plan, op.Limit):
+            plan.count = _remap(plan.count, local)
+        elif isinstance(plan, op.ConstRel):
+            plan.rows = [[_remap(e, local) for e in row]
+                         for row in plan.rows]
+    for child in plan.children():
+        _remap_plan(child, colmap)
+    return plan
+
+
+def generate_sql(plan: op.Operator) -> str:
+    """Print a plan as a single SQL query whose output columns are the
+    plan's attributes (short names, in order)."""
+    generator = _Generator()
+    body, colmap = generator.gen(plan)
+    outer_alias = generator.fresh("t")
+    pieces = []
+    seen: Dict[str, int] = {}
+    for attr in plan.attrs:
+        short = attr.rsplit(".", 1)[-1]
+        if short in seen:
+            seen[short] += 1
+            short = f"{short}_{seen[short]}"
+        else:
+            seen[short] = 0
+        pieces.append(f"{colmap[attr]} AS {short}")
+    return f"SELECT {', '.join(pieces)} FROM ({body}) AS {outer_alias}"
+
+
+# ---------------------------------------------------------------------------
+# Plan explanation (debugging / middleware artifacts)
+# ---------------------------------------------------------------------------
+
+def explain(plan: op.Operator, indent: int = 0) -> str:
+    """Human-readable operator tree."""
+    pad = "  " * indent
+    if isinstance(plan, op.TableScan):
+        extra = f" AS OF {format_expr(plan.as_of)}" if plan.as_of else ""
+        ann = f" +{','.join(plan.annotations)}" if plan.annotations else ""
+        line = f"{pad}TableScan({plan.table} as {plan.binding}{extra}{ann})"
+        return line
+    if isinstance(plan, op.ConstRel):
+        return f"{pad}ConstRel({len(plan.rows)} rows: {plan.names})"
+    if isinstance(plan, op.Selection):
+        head = f"{pad}Selection({format_expr(plan.condition)})"
+    elif isinstance(plan, op.Projection):
+        items = ", ".join(f"{format_expr(e)} AS {n}"
+                          for e, n in zip(plan.exprs, plan.names))
+        if len(items) > 120:
+            items = items[:117] + "..."
+        head = f"{pad}Projection({items})"
+    elif isinstance(plan, op.Join):
+        cond = format_expr(plan.condition) if plan.condition else "TRUE"
+        head = f"{pad}Join[{plan.kind}]({cond})"
+    elif isinstance(plan, op.Aggregation):
+        groups = ", ".join(format_expr(g) for g in plan.group_exprs)
+        aggs = ", ".join(
+            f"{a.func}({format_expr(a.expr) if a.expr else '*'})"
+            for a in plan.aggregates)
+        head = f"{pad}Aggregation(groups=[{groups}], aggs=[{aggs}])"
+    elif isinstance(plan, op.Distinct):
+        head = f"{pad}Distinct"
+    elif isinstance(plan, op.SetOp):
+        head = f"{pad}SetOp[{plan.kind}{' all' if plan.all else ''}]"
+    elif isinstance(plan, op.OrderBy):
+        head = f"{pad}OrderBy"
+    elif isinstance(plan, op.Limit):
+        head = f"{pad}Limit({format_expr(plan.count)})"
+    elif isinstance(plan, op.AnnotateRowId):
+        head = f"{pad}AnnotateRowId({plan.name}, seed={plan.seed})"
+    else:
+        head = f"{pad}{type(plan).__name__}"
+    lines = [head]
+    for child in plan.children():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""The GProM middleware pipeline (§4, Fig. 5).
+
+The user submits SQL that may contain provenance requests.  The pipeline
+is exactly the paper's:
+
+    SQL → parser/analyzer → relational algebra → provenance rewriter
+        (+ reenactor for transactions) → optimizer → SQL code generator
+        → backend execution
+
+Our backend is :mod:`repro.db`; generated SQL is re-parsed and executed
+by the engine so the full round trip is exercised.  Plans that contain
+synthetic row-id annotation over dynamic inputs (reenacted
+``INSERT ... SELECT``) are not printable as SQL (see
+:mod:`repro.algebra.sqlgen`) and are evaluated directly — the trace
+records which path was taken.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.algebra import operators as op
+from repro.algebra.evaluator import Evaluator, Relation
+from repro.algebra.sqlgen import explain, generate_sql
+from repro.algebra.translator import Translator
+from repro.core.optimizer import OptimizerConfig, ProvenanceOptimizer
+from repro.core.provenance.rewriter import ProvenanceRewriter
+from repro.core.reenactor import ReenactmentOptions, Reenactor
+from repro.db.engine import Database
+from repro.errors import ReenactmentError, ReproError
+from repro.sql import ast
+from repro.sql.bind import bind_statement
+from repro.sql.parser import parse
+
+
+@dataclass
+class PipelineTrace:
+    """Artifacts of one trip through the pipeline (Fig. 5 stages)."""
+
+    sql_in: str = ""
+    statement: Optional[ast.Statement] = None
+    plan: Optional[op.Operator] = None
+    rewritten: Optional[op.Operator] = None
+    optimized: Optional[op.Operator] = None
+    sql_out: Optional[str] = None
+    executed_via: str = ""  # 'sql' | 'direct'
+    relation: Optional[Relation] = None
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def explain(self) -> str:
+        parts = [f"-- input:\n{self.sql_in}"]
+        if self.plan is not None:
+            parts.append(f"-- algebra:\n{explain(self.plan)}")
+        if self.rewritten is not None:
+            parts.append(f"-- rewritten:\n{explain(self.rewritten)}")
+        if self.optimized is not None:
+            parts.append(f"-- optimized:\n{explain(self.optimized)}")
+        if self.sql_out is not None:
+            parts.append(f"-- generated SQL:\n{self.sql_out}")
+        parts.append(f"-- executed via: {self.executed_via}")
+        return "\n\n".join(parts)
+
+
+class GProM:
+    """Database-independent provenance middleware facade."""
+
+    def __init__(self, db: Database, optimize: bool = True,
+                 optimizer_config: Optional[OptimizerConfig] = None):
+        self.db = db
+        self.optimize = optimize
+        self.optimizer_config = optimizer_config
+        self.translator = Translator(db.catalog)
+        self.reenactor = Reenactor(db)
+
+    # -- public API --------------------------------------------------------
+
+    def process(self, sql: str,
+                params: Optional[Dict[str, Any]] = None) -> Relation:
+        """Process one (possibly extended) SQL statement."""
+        statements = parse(sql)
+        if len(statements) != 1:
+            raise ReproError("GProM.process expects a single statement")
+        return self.process_statement(statements[0], params=params)
+
+    def process_statement(self, statement: ast.Statement,
+                          params: Optional[Dict[str, Any]] = None
+                          ) -> Relation:
+        return self.trace_statement(statement, params=params).relation
+
+    def trace(self, sql: str,
+              params: Optional[Dict[str, Any]] = None) -> PipelineTrace:
+        statements = parse(sql)
+        if len(statements) != 1:
+            raise ReproError("GProM.trace expects a single statement")
+        trace = self.trace_statement(statements[0], params=params)
+        trace.sql_in = sql
+        return trace
+
+    # -- pipeline ------------------------------------------------------------
+
+    def trace_statement(self, statement: ast.Statement,
+                        params: Optional[Dict[str, Any]] = None
+                        ) -> PipelineTrace:
+        params = params or {}
+        trace = PipelineTrace(statement=statement, sql_in=str(statement))
+
+        started = time.perf_counter()
+        if isinstance(statement, ast.ProvenanceOfQuery):
+            if params:
+                statement = bind_statement(statement, params)
+            plan = self.translator.translate_query(statement.query)
+            trace.plan = plan
+            trace.timings["translate"] = time.perf_counter() - started
+
+            started = time.perf_counter()
+            rewritten = ProvenanceRewriter().rewrite(plan).plan
+            trace.rewritten = rewritten
+            trace.timings["rewrite"] = time.perf_counter() - started
+        elif isinstance(statement, (ast.ProvenanceOfTransaction,
+                                    ast.ReenactTransaction)):
+            rewritten = self._reenactment_plan(statement)
+            trace.rewritten = rewritten
+            trace.timings["rewrite"] = time.perf_counter() - started
+        elif isinstance(statement, (ast.Select, ast.SetOpQuery)):
+            if params:
+                statement = bind_statement(statement, params)
+            rewritten = self.translator.translate_query(statement)
+            trace.plan = rewritten
+            trace.timings["translate"] = time.perf_counter() - started
+        else:
+            raise ReproError(
+                f"GProM processes queries and provenance requests; got "
+                f"{type(statement).__name__}")
+
+        started = time.perf_counter()
+        if self.optimize:
+            optimizer = ProvenanceOptimizer(self.optimizer_config)
+            optimized = optimizer.optimize(rewritten)
+        else:
+            optimized = rewritten
+        trace.optimized = optimized
+        trace.timings["optimize"] = time.perf_counter() - started
+
+        # code generation + backend execution (round trip), with direct
+        # evaluation as the documented fallback
+        started = time.perf_counter()
+        try:
+            sql_out = generate_sql(optimized)
+            trace.sql_out = sql_out
+            trace.timings["sqlgen"] = time.perf_counter() - started
+
+            started = time.perf_counter()
+            result = self.db.connect(user="gprom").execute(sql_out)
+            trace.relation = result.relation
+            trace.executed_via = "sql"
+        except ReenactmentError:
+            trace.timings["sqlgen"] = time.perf_counter() - started
+            started = time.perf_counter()
+            ctx = self.db.context(params={})
+            trace.relation = Evaluator(ctx).evaluate(optimized)
+            trace.executed_via = "direct"
+        trace.timings["execute"] = time.perf_counter() - started
+        return trace
+
+    # -- reenactment requests ----------------------------------------------------
+
+    def _reenactment_plan(self, statement) -> op.Operator:
+        with_provenance = isinstance(statement, ast.ProvenanceOfTransaction) \
+            or statement.with_provenance
+        options = ReenactmentOptions(
+            upto=statement.upto, table=statement.table,
+            annotations=with_provenance,
+            with_provenance=with_provenance,
+            optimize=False)  # the pipeline optimizes uniformly below
+        record = self.reenactor.transaction_record(statement.xid)
+        plans = self.reenactor.build_plans(record, options)
+        if statement.table is not None:
+            return plans[statement.table]
+        if len(plans) == 1:
+            return next(iter(plans.values()))
+        raise ReenactmentError(
+            f"transaction {statement.xid} updated tables "
+            f"{sorted(plans)}; add ON TABLE <name> to choose one")

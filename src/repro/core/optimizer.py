@@ -1,0 +1,406 @@
+"""Provenance-aware plan optimization (reference [5] of the paper).
+
+Reenactment produces characteristically-shaped plans: deep stacks of
+CASE projections (one per statement), selections for tombstone and
+affected-row filtering, and annotation columns that are often not needed
+downstream.  The paper credits "provenance-specific optimizations" for
+reenacting transactions over millions of rows "within seconds" (§4).
+This module implements the rules that matter for those shapes:
+
+* **projection merging** (CASE composition) — collapses a k-statement
+  reenactment chain into a bounded number of projection passes.  A size
+  guard stops merging when substitution would blow the expression up
+  (updated columns appear twice per CASE level, so unbounded merging is
+  exponential);
+* **selection pushdown** through projections, and **selection fusion**;
+* **identity-projection removal**;
+* **dead-column pruning** — drops annotation and data columns that no
+  ancestor needs, narrowing table scans (this is what makes
+  ``annotations=False`` reenactment cheap);
+* **constant folding** of the boolean/CASE skeletons substitution
+  leaves behind.
+
+Every rule can be disabled individually — the ablation benchmark (E6)
+measures each rule's contribution.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.algebra import operators as op
+from repro.algebra.expressions import (BinaryOp, Case, Column, Expr,
+                                       IsNull, Literal, SubqueryExpr,
+                                       UnaryOp, columns_used, substitute,
+                                       transform, walk)
+
+
+@dataclass
+class OptimizerConfig:
+    merge_projections: bool = True
+    push_selections: bool = True
+    combine_selections: bool = True
+    remove_identity: bool = True
+    prune_columns: bool = True
+    fold_constants: bool = True
+    #: stop merging two projections when the merged expression tree
+    #: would exceed this many nodes (guards against the exponential
+    #: blow-up of composing CASE updates on the same column).
+    merge_size_limit: int = 4000
+    #: fixpoint iteration bound.
+    max_passes: int = 10
+
+    @classmethod
+    def disabled(cls) -> "OptimizerConfig":
+        return cls(merge_projections=False, push_selections=False,
+                   combine_selections=False, remove_identity=False,
+                   prune_columns=False, fold_constants=False)
+
+
+def expr_size(expr: Expr) -> int:
+    return sum(1 for _ in walk(expr))
+
+
+def _column_ref_counts(exprs) -> Dict[str, int]:
+    """How many times each resolved column key is referenced (with
+    multiplicity — substitution duplicates the mapped expression once
+    per reference)."""
+    counts: Dict[str, int] = {}
+    for expr in exprs:
+        for node in walk(expr):
+            if isinstance(node, Column):
+                key = node.key or node.display
+                counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _estimate_merged_size(outer_exprs, mapping: Dict[str, Expr]) -> int:
+    """Size of ``substitute(outer, mapping)`` without performing the
+    substitution: outer size plus (refs × (inner size − 1)) per mapped
+    column.  Exact for tree-shaped expressions, which is what we have."""
+    inner_sizes = {name: expr_size(e) for name, e in mapping.items()}
+    counts = _column_ref_counts(outer_exprs)
+    total = sum(expr_size(e) for e in outer_exprs)
+    for name, count in counts.items():
+        if name in inner_sizes:
+            total += count * (inner_sizes[name] - 1)
+    return total
+
+
+def expr_required_columns(expr: Expr) -> List[str]:
+    """Columns an expression needs from its input, including the free
+    (correlated) columns of any subquery plans it contains."""
+    out = list(columns_used(expr))
+    for node in walk(expr):
+        if isinstance(node, SubqueryExpr) and node.plan is not None:
+            from repro.algebra.translator import plan_free_columns
+            for key in plan_free_columns(node.plan):
+                if key not in out:
+                    out.append(key)
+    return out
+
+
+def _contains_subquery(expr: Expr) -> bool:
+    return any(isinstance(n, SubqueryExpr) for n in walk(expr))
+
+
+class ProvenanceOptimizer:
+    """Rule-driven plan rewriter."""
+
+    def __init__(self, config: Optional[OptimizerConfig] = None):
+        self.config = config or OptimizerConfig()
+        self.rule_applications: Dict[str, int] = {}
+
+    def optimize(self, plan: op.Operator) -> op.Operator:
+        cfg = self.config
+        for _ in range(cfg.max_passes):
+            before = self.rule_applications.copy()
+            if cfg.fold_constants:
+                plan = self._fold_pass(plan)
+            if cfg.combine_selections:
+                plan = op.transform_plan(plan, self._combine_selections)
+            if cfg.push_selections:
+                plan = op.transform_plan(plan, self._push_selection)
+            if cfg.merge_projections:
+                plan = op.transform_plan(plan, self._merge_projections)
+            if cfg.remove_identity:
+                plan = op.transform_plan(plan, self._remove_identity)
+            if self.rule_applications == before:
+                break
+        if cfg.prune_columns:
+            plan = self._prune(plan, required=None)
+        return plan
+
+    def _hit(self, rule: str) -> None:
+        self.rule_applications[rule] = \
+            self.rule_applications.get(rule, 0) + 1
+
+    # -- rules ------------------------------------------------------------
+
+    def _combine_selections(self, node: op.Operator) -> op.Operator:
+        if isinstance(node, op.Selection) \
+                and isinstance(node.child, op.Selection):
+            inner = node.child
+            self._hit("combine_selections")
+            return op.Selection(
+                inner.child,
+                BinaryOp("AND", inner.condition, node.condition))
+        return node
+
+    def _push_selection(self, node: op.Operator) -> op.Operator:
+        if not (isinstance(node, op.Selection)
+                and isinstance(node.child, op.Projection)):
+            return node
+        if getattr(node, "_push_rejected", False):
+            return node
+        projection = node.child
+        mapping = dict(zip(projection.names, projection.exprs))
+        if any(_contains_subquery(e) for e in mapping.values()):
+            return node
+        # estimate first — substitution on a doomed push is the cost
+        if _estimate_merged_size([node.condition], mapping) \
+                > self.config.merge_size_limit:
+            node._push_rejected = True
+            return node
+        pushed = substitute(node.condition, mapping)
+        self._hit("push_selection")
+        return op.Projection(
+            op.Selection(projection.child, pushed),
+            projection.exprs, projection.names)
+
+    def _merge_projections(self, node: op.Operator) -> op.Operator:
+        if not (isinstance(node, op.Projection)
+                and isinstance(node.child, op.Projection)):
+            return node
+        if getattr(node, "_merge_rejected", False):
+            return node
+        inner = node.child
+        mapping = dict(zip(inner.names, inner.exprs))
+        if any(_contains_subquery(e) for e in inner.exprs):
+            # substitution may duplicate subqueries; only merge if each
+            # inner output is referenced at most once overall
+            refs = _column_ref_counts(node.exprs)
+            for name, expr in mapping.items():
+                if _contains_subquery(expr) and refs.get(name, 0) > 1:
+                    return node
+        if _estimate_merged_size(node.exprs, mapping) \
+                > self.config.merge_size_limit:
+            node._merge_rejected = True
+            return node
+        merged = [substitute(e, mapping) for e in node.exprs]
+        self._hit("merge_projections")
+        return op.Projection(inner.child, merged, list(node.names))
+
+    def _remove_identity(self, node: op.Operator) -> op.Operator:
+        if isinstance(node, op.Projection) \
+                and node.names == node.child.attrs \
+                and all(isinstance(e, Column) and e.key == name
+                        for e, name in zip(node.exprs, node.names)):
+            self._hit("remove_identity")
+            return node.child
+        return node
+
+    # -- constant folding -----------------------------------------------------
+
+    def _fold_pass(self, plan: op.Operator) -> op.Operator:
+        def visit(node: op.Operator) -> op.Operator:
+            if isinstance(node, op.Selection):
+                folded = self._fold(node.condition)
+                if folded is not node.condition:
+                    node.condition = folded
+                if isinstance(folded, Literal) and folded.value is True:
+                    self._hit("fold_constants")
+                    return node.child
+            elif isinstance(node, op.Projection):
+                node.exprs = [self._fold(e) for e in node.exprs]
+            elif isinstance(node, op.Join) and node.condition is not None:
+                node.condition = self._fold(node.condition)
+            return node
+
+        return op.transform_plan(plan, visit)
+
+    def _fold(self, expr: Expr) -> Expr:
+        folded = transform(expr, self._fold_node)
+        if folded != expr:
+            self._hit("fold_constants")
+        return folded
+
+    @staticmethod
+    def _fold_node(node: Expr) -> Expr:
+        if isinstance(node, UnaryOp) and node.op == "NOT" \
+                and isinstance(node.operand, Literal) \
+                and isinstance(node.operand.value, bool):
+            return Literal(not node.operand.value)
+        if isinstance(node, BinaryOp) and node.op in ("AND", "OR"):
+            left, right = node.left, node.right
+            lval = left.value if isinstance(left, Literal) else ...
+            rval = right.value if isinstance(right, Literal) else ...
+            if node.op == "AND":
+                if lval is True:
+                    return right
+                if rval is True:
+                    return left
+                if lval is False or rval is False:
+                    return Literal(False)
+            else:
+                if lval is False:
+                    return right
+                if rval is False:
+                    return left
+                if lval is True or rval is True:
+                    return Literal(True)
+        if isinstance(node, Case):
+            whens = []
+            for cond, result in node.whens:
+                if isinstance(cond, Literal):
+                    if cond.value is True and not whens:
+                        return result
+                    if cond.value is True:
+                        whens.append((cond, result))
+                        break
+                    continue  # False/NULL branch never taken
+                whens.append((cond, result))
+            if not whens:
+                return node.default if node.default is not None \
+                    else Literal(None)
+            if len(whens) != len(node.whens):
+                return Case(tuple(whens), node.default)
+        if isinstance(node, IsNull) and isinstance(node.operand, Literal):
+            value = node.operand.value is None
+            return Literal((not value) if node.negated else value)
+        return node
+
+    # -- column pruning -----------------------------------------------------------
+
+    def _prune(self, plan: op.Operator,
+               required: Optional[Set[str]]) -> op.Operator:
+        """Top-down dead-column elimination.  ``required=None`` means
+        every output attribute is needed (the root)."""
+        if isinstance(plan, op.Projection):
+            if required is not None:
+                keep = [(e, n) for e, n in zip(plan.exprs, plan.names)
+                        if n in required]
+                if not keep:
+                    keep = [(plan.exprs[0], plan.names[0])]
+                if len(keep) != len(plan.exprs):
+                    self._hit("prune_columns")
+                plan.exprs = [e for e, _ in keep]
+                plan.names = [n for _, n in keep]
+            child_required: Set[str] = set()
+            for expr in plan.exprs:
+                child_required.update(expr_required_columns(expr))
+            plan.child = self._prune(plan.child, child_required)
+            return plan
+        if isinstance(plan, op.Selection):
+            child_required = set(required) if required is not None \
+                else set(plan.child.attrs)
+            child_required.update(expr_required_columns(plan.condition))
+            plan.child = self._prune(plan.child, child_required)
+            return plan
+        if isinstance(plan, op.Join):
+            needed = set(required) if required is not None \
+                else set(plan.attrs)
+            if plan.condition is not None:
+                needed.update(expr_required_columns(plan.condition))
+            left_attrs = set(plan.left.attrs)
+            right_attrs = set(plan.right.attrs)
+            left_req = needed & left_attrs
+            right_req = needed & right_attrs
+            if plan.kind in ("semi", "anti"):
+                # right side exists only for the condition
+                right_req = set(expr_required_columns(plan.condition)) \
+                    & right_attrs if plan.condition is not None else set()
+            plan.left = self._prune(plan.left, left_req or None)
+            plan.right = self._prune(plan.right, right_req or None)
+            return plan
+        if isinstance(plan, op.Aggregation):
+            if required is not None:
+                keep = [a for a in plan.aggregates if a.name in required]
+                if len(keep) != len(plan.aggregates):
+                    self._hit("prune_columns")
+                    plan.aggregates = keep
+            child_required = set()
+            for g in plan.group_exprs:
+                child_required.update(expr_required_columns(g))
+            for a in plan.aggregates:
+                if a.expr is not None:
+                    child_required.update(expr_required_columns(a.expr))
+            plan.child = self._prune(plan.child, child_required or None)
+            return plan
+        if isinstance(plan, op.SetOp):
+            if plan.kind == "union" and plan.all and required is not None:
+                positions = [i for i, a in enumerate(plan.left.attrs)
+                             if a in required]
+                if positions and len(positions) < len(plan.left.attrs):
+                    self._hit("prune_columns")
+                    plan.left = _narrow(plan.left, positions)
+                    plan.right = _narrow(plan.right, positions)
+            # distinct-sensitive set ops need every column
+            plan.left = self._prune(plan.left, None)
+            plan.right = self._prune(plan.right, None)
+            return plan
+        if isinstance(plan, op.Distinct):
+            plan.child = self._prune(plan.child, None)
+            return plan
+        if isinstance(plan, (op.OrderBy,)):
+            child_required = set(required) if required is not None \
+                else set(plan.child.attrs)
+            for expr, _asc in plan.items:
+                child_required.update(expr_required_columns(expr))
+            plan.child = self._prune(plan.child, child_required)
+            return plan
+        if isinstance(plan, op.Limit):
+            plan.child = self._prune(plan.child, required)
+            return plan
+        if isinstance(plan, op.AnnotateRowId):
+            if required is not None and plan.name not in required:
+                self._hit("prune_columns")
+                return self._prune(plan.child, required)
+            child_required = (set(required) - {plan.name}) \
+                if required is not None else None
+            plan.child = self._prune(plan.child, child_required)
+            return plan
+        if isinstance(plan, op.TableScan):
+            if required is None:
+                return plan
+            keep_columns = [c for c in plan.columns
+                            if f"{plan.binding}.{c}" in required]
+            if not keep_columns:
+                keep_columns = plan.columns[:1]
+            keep_annotations = tuple(
+                flag for flag, suffix in
+                ((op.ANNOT_ROWID, op.ROWID_SUFFIX),
+                 (op.ANNOT_XID, op.XID_SUFFIX))
+                if flag in plan.annotations
+                and f"{plan.binding}.{suffix}" in required)
+            if len(keep_columns) != len(plan.columns) \
+                    or keep_annotations != plan.annotations:
+                self._hit("prune_columns")
+                plan.columns = keep_columns
+                plan.annotations = keep_annotations
+            return plan
+        if isinstance(plan, op.ConstRel):
+            if required is not None:
+                positions = [i for i, n in enumerate(plan.names)
+                             if n in required]
+                if positions and len(positions) < len(plan.names):
+                    self._hit("prune_columns")
+                    plan.names = [plan.names[i] for i in positions]
+                    plan.rows = [[row[i] for i in positions]
+                                 for row in plan.rows]
+            return plan
+        # unknown operator: be conservative
+        for child in plan.children():
+            self._prune(child, None)
+        return plan
+
+
+def _narrow(plan: op.Operator, positions: List[int]) -> op.Operator:
+    """Positional projection used when pruning through UNION ALL."""
+    attrs = plan.attrs
+    exprs = [Column(name=attrs[i].rsplit(".", 1)[-1], key=attrs[i])
+             for i in positions]
+    names = [attrs[i] for i in positions]
+    return op.Projection(plan, exprs, names)

@@ -1,0 +1,649 @@
+"""Transaction reenactment (§3 of the paper; construction from [1]).
+
+The reenactor turns a past transaction — as recorded in the audit log —
+into relational algebra over *time-traveled* table snapshots, such that
+evaluating the algebra reproduces exactly the tables the original
+execution produced, including every interaction with concurrent
+transactions.  It consumes only the audit log and the time-travel API,
+never engine internals (the paper's non-invasiveness claim, challenge
+C1/C2).
+
+Statement translation (Example 3):
+
+* ``UPDATE R SET c = e WHERE θ``  →  projection with per-attribute
+  ``CASE WHEN θ THEN e ELSE c END``;
+* ``DELETE FROM R WHERE θ``       →  tombstone flag ``__del__`` set via
+  CASE (kept, not filtered, so READ COMMITTED merging knows which rows
+  the transaction wrote);
+* ``INSERT INTO R VALUES ...``    →  union with a constant relation;
+* ``INSERT INTO R (SELECT q)``    →  union with ``q`` rewritten so every
+  table access reads the reenactment's view of that table.
+
+Annotation columns threaded through every step:
+
+* ``__rowid__`` — row identity (physical rowid; synthetic negative ids
+  for reenacted inserts);
+* ``__xid__``   — transaction that created the visible version;
+* ``__upd__``   — whether the reenacted transaction wrote the row;
+* ``__del__``   — whether the reenacted transaction deleted the row.
+
+Isolation levels (§3 footnote 2):
+
+* SERIALIZABLE (snapshot isolation): every statement chains over the
+  ``AS OF begin(T)`` snapshot;
+* READ COMMITTED: before each statement, the chain for the target table
+  is re-based: the transaction's own rows (``__upd__``) are merged with
+  the committed ``AS OF statement-time`` snapshot of all rows it has not
+  written (rowid anti-join).  This is sound because write locks prevent
+  concurrent commits to rows the transaction wrote (see
+  :mod:`repro.db.mvcc`).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra import operators as op
+from repro.algebra.evaluator import Evaluator, Relation
+from repro.algebra.expressions import (BinaryOp, Case, Column, Expr,
+                                       Literal, SubqueryExpr, UnaryOp,
+                                       transform, walk)
+from repro.algebra.translator import Scope, Translator
+from repro.db.auditlog import TransactionRecord
+from repro.db.engine import Database
+from repro.db.transaction import IsolationLevel
+from repro.errors import ReenactmentError
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+ROWID = "__rowid__"
+XID = "__xid__"
+UPD = "__upd__"
+DEL = "__del__"
+ANNOTATION_NAMES = (ROWID, XID, UPD, DEL)
+
+
+@dataclass
+class ReenactmentOptions:
+    """Knobs for one reenactment request."""
+
+    #: reenact only the first ``upto`` statements (prefix reenactment,
+    #: §3); ``None`` reenacts the whole transaction.
+    upto: Optional[int] = None
+    #: restrict the result to one table.
+    table: Optional[str] = None
+    #: keep annotation columns (__rowid__/__xid__/__upd__/__del__).
+    annotations: bool = False
+    #: filter to rows the transaction wrote (debug-panel default, Fig. 4).
+    only_affected: bool = False
+    #: add ``prov_<table>_<attr>`` columns holding each row's
+    #: pre-transaction version (PROVENANCE OF TRANSACTION).
+    with_provenance: bool = False
+    #: keep rows the transaction deleted (tombstones) in the output —
+    #: the debugger shows them with their deleting statement; requires
+    #: ``annotations=True`` so ``__del__`` is visible.
+    include_deleted: bool = False
+    #: run the provenance-aware optimizer over the plans ([5], E6).
+    optimize: bool = True
+
+
+@dataclass
+class ParsedStatement:
+    """One audit-log DML statement, parsed and timestamped."""
+
+    index: int
+    ts: int
+    stmt: ast.Statement
+
+    @property
+    def target(self) -> str:
+        return self.stmt.table
+
+
+@dataclass
+class ReenactmentResult:
+    """Plans and (optionally) evaluated relations per updated table."""
+
+    xid: int
+    plans: Dict[str, op.Operator]
+    tables: Dict[str, Relation] = field(default_factory=dict)
+
+    def table(self, name: str) -> Relation:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise ReenactmentError(
+                f"table {name!r} was not touched by transaction "
+                f"{self.xid}") from None
+
+
+class Reenactor:
+    """Builds and evaluates reenactment queries for past transactions."""
+
+    def __init__(self, db: Database, audit_log=None,
+                 snapshot_provider=None):
+        """``audit_log`` and ``snapshot_provider`` default to the
+        engine's native audit log and time travel; pass the adapters of
+        :class:`repro.core.trigger_history.TriggerHistory` to reenact on
+        a database without native support (§3 footnote 3)."""
+        self.db = db
+        self.audit_log = audit_log if audit_log is not None \
+            else db.audit_log
+        self.snapshot_provider = snapshot_provider
+        self._translator = Translator(db.catalog)
+
+    # -- audit-log access ---------------------------------------------------
+
+    def transaction_record(self, xid: int) -> TransactionRecord:
+        return self.audit_log.transaction_record(xid)
+
+    def parsed_statements(self, record: TransactionRecord
+                          ) -> List[ParsedStatement]:
+        out = []
+        for stmt in record.statements:
+            parsed = parse_statement(stmt.sql)
+            if not isinstance(parsed, (ast.Insert, ast.Update, ast.Delete)):
+                raise ReenactmentError(
+                    f"statement {stmt.index} of transaction "
+                    f"{record.xid} is not reenactable DML: {stmt.sql!r}")
+            out.append(ParsedStatement(index=stmt.index, ts=stmt.ts,
+                                       stmt=parsed))
+        return out
+
+    # -- public API -------------------------------------------------------------
+
+    def reenact(self, xid: int,
+                options: Optional[ReenactmentOptions] = None
+                ) -> ReenactmentResult:
+        """Reenact transaction ``xid`` and evaluate the resulting plans
+        over time-traveled snapshots."""
+        options = options or ReenactmentOptions()
+        record = self.transaction_record(xid)
+        return self.reenact_record(record, options)
+
+    def reenact_record(self, record: TransactionRecord,
+                       options: Optional[ReenactmentOptions] = None,
+                       statements: Optional[List[ParsedStatement]] = None,
+                       overrides: Optional[Dict[str, Relation]] = None
+                       ) -> ReenactmentResult:
+        """Reenact from an explicit record/statement list — the hook the
+        what-if engine uses to replay *modified* transactions (§2)."""
+        options = options or ReenactmentOptions()
+        plans = self.build_plans(record, options, statements=statements)
+        result = ReenactmentResult(xid=record.xid, plans=plans)
+        ctx = self.db.context(params={}, overrides=overrides,
+                      snapshot_provider=self.snapshot_provider)
+        for table, plan in plans.items():
+            result.tables[table] = Evaluator(ctx).evaluate(plan)
+        return result
+
+    def reenactment_sql(self, xid: int, table: Optional[str] = None,
+                        options: Optional[ReenactmentOptions] = None
+                        ) -> str:
+        """The reenactment query as SQL text (Example 3)."""
+        from repro.algebra.sqlgen import generate_sql
+        options = options or ReenactmentOptions()
+        if table is not None:
+            options.table = table
+        plans = self.build_plans(self.transaction_record(xid), options)
+        if table is None:
+            if len(plans) != 1:
+                raise ReenactmentError(
+                    f"transaction {xid} updates {sorted(plans)}; pass "
+                    f"table= to choose one")
+            table = next(iter(plans))
+        if table not in plans:
+            raise ReenactmentError(
+                f"transaction {xid} does not update table {table!r}")
+        return generate_sql(plans[table])
+
+    # -- plan construction --------------------------------------------------------
+
+    def build_plans(self, record: TransactionRecord,
+                    options: ReenactmentOptions,
+                    statements: Optional[List[ParsedStatement]] = None
+                    ) -> Dict[str, op.Operator]:
+        if statements is None:
+            statements = self.parsed_statements(record)
+        chains = self.build_chains(record, statements, upto=options.upto)
+
+        # Interesting tables for options.table even when never written:
+        if options.table is not None and options.table not in chains:
+            chains = {options.table: self._base_plan(options.table,
+                                                     record.begin_ts)}
+
+        out: Dict[str, op.Operator] = {}
+        for table, chain in chains.items():
+            if options.table is not None and table != options.table:
+                continue
+            out[table] = self._finalize(table, chain, record, options)
+        return out
+
+    def build_chains(self, record: TransactionRecord,
+                     statements: List[ParsedStatement],
+                     upto: Optional[int] = None
+                     ) -> Dict[str, op.Operator]:
+        """The raw reenactment chains (annotated, tombstones included)
+        after applying the first ``upto`` statements."""
+        if upto is not None:
+            if upto < 0 or upto > len(statements):
+                raise ReenactmentError(
+                    f"prefix length {upto} out of range (transaction "
+                    f"has {len(statements)} statements)")
+            statements = statements[:upto]
+        isolation = record.isolation
+        chains: Dict[str, op.Operator] = {}
+        for parsed in statements:
+            target = parsed.target
+            if not self.db.catalog.has(target):
+                raise ReenactmentError(
+                    f"table {target!r} no longer exists; cannot reenact")
+            if isolation is IsolationLevel.READ_COMMITTED:
+                chains[target] = self._rc_input(chains, target, parsed.ts)
+            elif target not in chains:
+                chains[target] = self._base_plan(target, record.begin_ts)
+            chains[target] = self._apply_statement(
+                chains, chains[target], parsed, record, isolation)
+        return chains
+
+    def insert_sources(self, record: TransactionRecord,
+                       statements: List[ParsedStatement], k: int
+                       ) -> List[Tuple[int, List[Tuple[str, int]]]]:
+        """For an ``INSERT ... SELECT`` at statement index ``k``, map
+        each inserted row to the base rows its values came from.
+
+        Returns ``[(synthetic_rowid, [(table, source_rowid), ...]), ...]``
+        in insertion order.  Used by the provenance-graph builder to draw
+        derivation edges from insert sources (Fig. 4's graphs).
+        """
+        from repro.core.provenance.rewriter import ProvenanceRewriter
+        parsed = statements[k]
+        if not isinstance(parsed.stmt, ast.Insert) \
+                or isinstance(parsed.stmt.source, ast.ValuesClause):
+            raise ReenactmentError(
+                f"statement {k} is not an INSERT ... SELECT")
+        chains = self.build_chains(record, statements, upto=k)
+        ctx = self.db.context(params={},
+                      snapshot_provider=self.snapshot_provider)
+
+        # the plain query fixes the insertion order (AnnotateRowId order)
+        plain = self._translator.translate_query(parsed.stmt.source)
+        plain_redirected = self._redirect_plan(
+            copy.deepcopy(plain), chains, parsed, record,
+            record.isolation)
+        plain_rows = Evaluator(ctx).evaluate(plain_redirected).rows
+
+        rewrite = ProvenanceRewriter().rewrite(plain)
+        redirected = self._redirect_plan(rewrite.plan, chains, parsed,
+                                         record, record.isolation)
+        relation = Evaluator(ctx).evaluate(redirected)
+        rowid_attrs = [a for a in rewrite.prov_attrs
+                       if a.column == "rowid"]
+        rowid_positions = [(a.table, relation.attrs.index(a.name))
+                           for a in rowid_attrs]
+        n_data = len(plain.attrs)
+
+        # provenance output has one row per *contributing* input row;
+        # match each back to the inserted tuple it explains by value
+        unused: Dict[tuple, List[int]] = {}
+        for index, row in enumerate(plain_rows):
+            unused.setdefault(tuple(row), []).append(index)
+        assigned: Dict[tuple, int] = {}
+        sources_by_index: Dict[int, List[Tuple[str, int]]] = {
+            i: [] for i in range(len(plain_rows))}
+        for row in relation.rows:
+            data = tuple(row[:n_data])
+            candidates = unused.get(data)
+            if candidates:
+                # fresh inserted tuple with these values
+                index = candidates.pop(0)
+                assigned[data] = index
+            elif data in assigned:
+                # additional contributing row for an aggregate group
+                index = assigned[data]
+            else:
+                continue  # defensive; should not happen
+            for table, position in rowid_positions:
+                value = row[position]
+                if value is not None:
+                    pair = (table, value)
+                    if pair not in sources_by_index[index]:
+                        sources_by_index[index].append(pair)
+        out: List[Tuple[int, List[Tuple[str, int]]]] = []
+        for index in range(len(plain_rows)):
+            synthetic = -(parsed.index * 1_000_000 + index + 1)
+            out.append((synthetic, sources_by_index[index]))
+        return out
+
+    # .. base snapshots .............................................................
+
+    def _base_plan(self, table: str, ts: int) -> op.Operator:
+        """Annotated committed snapshot of ``table`` at time ``ts``."""
+        schema = self.db.catalog.get(table)
+        scan = op.TableScan(
+            table=table, columns=list(schema.column_names), binding=table,
+            as_of=Literal(ts),
+            annotations=(op.ANNOT_ROWID, op.ANNOT_XID))
+        exprs: List[Expr] = [
+            Column(name=c, key=f"{table}.{c}")
+            for c in schema.column_names
+        ]
+        names = [f"{table}.{c}" for c in schema.column_names]
+        exprs.append(Column(name=ROWID, key=f"{table}.{ROWID}"))
+        names.append(f"{table}.{ROWID}")
+        exprs.append(Column(name=XID, key=f"{table}.{XID}"))
+        names.append(f"{table}.{XID}")
+        exprs.append(Literal(False))
+        names.append(f"{table}.{UPD}")
+        exprs.append(Literal(False))
+        names.append(f"{table}.{DEL}")
+        return op.Projection(scan, exprs, names)
+
+    def _rc_input(self, chains: Dict[str, op.Operator], table: str,
+                  stmt_ts: int) -> op.Operator:
+        """READ COMMITTED statement input: own-written rows merged with
+        the committed statement-time snapshot of untouched rows."""
+        chain = chains.get(table)
+        if chain is None:
+            return self._base_plan(table, stmt_ts)
+        chain = copy.deepcopy(chain)
+        upd_attr = f"{table}.{UPD}"
+        rowid_attr = f"{table}.{ROWID}"
+
+        own = op.Selection(chain, Column(name=UPD, key=upd_attr))
+        written_ids = op.Projection(
+            copy.deepcopy(own),
+            [Column(name=ROWID, key=rowid_attr)], ["__w__"])
+        snapshot = self._base_plan(table, stmt_ts)
+        untouched = op.Join(
+            snapshot, written_ids, kind="anti",
+            condition=BinaryOp("=",
+                               Column(name=ROWID, key=rowid_attr),
+                               Column(name="__w__", key="__w__")))
+        return op.SetOp("union", own, untouched, all=True)
+
+    # .. statement application ..........................................................
+
+    def _apply_statement(self, chains: Dict[str, op.Operator],
+                         chain: op.Operator, parsed: ParsedStatement,
+                         record: TransactionRecord,
+                         isolation: IsolationLevel) -> op.Operator:
+        stmt = parsed.stmt
+        if isinstance(stmt, ast.Update):
+            return self._apply_update(chains, chain, stmt, parsed, record,
+                                      isolation)
+        if isinstance(stmt, ast.Delete):
+            return self._apply_delete(chains, chain, stmt, parsed, record,
+                                      isolation)
+        if isinstance(stmt, ast.Insert):
+            return self._apply_insert(chains, chain, stmt, parsed, record,
+                                      isolation)
+        raise ReenactmentError(f"unsupported statement {stmt!r}")
+
+    def _live_condition(self, table: str, where: Optional[Expr],
+                        chain_attrs: List[str],
+                        chains, parsed, record, isolation
+                        ) -> Expr:
+        """θ AND NOT __del__, resolved against the chain schema, with
+        subquery table accesses redirected to reenactment views."""
+        not_deleted: Expr = UnaryOp(
+            "NOT", Column(name=DEL, key=f"{table}.{DEL}"))
+        if where is None:
+            return not_deleted
+        scope = Scope(chain_attrs)
+        condition = self._translator.resolve_expression(where, scope)
+        condition = self._redirect_subqueries(condition, chains, parsed,
+                                              record, isolation)
+        return BinaryOp("AND", condition, not_deleted)
+
+    def _apply_update(self, chains, chain: op.Operator, stmt: ast.Update,
+                      parsed: ParsedStatement, record, isolation
+                      ) -> op.Operator:
+        table = stmt.table
+        schema = self.db.catalog.get(table)
+        attrs = chain.attrs
+        condition = self._live_condition(table, stmt.where, attrs, chains,
+                                         parsed, record, isolation)
+        scope = Scope(attrs)
+        assigned: Dict[str, Expr] = {}
+        for assignment in stmt.assignments:
+            value = self._translator.resolve_expression(assignment.value,
+                                                        scope)
+            value = self._redirect_subqueries(value, chains, parsed,
+                                              record, isolation)
+            assigned[assignment.column] = value
+
+        exprs: List[Expr] = []
+        names: List[str] = []
+        for column in schema.column_names:
+            key = f"{table}.{column}"
+            old = Column(name=column, key=key)
+            if column in assigned:
+                exprs.append(Case(((condition, assigned[column]),), old))
+            else:
+                exprs.append(old)
+            names.append(key)
+        # annotations: rowid passes through; xid/upd flip when matched
+        exprs.append(Column(name=ROWID, key=f"{table}.{ROWID}"))
+        names.append(f"{table}.{ROWID}")
+        exprs.append(Case(((condition, Literal(record.xid)),),
+                          Column(name=XID, key=f"{table}.{XID}")))
+        names.append(f"{table}.{XID}")
+        exprs.append(Case(((condition, Literal(True)),),
+                          Column(name=UPD, key=f"{table}.{UPD}")))
+        names.append(f"{table}.{UPD}")
+        exprs.append(Column(name=DEL, key=f"{table}.{DEL}"))
+        names.append(f"{table}.{DEL}")
+        return op.Projection(chain, exprs, names)
+
+    def _apply_delete(self, chains, chain: op.Operator, stmt: ast.Delete,
+                      parsed: ParsedStatement, record, isolation
+                      ) -> op.Operator:
+        table = stmt.table
+        schema = self.db.catalog.get(table)
+        condition = self._live_condition(table, stmt.where, chain.attrs,
+                                         chains, parsed, record, isolation)
+        exprs: List[Expr] = []
+        names: List[str] = []
+        for column in schema.column_names:
+            key = f"{table}.{column}"
+            exprs.append(Column(name=column, key=key))
+            names.append(key)
+        exprs.append(Column(name=ROWID, key=f"{table}.{ROWID}"))
+        names.append(f"{table}.{ROWID}")
+        exprs.append(Case(((condition, Literal(record.xid)),),
+                          Column(name=XID, key=f"{table}.{XID}")))
+        names.append(f"{table}.{XID}")
+        exprs.append(Case(((condition, Literal(True)),),
+                          Column(name=UPD, key=f"{table}.{UPD}")))
+        names.append(f"{table}.{UPD}")
+        exprs.append(Case(((condition, Literal(True)),),
+                          Column(name=DEL, key=f"{table}.{DEL}")))
+        names.append(f"{table}.{DEL}")
+        return op.Projection(chain, exprs, names)
+
+    def _apply_insert(self, chains, chain: op.Operator, stmt: ast.Insert,
+                      parsed: ParsedStatement, record, isolation
+                      ) -> op.Operator:
+        table = stmt.table
+        schema = self.db.catalog.get(table)
+        ncols = len(schema.columns)
+        names = chain.attrs
+
+        if isinstance(stmt.source, ast.ValuesClause):
+            rows: List[List[Expr]] = []
+            for i, row in enumerate(stmt.source.rows):
+                values = self._arrange_insert_row(stmt, row, schema)
+                synthetic = -(parsed.index * 1_000_000 + i + 1)
+                values.extend([Literal(synthetic), Literal(record.xid),
+                               Literal(True), Literal(False)])
+                rows.append(values)
+            inserted: op.Operator = op.ConstRel(rows, list(names))
+        else:
+            query_plan = self._translator.translate_query(stmt.source)
+            query_plan = self._redirect_plan(query_plan, chains, parsed,
+                                             record, isolation)
+            if len(query_plan.attrs) != (ncols if stmt.columns is None
+                                         else len(stmt.columns)):
+                raise ReenactmentError(
+                    f"INSERT query arity mismatch for {table!r}")
+            annotated = op.AnnotateRowId(query_plan, name="__new__",
+                                         seed=parsed.index)
+            exprs: List[Expr] = []
+            if stmt.columns is None:
+                for attr in query_plan.attrs:
+                    exprs.append(Column(name=attr, key=attr))
+            else:
+                by_target: Dict[str, str] = dict(
+                    zip(stmt.columns, query_plan.attrs))
+                for column in schema.column_names:
+                    source = by_target.get(column)
+                    exprs.append(Column(name=source, key=source)
+                                 if source is not None else Literal(None))
+            exprs.append(Column(name="__new__", key="__new__"))
+            exprs.append(Literal(record.xid))
+            exprs.append(Literal(True))
+            exprs.append(Literal(False))
+            inserted = op.Projection(annotated, exprs, list(names))
+        return op.SetOp("union", chain, inserted, all=True)
+
+    def _arrange_insert_row(self, stmt: ast.Insert, row: List[Expr],
+                            schema) -> List[Expr]:
+        resolved = [self._translator.resolve_expression(v, Scope([]))
+                    for v in row]
+        if stmt.columns is None:
+            if len(resolved) != len(schema.columns):
+                raise ReenactmentError(
+                    f"INSERT into {stmt.table!r} expects "
+                    f"{len(schema.columns)} values, got {len(resolved)}")
+            return list(resolved)
+        by_target = dict(zip(stmt.columns, resolved))
+        return [by_target.get(c, Literal(None))
+                for c in schema.column_names]
+
+    # .. redirecting reads to reenactment views ...........................................
+
+    def _read_view(self, chains, table: str, parsed: ParsedStatement,
+                   record, isolation: IsolationLevel) -> op.Operator:
+        """What the reenacted statement sees when *reading* ``table``:
+        live (non-deleted) rows of the current chain / snapshot."""
+        if isolation is IsolationLevel.READ_COMMITTED:
+            view = self._rc_input(chains, table, parsed.ts)
+        else:
+            view = chains.get(table)
+            view = copy.deepcopy(view) if view is not None \
+                else self._base_plan(table, record.begin_ts)
+        return op.Selection(
+            view, UnaryOp("NOT", Column(name=DEL, key=f"{table}.{DEL}")))
+
+    def _redirect_plan(self, plan: op.Operator, chains,
+                       parsed: ParsedStatement, record,
+                       isolation: IsolationLevel) -> op.Operator:
+        """Replace every base-table scan in a query plan by the
+        reenactment read view of that table, preserving the scan's
+        binding and attribute keys."""
+
+        def visit(node: op.Operator) -> op.Operator:
+            if not isinstance(node, op.TableScan):
+                self._redirect_in_expressions(node, chains, parsed,
+                                              record, isolation)
+                return node
+            if node.as_of is not None:
+                return node  # explicit time travel stays as written
+            view = self._read_view(chains, node.table, parsed, record,
+                                   isolation)
+            exprs: List[Expr] = []
+            for attr in node.attrs:
+                short = attr.rsplit(".", 1)[-1]
+                exprs.append(Column(name=short,
+                                    key=f"{node.table}.{short}"))
+            return op.Projection(view, exprs, list(node.attrs))
+
+        return op.transform_plan(plan, visit)
+
+    def _redirect_in_expressions(self, node: op.Operator, chains, parsed,
+                                 record, isolation) -> None:
+        from repro.algebra.translator import operator_expressions
+        for expr in operator_expressions(node):
+            for sub in walk(expr):
+                if isinstance(sub, SubqueryExpr) and sub.plan is not None:
+                    sub.plan = self._redirect_plan(sub.plan, chains,
+                                                   parsed, record,
+                                                   isolation)
+
+    def _redirect_subqueries(self, expr: Expr, chains, parsed, record,
+                             isolation) -> Expr:
+        def visit(node: Expr) -> Expr:
+            if isinstance(node, SubqueryExpr) and node.plan is not None:
+                node.plan = self._redirect_plan(node.plan, chains, parsed,
+                                                record, isolation)
+            return node
+
+        return transform(expr, visit)
+
+    # .. finalization ..........................................................................
+
+    def _finalize(self, table: str, chain: op.Operator,
+                  record: TransactionRecord,
+                  options: ReenactmentOptions) -> op.Operator:
+        plan: op.Operator = copy.deepcopy(chain)
+        if options.include_deleted:
+            if not options.annotations:
+                raise ReenactmentError(
+                    "include_deleted requires annotations=True so the "
+                    "__del__ flag remains visible")
+        else:
+            plan = op.Selection(
+                plan, UnaryOp("NOT", Column(name=DEL,
+                                            key=f"{table}.{DEL}")))
+        if options.only_affected:
+            plan = op.Selection(plan,
+                                Column(name=UPD, key=f"{table}.{UPD}"))
+
+        schema = self.db.catalog.get(table)
+        exprs: List[Expr] = []
+        names: List[str] = []
+        for column in schema.column_names:
+            exprs.append(Column(name=column, key=f"{table}.{column}"))
+            names.append(column)
+        if options.annotations:
+            for annotation in ANNOTATION_NAMES:
+                exprs.append(Column(name=annotation,
+                                    key=f"{table}.{annotation}"))
+                names.append(annotation)
+        plan = op.Projection(plan, exprs, names)
+
+        if options.with_provenance:
+            plan = self._attach_provenance(table, plan, record, options)
+        if options.optimize:
+            from repro.core.optimizer import ProvenanceOptimizer
+            plan = ProvenanceOptimizer().optimize(plan)
+        return plan
+
+    def _attach_provenance(self, table: str, plan: op.Operator,
+                           record: TransactionRecord,
+                           options: ReenactmentOptions) -> op.Operator:
+        """Left-join each output row with its pre-transaction version
+        (``prov_<table>_<attr>`` columns, GProM naming)."""
+        if not options.annotations:
+            raise ReenactmentError(
+                "with_provenance requires annotations=True (rows are "
+                "matched on __rowid__)")
+        schema = self.db.catalog.get(table)
+        base = self._base_plan(table, record.begin_ts)
+        prov_names = [f"prov_{table}_{c}" for c in schema.column_names]
+        prov_exprs: List[Expr] = [
+            Column(name=c, key=f"{table}.{c}")
+            for c in schema.column_names
+        ]
+        prov_exprs.append(Column(name=ROWID, key=f"{table}.{ROWID}"))
+        prov_names_full = prov_names + [f"prov_{table}_rowid"]
+        base_projected = op.Projection(base, prov_exprs, prov_names_full)
+        return op.Join(
+            plan, base_projected, kind="left",
+            condition=BinaryOp(
+                "=", Column(name=ROWID, key=ROWID),
+                Column(name=f"prov_{table}_rowid",
+                       key=f"prov_{table}_rowid")))

@@ -1,0 +1,283 @@
+"""What-if scenarios (§2 of the paper).
+
+Two kinds of hypothetical change are supported, exactly as the demo
+describes:
+
+1. **edit the data in a table** — "we create a temporary table storing
+   the updated version of table R (say R').  We, then, replace all
+   accesses to R with R' in the reenactment query and reevaluate it";
+2. **modify, delete, or add an update statement** — "we reconstruct the
+   reenactment query using the modified statements instead of the
+   original statements and reevaluate this query".
+
+In addition, :meth:`WhatIfScenario.conflict_analysis` checks whether the
+modified transaction's writes would have collided with a concurrent
+transaction's writes — detecting, e.g., that adding the *promotion*
+update (``UPDATE account SET bal = bal WHERE cust = :name``) to Bob's
+transaction "would force T2 to abort" under first-updater-wins.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.algebra.evaluator import Relation
+from repro.core.reenactor import (ROWID, ParsedStatement,
+                                  ReenactmentOptions, ReenactmentResult,
+                                  Reenactor)
+from repro.db.engine import Database
+from repro.errors import WhatIfError
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+
+@dataclass
+class TableDiff:
+    """Multiset difference between original and what-if table states."""
+
+    table: str
+    added: List[tuple] = field(default_factory=list)
+    removed: List[tuple] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.added or self.removed)
+
+
+@dataclass
+class ConflictFinding:
+    """A write-write collision the modified transaction would cause."""
+
+    table: str
+    rowid: int
+    other_xid: int
+    description: str
+
+
+@dataclass
+class WhatIfResult:
+    original: ReenactmentResult
+    modified: ReenactmentResult
+    diffs: Dict[str, TableDiff]
+    conflicts: List[ConflictFinding] = field(default_factory=list)
+
+    @property
+    def changed_tables(self) -> List[str]:
+        return [t for t, d in self.diffs.items() if d.changed]
+
+    def summary(self) -> str:
+        lines = []
+        for table, diff in sorted(self.diffs.items()):
+            if not diff.changed:
+                lines.append(f"{table}: unchanged")
+                continue
+            lines.append(f"{table}: +{len(diff.added)} row(s), "
+                         f"-{len(diff.removed)} row(s)")
+            for row in diff.added:
+                lines.append(f"  + {row}")
+            for row in diff.removed:
+                lines.append(f"  - {row}")
+        for conflict in self.conflicts:
+            lines.append(f"conflict: {conflict.description}")
+        return "\n".join(lines)
+
+
+class WhatIfScenario:
+    """A mutable what-if scenario over one past transaction."""
+
+    def __init__(self, db: Database, xid: int):
+        self.db = db
+        self.xid = xid
+        self.reenactor = Reenactor(db)
+        self.record = self.reenactor.transaction_record(xid)
+        self._statements = self.reenactor.parsed_statements(self.record)
+        self._modified = [copy.deepcopy(s) for s in self._statements]
+        self._overrides: Dict[str, Relation] = {}
+
+    # -- scenario editing --------------------------------------------------
+
+    @property
+    def statements(self) -> List[ParsedStatement]:
+        return list(self._modified)
+
+    def replace_statement(self, index: int, sql: str,
+                          params: Optional[Dict[str, Any]] = None
+                          ) -> "WhatIfScenario":
+        self._check_index(index)
+        self._modified[index] = ParsedStatement(
+            index=index, ts=self._modified[index].ts,
+            stmt=self._parse_dml(sql, params))
+        return self
+
+    def delete_statement(self, index: int) -> "WhatIfScenario":
+        self._check_index(index)
+        del self._modified[index]
+        self._renumber()
+        return self
+
+    def insert_statement(self, index: int, sql: str,
+                         params: Optional[Dict[str, Any]] = None
+                         ) -> "WhatIfScenario":
+        """Insert a new statement *before* position ``index`` (``index``
+        may equal the statement count to append)."""
+        if index < 0 or index > len(self._modified):
+            raise WhatIfError(f"statement index {index} out of range")
+        if index < len(self._modified):
+            ts = self._modified[index].ts
+        elif self._modified:
+            ts = self._modified[-1].ts
+        else:
+            ts = self.record.begin_ts
+        self._modified.insert(index, ParsedStatement(
+            index=index, ts=ts, stmt=self._parse_dml(sql, params)))
+        self._renumber()
+        return self
+
+    def edit_table(self, table: str,
+                   rows: Sequence[Sequence[Any]]) -> "WhatIfScenario":
+        """Replace the contents of ``table`` (the temporary table R' of
+        §2); rows must match the table's schema."""
+        schema = self.db.catalog.get(table)
+        validated = [schema.validate_row(tuple(row)) for row in rows]
+        self._overrides[table] = Relation(
+            list(schema.column_names), validated)
+        return self
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, options: Optional[ReenactmentOptions] = None
+            ) -> WhatIfResult:
+        options = options or ReenactmentOptions()
+        original = self.reenactor.reenact_record(
+            self.record, options, statements=self._statements)
+        modified = self.reenactor.reenact_record(
+            self.record, options, statements=self._modified,
+            overrides=self._overrides or None)
+        diffs: Dict[str, TableDiff] = {}
+        for table in sorted(set(original.tables) | set(modified.tables)):
+            before = original.tables.get(table)
+            after = modified.tables.get(table)
+            before_counts = before.as_multiset() if before else {}
+            after_counts = after.as_multiset() if after else {}
+            diff = TableDiff(table=table)
+            for row, count in (+(_counter(after_counts)
+                                 - _counter(before_counts))).items():
+                diff.added.extend([row] * count)
+            for row, count in (+(_counter(before_counts)
+                                 - _counter(after_counts))).items():
+                diff.removed.extend([row] * count)
+            diffs[table] = diff
+        result = WhatIfResult(original=original, modified=modified,
+                              diffs=diffs)
+        result.conflicts = self.conflict_analysis()
+        return result
+
+    # -- conflict analysis --------------------------------------------------------
+
+    def conflict_analysis(self) -> List[ConflictFinding]:
+        """Would the modified transaction's writes collide with a
+        concurrent transaction?  Under first-updater-wins, two
+        transactions with overlapping execution windows writing the same
+        row cannot both commit — the later writer aborts (the promotion
+        trick relies on this, §2)."""
+        written = self._written_rowids()
+        if not written:
+            return []
+        my_begin = self.record.begin_ts
+        my_end = self.record.end_ts or self.db.clock.now()
+
+        findings: List[ConflictFinding] = []
+        for other in self.db.audit_log.transactions(committed_only=False):
+            if other.xid == self.record.xid:
+                continue
+            other_end = other.end_ts or self.db.clock.now()
+            if other.begin_ts > my_end or other_end < my_begin:
+                continue  # not concurrent
+            other_written = self._rowids_written_by(other.xid)
+            for table, rowids in written.items():
+                overlap = rowids & other_written.get(table, set())
+                for rowid in sorted(overlap):
+                    findings.append(ConflictFinding(
+                        table=table, rowid=rowid, other_xid=other.xid,
+                        description=(
+                            f"row {rowid} of {table!r} is written by "
+                            f"both the modified transaction "
+                            f"{self.record.xid} and concurrent "
+                            f"transaction {other.xid}; under "
+                            f"first-updater-wins the later writer "
+                            f"would abort")))
+        return findings
+
+    def _written_rowids(self) -> Dict[str, set]:
+        options = ReenactmentOptions(annotations=True,
+                                     include_deleted=True,
+                                     only_affected=True)
+        result = self.reenactor.reenact_record(
+            self.record, options, statements=self._modified,
+            overrides=self._overrides or None)
+        out: Dict[str, set] = {}
+        for table, relation in result.tables.items():
+            rowid_idx = relation.column_index(ROWID)
+            ids = {row[rowid_idx] for row in relation.rows
+                   if row[rowid_idx] > 0}  # synthetic inserts conflict-free
+            if ids:
+                out[table] = ids
+        return out
+
+    def _rowids_written_by(self, xid: int) -> Dict[str, set]:
+        """Rows a transaction wrote, from the audit log via
+        reenactment (aborted transactions have no committed effects but
+        their *attempted* writes still conflict; we approximate with
+        their reenacted writes)."""
+        record = self.db.audit_log.transaction_record(xid)
+        if not record.statements:
+            return {}
+        try:
+            options = ReenactmentOptions(annotations=True,
+                                         include_deleted=True,
+                                         only_affected=True)
+            result = self.reenactor.reenact(xid, options)
+        except Exception:
+            return {}
+        out: Dict[str, set] = {}
+        for table, relation in result.tables.items():
+            rowid_idx = relation.column_index(ROWID)
+            ids = {row[rowid_idx] for row in relation.rows
+                   if row[rowid_idx] > 0}
+            if ids:
+                out[table] = ids
+        return out
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _check_index(self, index: int) -> None:
+        if index < 0 or index >= len(self._modified):
+            raise WhatIfError(
+                f"statement index {index} out of range (0.."
+                f"{len(self._modified) - 1})")
+
+    def _renumber(self) -> None:
+        self._modified = [
+            ParsedStatement(index=i, ts=s.ts, stmt=s.stmt)
+            for i, s in enumerate(self._modified)
+        ]
+
+    @staticmethod
+    def _parse_dml(sql: str,
+                   params: Optional[Dict[str, Any]]) -> ast.Statement:
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+            raise WhatIfError(
+                f"what-if statements must be DML, got "
+                f"{type(stmt).__name__}")
+        if params:
+            from repro.sql.bind import bind_statement
+            stmt = bind_statement(stmt, params)
+        return stmt
+
+
+def _counter(counts):
+    from collections import Counter
+    return counts if isinstance(counts, Counter) else Counter(counts)

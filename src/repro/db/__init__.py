@@ -1,0 +1,25 @@
+"""The MVCC database engine substrate (snapshot isolation, time travel,
+audit logging) — the reproduction's stand-in for the commercial backend
+the paper runs on."""
+
+from repro.db.auditlog import (AuditEventKind, AuditLog, AuditLogEntry,
+                               StatementRecord, TransactionRecord)
+from repro.db.clock import LogicalClock
+from repro.db.engine import Database, DatabaseConfig, DatabaseContext
+from repro.db.mvcc import MVCCManager
+from repro.db.schema import Catalog, Column, TableSchema
+from repro.db.session import Result, Session
+from repro.db.table import VersionedTable
+from repro.db.transaction import (IsolationLevel, Transaction,
+                                  TransactionStatus, parse_isolation)
+from repro.db.tuples import Version, VersionChain
+from repro.db.types import DataType, lookup_type
+
+__all__ = [
+    "AuditEventKind", "AuditLog", "AuditLogEntry", "StatementRecord",
+    "TransactionRecord", "LogicalClock", "Database", "DatabaseConfig",
+    "DatabaseContext", "MVCCManager", "Catalog", "Column", "TableSchema",
+    "Result", "Session", "VersionedTable", "IsolationLevel",
+    "Transaction", "TransactionStatus", "parse_isolation", "Version",
+    "VersionChain", "DataType", "lookup_type",
+]

@@ -1,0 +1,183 @@
+"""Query-able audit log.
+
+The audit log is the engine's stand-in for Oracle's fine-grained
+auditing: one entry per transaction-lifecycle event (BEGIN / COMMIT /
+ABORT) and per DML statement, carrying the SQL text, timestamps and
+session metadata.  It is the *only* information source (together with
+time travel) that reenactment and the debugger consume — mirroring the
+paper's non-invasiveness claim (§3: "a query-able audit log of executed
+SQL statements ... provides sufficient information to enable
+reenactment").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.db.transaction import IsolationLevel, Transaction
+from repro.errors import AuditLogError
+
+
+class AuditEventKind(enum.Enum):
+    BEGIN = "BEGIN"
+    STATEMENT = "STATEMENT"
+    COMMIT = "COMMIT"
+    ABORT = "ABORT"
+
+
+@dataclass(frozen=True)
+class AuditLogEntry:
+    """One event in the audit log."""
+
+    kind: AuditEventKind
+    xid: int
+    ts: int
+    isolation: IsolationLevel
+    user: str
+    session_id: int
+    stmt_index: Optional[int] = None  #: 0-based, STATEMENT entries only
+    sql: Optional[str] = None         #: SQL text, STATEMENT entries only
+
+
+@dataclass(frozen=True)
+class StatementRecord:
+    """One DML statement of a transaction, as reenactment needs it."""
+
+    index: int
+    ts: int
+    sql: str
+
+
+@dataclass
+class TransactionRecord:
+    """Everything the audit log knows about one transaction."""
+
+    xid: int
+    isolation: IsolationLevel
+    begin_ts: int
+    user: str
+    session_id: int
+    statements: List[StatementRecord] = field(default_factory=list)
+    commit_ts: Optional[int] = None
+    abort_ts: Optional[int] = None
+
+    @property
+    def committed(self) -> bool:
+        return self.commit_ts is not None
+
+    @property
+    def aborted(self) -> bool:
+        return self.abort_ts is not None
+
+    @property
+    def end_ts(self) -> Optional[int]:
+        """Commit or abort timestamp; ``None`` while still active."""
+        if self.commit_ts is not None:
+            return self.commit_ts
+        return self.abort_ts
+
+    def statement_interval(self, index: int) -> tuple:
+        """(start, end) of a statement for the timeline view: start is
+        the statement's timestamp, end is the next statement's timestamp
+        or the transaction's end (Fig. 3 of the paper)."""
+        stmt = self.statements[index]
+        if index + 1 < len(self.statements):
+            end = self.statements[index + 1].ts
+        else:
+            end = self.end_ts if self.end_ts is not None else stmt.ts + 1
+        return (stmt.ts, end)
+
+
+class AuditLog:
+    """Append-only audit log with per-transaction reconstruction."""
+
+    def __init__(self):
+        self.entries: List[AuditLogEntry] = []
+
+    # -- recording (called by the engine) ---------------------------------
+
+    def record_begin(self, txn: Transaction) -> None:
+        self.entries.append(AuditLogEntry(
+            kind=AuditEventKind.BEGIN, xid=txn.xid, ts=txn.begin_ts,
+            isolation=txn.isolation, user=txn.user,
+            session_id=txn.session_id))
+
+    def record_statement(self, txn: Transaction, stmt_index: int, ts: int,
+                         sql: str) -> None:
+        self.entries.append(AuditLogEntry(
+            kind=AuditEventKind.STATEMENT, xid=txn.xid, ts=ts,
+            isolation=txn.isolation, user=txn.user,
+            session_id=txn.session_id, stmt_index=stmt_index, sql=sql))
+
+    def record_commit(self, txn: Transaction, commit_ts: int) -> None:
+        self.entries.append(AuditLogEntry(
+            kind=AuditEventKind.COMMIT, xid=txn.xid, ts=commit_ts,
+            isolation=txn.isolation, user=txn.user,
+            session_id=txn.session_id))
+
+    def record_abort(self, txn: Transaction, ts: int) -> None:
+        self.entries.append(AuditLogEntry(
+            kind=AuditEventKind.ABORT, xid=txn.xid, ts=ts,
+            isolation=txn.isolation, user=txn.user,
+            session_id=txn.session_id))
+
+    # -- querying (consumed by reenactor / debugger) -----------------------
+
+    def transaction_record(self, xid: int) -> TransactionRecord:
+        record: Optional[TransactionRecord] = None
+        for entry in self.entries:
+            if entry.xid != xid:
+                continue
+            if entry.kind is AuditEventKind.BEGIN:
+                record = TransactionRecord(
+                    xid=xid, isolation=entry.isolation,
+                    begin_ts=entry.ts, user=entry.user,
+                    session_id=entry.session_id)
+            elif record is None:
+                raise AuditLogError(
+                    f"audit log entry for transaction {xid} precedes its "
+                    f"BEGIN entry")
+            elif entry.kind is AuditEventKind.STATEMENT:
+                record.statements.append(StatementRecord(
+                    index=entry.stmt_index, ts=entry.ts, sql=entry.sql))
+            elif entry.kind is AuditEventKind.COMMIT:
+                record.commit_ts = entry.ts
+            elif entry.kind is AuditEventKind.ABORT:
+                record.abort_ts = entry.ts
+        if record is None:
+            raise AuditLogError(
+                f"transaction {xid} not found in the audit log (is audit "
+                f"logging enabled?)")
+        return record
+
+    def transaction_ids(self) -> List[int]:
+        seen: Dict[int, None] = {}
+        for entry in self.entries:
+            seen.setdefault(entry.xid, None)
+        return list(seen)
+
+    def transactions(self, start_ts: Optional[int] = None,
+                     end_ts: Optional[int] = None,
+                     committed_only: bool = False
+                     ) -> List[TransactionRecord]:
+        """All transactions overlapping [start_ts, end_ts] — the data
+        behind the timeline panel (Fig. 3)."""
+        records = [self.transaction_record(xid)
+                   for xid in self.transaction_ids()]
+        result = []
+        for record in records:
+            if committed_only and not record.committed:
+                continue
+            rec_end = record.end_ts
+            if start_ts is not None and rec_end is not None \
+                    and rec_end < start_ts:
+                continue
+            if end_ts is not None and record.begin_ts > end_ts:
+                continue
+            result.append(record)
+        return result
+
+    def __len__(self) -> int:
+        return len(self.entries)

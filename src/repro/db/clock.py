@@ -1,0 +1,35 @@
+"""Logical clock used for all transaction timestamps.
+
+Every observable event in the engine — transaction begin, statement
+execution, commit/abort — draws a fresh timestamp by calling
+:meth:`LogicalClock.tick`.  Timestamps are small integers, totally
+ordered, and double as the argument of ``AS OF`` time travel, which is
+exactly what reenactment needs: a total order over begins, statements
+and commits (DESIGN.md §4.2).
+"""
+
+from __future__ import annotations
+
+
+class LogicalClock:
+    """Monotonically increasing integer clock."""
+
+    def __init__(self, start: int = 0):
+        self._now = start
+
+    def tick(self) -> int:
+        """Advance the clock and return the new timestamp."""
+        self._now += 1
+        return self._now
+
+    def now(self) -> int:
+        """Return the current timestamp without advancing."""
+        return self._now
+
+    def advance_to(self, ts: int) -> None:
+        """Move the clock forward to at least ``ts`` (never backwards)."""
+        if ts > self._now:
+            self._now = ts
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LogicalClock(now={self._now})"

@@ -1,0 +1,141 @@
+"""Table schemas and the catalog.
+
+A :class:`TableSchema` is an ordered list of typed columns.  The
+:class:`Catalog` maps table names to schemas and is the single source of
+truth for name resolution in the analyzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.db.types import DataType, coerce_value
+from repro.errors import CatalogError, ConstraintViolation
+
+
+@dataclass(frozen=True)
+class Column:
+    """A typed, optionally constrained table column."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+    primary_key: bool = False
+
+    def __str__(self) -> str:
+        parts = [self.name, str(self.dtype)]
+        if self.primary_key:
+            parts.append("PRIMARY KEY")
+        elif not self.nullable:
+            parts.append("NOT NULL")
+        return " ".join(parts)
+
+
+class TableSchema:
+    """Ordered collection of :class:`Column` objects for one table."""
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not columns:
+            raise CatalogError(f"table {name!r} must have at least one column")
+        seen = set()
+        for col in columns:
+            if col.name in seen:
+                raise CatalogError(
+                    f"duplicate column {col.name!r} in table {name!r}")
+            seen.add(col.name)
+        self.name = name
+        self.columns: List[Column] = list(columns)
+        self._index: Dict[str, int] = {
+            c.name: i for i, c in enumerate(self.columns)
+        }
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def primary_key_columns(self) -> List[str]:
+        return [c.name for c in self.columns if c.primary_key]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise CatalogError(
+                f"column {name!r} does not exist in table {self.name!r}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    # -- value validation --------------------------------------------------
+
+    def validate_row(self, values: Sequence[object]) -> tuple:
+        """Coerce a row to the schema's types and check NOT NULL.
+
+        Returns the coerced row as a tuple.  Raises
+        :class:`ConstraintViolation` on NULL in a non-nullable column.
+        """
+        if len(values) != len(self.columns):
+            raise CatalogError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}")
+        out = []
+        for col, value in zip(self.columns, values):
+            if value is None:
+                if not col.nullable or col.primary_key:
+                    raise ConstraintViolation(
+                        f"NULL in non-nullable column "
+                        f"{self.name}.{col.name}")
+                out.append(None)
+            else:
+                out.append(coerce_value(value, col.dtype))
+        return tuple(out)
+
+    def __str__(self) -> str:
+        cols = ", ".join(str(c) for c in self.columns)
+        return f"{self.name}({cols})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TableSchema({self})"
+
+
+class Catalog:
+    """Name → schema mapping for all tables in a database."""
+
+    def __init__(self):
+        self._tables: Dict[str, TableSchema] = {}
+
+    def create(self, schema: TableSchema) -> None:
+        if schema.name in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        self._tables[schema.name] = schema
+
+    def drop(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[name]
+
+    def get(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def has(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def __iter__(self) -> Iterable[TableSchema]:
+        return iter(self._tables.values())

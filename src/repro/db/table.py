@@ -1,0 +1,128 @@
+"""Versioned tables: rowid → version chain, snapshots and time travel.
+
+:class:`VersionedTable` is pure mechanism — visibility and version-chain
+bookkeeping.  Policy (conflict detection, isolation levels, commit
+protocol) lives in :mod:`repro.db.mvcc`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.db.schema import TableSchema
+from repro.db.tuples import Version, VersionChain
+from repro.errors import ExecutionError
+
+
+#: A scan row: (rowid, values, creating Version or None for overrides).
+ScanRow = Tuple[int, tuple, Optional[Version]]
+
+
+class VersionedTable:
+    """One multi-version table."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.rows: Dict[int, VersionChain] = {}
+        self._next_rowid = 1
+
+    # -- rowids ----------------------------------------------------------
+
+    def allocate_rowid(self) -> int:
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        return rowid
+
+    def chain(self, rowid: int) -> VersionChain:
+        try:
+            return self.rows[rowid]
+        except KeyError:
+            raise ExecutionError(
+                f"row {rowid} does not exist in table "
+                f"{self.schema.name!r}") from None
+
+    # -- scans -----------------------------------------------------------
+
+    def scan_committed(self, ts: int) -> Iterator[ScanRow]:
+        """Time travel: committed state of the table at time ``ts``."""
+        for rowid in sorted(self.rows):
+            version = self.rows[rowid].committed_at(ts)
+            if version is not None:
+                yield rowid, version.values, version
+
+    def scan_for_txn(self, xid: int, snapshot_ts: int) -> Iterator[ScanRow]:
+        """Transaction view: own uncommitted writes overlay the committed
+        snapshot at ``snapshot_ts``."""
+        for rowid in sorted(self.rows):
+            version = self.rows[rowid].visible_to(xid, snapshot_ts)
+            if version is not None:
+                yield rowid, version.values, version
+
+    def latest_committed_rows(self) -> Iterator[ScanRow]:
+        """Most recent committed state (auto-commit reads)."""
+        for rowid in sorted(self.rows):
+            version = self.rows[rowid].latest_committed()
+            if version is not None and not version.is_tombstone \
+                    and version.end_ts is None:
+                yield rowid, version.values, version
+
+    # -- writes (mechanism only; callers do conflict checks) -------------
+
+    def insert_row(self, xid: int, values: tuple, stmt_ts: int) -> int:
+        rowid = self.allocate_rowid()
+        chain = VersionChain(rowid)
+        chain.lock_xid = xid
+        chain.append_uncommitted(xid, values, stmt_ts)
+        self.rows[rowid] = chain
+        return rowid
+
+    def write_row(self, xid: int, rowid: int, values: Optional[tuple],
+                  stmt_ts: int) -> Version:
+        """Append an uncommitted update (or tombstone when ``values`` is
+        None) for ``rowid``.  The caller must already hold the lock."""
+        chain = self.chain(rowid)
+        chain.lock_xid = xid
+        return chain.append_uncommitted(xid, values, stmt_ts)
+
+    # -- transaction lifecycle helpers -----------------------------------
+
+    def commit_rows(self, xid: int, rowids: List[int], commit_ts: int,
+                    keep_history: bool = True) -> None:
+        for rowid in rowids:
+            chain = self.rows.get(rowid)
+            if chain is None:
+                continue
+            chain.commit(xid, commit_ts)
+            if chain.lock_xid == xid:
+                chain.lock_xid = None
+            if not keep_history:
+                chain.prune_history()
+                if not chain.versions:
+                    del self.rows[rowid]
+
+    def abort_rows(self, xid: int, rowids: List[int]) -> None:
+        for rowid in rowids:
+            chain = self.rows.get(rowid)
+            if chain is None:
+                continue
+            chain.abort(xid)
+            if chain.lock_xid == xid:
+                chain.lock_xid = None
+            if not chain.versions:
+                del self.rows[rowid]
+
+    # -- introspection -----------------------------------------------------
+
+    def version_history(self) -> Iterator[Tuple[int, Version]]:
+        """All committed versions of all rows (provenance/debugger)."""
+        for rowid in sorted(self.rows):
+            for version in self.rows[rowid].versions:
+                if version.committed:
+                    yield rowid, version
+
+    def row_count_committed(self, ts: int) -> int:
+        return sum(1 for _ in self.scan_committed(ts))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"VersionedTable({self.schema.name!r}, "
+                f"rows={len(self.rows)})")

@@ -1,0 +1,90 @@
+"""Transaction objects and isolation levels.
+
+The engine implements the two isolation levels the paper's reenactment
+technique supports on SI systems (§3, footnote 2):
+
+* ``SERIALIZABLE`` — snapshot isolation: every read in the transaction
+  sees the committed state as of the transaction's begin timestamp.
+  (On SI systems such as Oracle, the level *named* SERIALIZABLE is
+  snapshot isolation; write-skew is possible, as the running example
+  demonstrates.)
+* ``READ_COMMITTED`` — each statement sees the committed state as of its
+  own start timestamp.
+
+Both overlay the transaction's own uncommitted writes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+class IsolationLevel(enum.Enum):
+    SERIALIZABLE = "SERIALIZABLE"       # snapshot isolation
+    READ_COMMITTED = "READ COMMITTED"   # statement-level snapshots
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def parse_isolation(name: str) -> IsolationLevel:
+    normalized = " ".join(name.upper().split())
+    for level in IsolationLevel:
+        if level.value == normalized:
+            return level
+    # Accept the common shorthands.
+    if normalized in ("SI", "SNAPSHOT", "SNAPSHOT ISOLATION"):
+        return IsolationLevel.SERIALIZABLE
+    if normalized in ("RC", "READCOMMITTED"):
+        return IsolationLevel.READ_COMMITTED
+    raise ValueError(f"unknown isolation level: {name!r}")
+
+
+class TransactionStatus(enum.Enum):
+    ACTIVE = "ACTIVE"
+    COMMITTED = "COMMITTED"
+    ABORTED = "ABORTED"
+
+
+@dataclass
+class Transaction:
+    """State of one transaction."""
+
+    xid: int
+    isolation: IsolationLevel
+    begin_ts: int
+    user: str = "unknown"
+    session_id: int = 0
+    status: TransactionStatus = TransactionStatus.ACTIVE
+    commit_ts: Optional[int] = None
+    end_ts: Optional[int] = None  # commit or abort time
+    #: table name → rowids written (updated, deleted or inserted).
+    write_set: Dict[str, List[int]] = field(default_factory=dict)
+    #: number of DML/query statements executed so far.
+    statement_count: int = 0
+
+    @property
+    def is_active(self) -> bool:
+        return self.status is TransactionStatus.ACTIVE
+
+    def record_write(self, table: str, rowid: int) -> None:
+        rowids = self.write_set.setdefault(table, [])
+        if rowid not in rowids:
+            rowids.append(rowid)
+
+    def written_rowids(self, table: str) -> Set[int]:
+        return set(self.write_set.get(table, ()))
+
+    def snapshot_ts(self, stmt_ts: int) -> int:
+        """The committed-snapshot timestamp a statement executing at
+        ``stmt_ts`` reads under this transaction's isolation level."""
+        if self.isolation is IsolationLevel.READ_COMMITTED:
+            return stmt_ts
+        return self.begin_ts
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Transaction(xid={self.xid}, {self.isolation.value}, "
+                f"{self.status.value}, begin={self.begin_ts}, "
+                f"commit={self.commit_ts})")

@@ -1,0 +1,166 @@
+"""Data types and value handling for the storage engine.
+
+The engine supports a small but complete set of scalar types.  SQL NULL
+is represented by Python ``None`` and is a member of every type.  All
+comparison / arithmetic semantics involving NULL (three-valued logic)
+live in :mod:`repro.algebra.expressions`; this module only deals with
+typing and coercion of concrete values.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from repro.errors import ExecutionError
+
+
+class DataType(enum.Enum):
+    """Scalar data types supported by the engine."""
+
+    INT = "INT"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    BOOL = "BOOL"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Names accepted in ``CREATE TABLE`` for each type (SQL-ish aliases).
+TYPE_ALIASES = {
+    "INT": DataType.INT,
+    "INTEGER": DataType.INT,
+    "BIGINT": DataType.INT,
+    "SMALLINT": DataType.INT,
+    "FLOAT": DataType.FLOAT,
+    "REAL": DataType.FLOAT,
+    "DOUBLE": DataType.FLOAT,
+    "DECIMAL": DataType.FLOAT,
+    "NUMERIC": DataType.FLOAT,
+    "STRING": DataType.STRING,
+    "TEXT": DataType.STRING,
+    "VARCHAR": DataType.STRING,
+    "CHAR": DataType.STRING,
+    "BOOL": DataType.BOOL,
+    "BOOLEAN": DataType.BOOL,
+}
+
+
+def lookup_type(name: str) -> DataType:
+    """Resolve a SQL type name (case-insensitive) to a :class:`DataType`."""
+    try:
+        return TYPE_ALIASES[name.upper()]
+    except KeyError:
+        raise ExecutionError(f"unknown data type: {name!r}") from None
+
+
+def infer_type(value: Any) -> Optional[DataType]:
+    """Infer the :class:`DataType` of a Python value.
+
+    Returns ``None`` for SQL NULL (Python ``None``) since NULL belongs to
+    every type.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):  # bool before int: bool is an int subclass
+        return DataType.BOOL
+    if isinstance(value, int):
+        return DataType.INT
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, str):
+        return DataType.STRING
+    raise ExecutionError(f"unsupported Python value for SQL: {value!r}")
+
+
+def coerce_value(value: Any, dtype: DataType) -> Any:
+    """Coerce ``value`` to ``dtype``, raising :class:`ExecutionError` on
+    impossible conversions.  NULL passes through unchanged."""
+    if value is None:
+        return None
+    try:
+        if dtype is DataType.INT:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, (int, float)):
+                return int(value)
+            if isinstance(value, str):
+                return int(value.strip())
+        elif dtype is DataType.FLOAT:
+            if isinstance(value, bool):
+                return float(value)
+            if isinstance(value, (int, float)):
+                return float(value)
+            if isinstance(value, str):
+                return float(value.strip())
+        elif dtype is DataType.STRING:
+            if isinstance(value, bool):
+                return "true" if value else "false"
+            return str(value)
+        elif dtype is DataType.BOOL:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, (int, float)):
+                return value != 0
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("t", "true", "1", "yes"):
+                    return True
+                if lowered in ("f", "false", "0", "no"):
+                    return False
+    except (ValueError, TypeError) as exc:
+        raise ExecutionError(
+            f"cannot coerce {value!r} to {dtype}") from exc
+    raise ExecutionError(f"cannot coerce {value!r} to {dtype}")
+
+
+def is_numeric(dtype: Optional[DataType]) -> bool:
+    """True for INT and FLOAT (and NULL, which fits any type)."""
+    return dtype in (None, DataType.INT, DataType.FLOAT)
+
+
+def promote(left: Optional[DataType],
+            right: Optional[DataType]) -> Optional[DataType]:
+    """Type promotion for binary arithmetic/comparison.
+
+    NULL (``None``) promotes to the other side.  INT and FLOAT promote to
+    FLOAT.  Identical types promote to themselves.  Anything else is an
+    error.
+    """
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left is right:
+        return left
+    numeric = {DataType.INT, DataType.FLOAT}
+    if left in numeric and right in numeric:
+        return DataType.FLOAT
+    raise ExecutionError(f"incompatible types: {left} and {right}")
+
+
+def comparable(left: Optional[DataType],
+               right: Optional[DataType]) -> bool:
+    """Whether values of the two types may be compared."""
+    try:
+        promote(left, right)
+        return True
+    except ExecutionError:
+        return False
+
+
+def format_value(value: Any) -> str:
+    """Render a value the way the SQL formatter / debugger shows it."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        # Avoid '1.0' noise for integral floats in displays while keeping
+        # them distinguishable from INTs in SQL literals.
+        return repr(value)
+    return str(value)

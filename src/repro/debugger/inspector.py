@@ -1,0 +1,173 @@
+"""The debug-panel model (Fig. 4).
+
+"The debug panel shows one column for each operation of the transaction
+plus a column for the initial states of the relations accessed by the
+transaction.  Each such column shows the SQL code of the statement and
+the table modified by the statement (the version created by the
+statement).  For each tuple version, we show which transaction created
+that version."
+
+The model computes every column by *prefix reenactment* — evaluating the
+reenactment query for the first k statements — so inspecting a
+transaction never touches the database state (challenge C1).  The
+default filters to rows affected by at least one statement
+("Show/Hide Unaffected Rows", marker 7); the set of displayed tables is
+selectable (marker 8); clicking a tuple version yields its provenance
+graph (marker 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.algebra.evaluator import Evaluator
+from repro.core.provenance.graph import ProvenanceGraphBuilder
+from repro.core.reenactor import (DEL, ROWID, UPD, XID,
+                                  ReenactmentOptions, Reenactor)
+from repro.core.whatif import WhatIfScenario
+from repro.db.engine import Database
+from repro.errors import ReenactmentError
+
+
+@dataclass
+class TupleVersionView:
+    """One row of one table state in one column of the panel."""
+
+    rowid: int
+    values: tuple
+    creator_xid: int
+    affected: bool        #: written by the debugged transaction so far
+    deleted: bool = False
+
+
+@dataclass
+class TableState:
+    """One table in one column."""
+
+    table: str
+    columns: List[str]
+    rows: List[TupleVersionView] = field(default_factory=list)
+
+    def visible_rows(self, show_unaffected: bool
+                     ) -> List[TupleVersionView]:
+        if show_unaffected:
+            return list(self.rows)
+        return [r for r in self.rows if r.affected]
+
+
+@dataclass
+class DebugColumn:
+    """One column of the debug panel: the initial state (index -1) or
+    the state after statement ``index``."""
+
+    index: int                    #: -1 for the initial column
+    sql: Optional[str]            #: statement SQL (None for initial)
+    target: Optional[str]         #: table the statement modified
+    states: Dict[str, TableState] = field(default_factory=dict)
+
+
+class TransactionInspector:
+    """Programmatic debug panel for one past transaction."""
+
+    def __init__(self, db: Database, xid: int,
+                 tables: Optional[Sequence[str]] = None,
+                 show_unaffected: bool = False):
+        self.db = db
+        self.xid = xid
+        self.show_unaffected = show_unaffected
+        self.reenactor = Reenactor(db)
+        self.record = self.reenactor.transaction_record(xid)
+        self.statements = self.reenactor.parsed_statements(self.record)
+        touched = []
+        for parsed in self.statements:
+            if parsed.target not in touched:
+                touched.append(parsed.target)
+        self.touched_tables = touched
+        #: tables currently displayed (marker 8 in Fig. 4)
+        self.selected_tables: List[str] = (
+            [t for t in touched if t in tables] if tables is not None
+            else list(touched))
+        self._graph_builder: Optional[ProvenanceGraphBuilder] = None
+        self._columns: Optional[List[DebugColumn]] = None
+
+    # -- panel content --------------------------------------------------------
+
+    def columns(self) -> List[DebugColumn]:
+        """All panel columns, computed lazily and cached."""
+        if self._columns is None:
+            self._columns = [self._column(k)
+                             for k in range(-1, len(self.statements))]
+        return self._columns
+
+    def column(self, index: int) -> DebugColumn:
+        """Column ``index`` (-1 = initial states)."""
+        return self.columns()[index + 1]
+
+    def toggle_unaffected(self) -> bool:
+        """The "Show/Hide Unaffected Rows" button (marker 7)."""
+        self.show_unaffected = not self.show_unaffected
+        return self.show_unaffected
+
+    def select_tables(self, tables: Sequence[str]) -> None:
+        unknown = [t for t in tables if t not in self.touched_tables]
+        if unknown:
+            raise ReenactmentError(
+                f"table(s) {unknown} were not touched by transaction "
+                f"{self.xid}; touched: {self.touched_tables}")
+        self.selected_tables = list(tables)
+        self._columns = None  # recompute with the new selection
+
+    # -- provenance (click action, marker 6) ---------------------------------------
+
+    def provenance_graph(self, table: str, rowid: int,
+                         column: Optional[int] = None) -> nx.DiGraph:
+        if self._graph_builder is None:
+            self._graph_builder = ProvenanceGraphBuilder(self.db,
+                                                         self.xid)
+        full = self._graph_builder.build(tables=self.touched_tables)
+        return self._graph_builder.provenance_of(full, table, rowid,
+                                                 column)
+
+    # -- what-if entry points (Fig. 4: editing SQL or table contents) ----------------
+
+    def whatif(self) -> WhatIfScenario:
+        """Start a what-if scenario from this transaction."""
+        return WhatIfScenario(self.db, self.xid)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _column(self, k: int) -> DebugColumn:
+        if k < 0:
+            column = DebugColumn(index=-1, sql=None, target=None)
+        else:
+            parsed = self.statements[k]
+            column = DebugColumn(index=k, sql=str(parsed.stmt),
+                                 target=parsed.target)
+        for table in self.selected_tables:
+            column.states[table] = self._table_state(table, k + 1)
+        return column
+
+    def _table_state(self, table: str, upto: int) -> TableState:
+        options = ReenactmentOptions(upto=upto, table=table,
+                                     annotations=True,
+                                     include_deleted=True)
+        plans = self.reenactor.build_plans(self.record, options,
+                                           statements=self.statements)
+        relation = Evaluator(self.db.context()).evaluate(plans[table])
+        ncols = len(self.db.catalog.get(table).columns)
+        rowid_idx = relation.column_index(ROWID)
+        xid_idx = relation.column_index(XID)
+        upd_idx = relation.column_index(UPD)
+        del_idx = relation.column_index(DEL)
+        state = TableState(
+            table=table,
+            columns=list(self.db.catalog.get(table).column_names))
+        for row in relation.rows:
+            state.rows.append(TupleVersionView(
+                rowid=row[rowid_idx], values=row[:ncols],
+                creator_xid=row[xid_idx], affected=bool(row[upd_idx]),
+                deleted=bool(row[del_idx])))
+        return state

@@ -1,0 +1,248 @@
+"""Heuristics for flagging suspicious transaction executions.
+
+The paper's timeline panel is "used to identify suspicious or
+interesting transaction executions to debug" (§2) but leaves the
+finding itself to the user.  This module automates the first pass: it
+scans the audit log (plus reenacted write sets) for executions that
+*smell* like concurrency anomalies and annotates the timeline with
+them.  All detections are heuristic candidates at table granularity —
+the debugger is the tool for confirming them.
+
+Detected patterns:
+
+* **write-skew candidate** — two concurrent SI transactions with
+  disjoint write rows where each *read* a table the other *wrote*
+  (exactly the Fig. 1 shape);
+* **mixed-snapshot exposure** — a READ COMMITTED transaction with at
+  least two statements, where another transaction committed changes to
+  a table it accessed between its first and last statement (the
+  non-repeatable-read surface);
+* **conflict abort** — an aborted transaction that was concurrent with
+  a committed writer of the same table (likely first-updater-wins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.algebra.expressions import SubqueryExpr, walk
+from repro.core.reenactor import ROWID, ReenactmentOptions, Reenactor
+from repro.db.auditlog import TransactionRecord
+from repro.db.engine import Database
+from repro.db.transaction import IsolationLevel
+from repro.errors import ReproError
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+
+@dataclass
+class Suspicion:
+    """One flagged execution pattern."""
+
+    kind: str                 # 'write-skew' | 'mixed-snapshot' | 'abort'
+    xids: Tuple[int, ...]
+    tables: Tuple[str, ...]
+    description: str
+
+
+@dataclass
+class _TxnFacts:
+    record: TransactionRecord
+    reads: Set[str] = field(default_factory=set)
+    writes: Set[str] = field(default_factory=set)
+    written_rows: Dict[str, Set[int]] = field(default_factory=dict)
+
+
+class SuspicionScanner:
+    """Scans a database's history for anomaly candidates."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.reenactor = Reenactor(db)
+
+    def scan(self) -> List[Suspicion]:
+        facts = [self._facts(record)
+                 for record in self.db.audit_log.transactions()
+                 if record.statements]
+        out: List[Suspicion] = []
+        out.extend(self._write_skew_candidates(facts))
+        out.extend(self._mixed_snapshots(facts))
+        out.extend(self._conflict_aborts(facts))
+        return out
+
+    # -- fact extraction ------------------------------------------------------
+
+    def _facts(self, record: TransactionRecord) -> _TxnFacts:
+        facts = _TxnFacts(record=record)
+        for stmt in record.statements:
+            try:
+                parsed = parse_statement(stmt.sql)
+            except ReproError:
+                continue
+            self._collect_statement(parsed, facts)
+        if record.committed:
+            facts.written_rows = self._written_rows(record)
+        return facts
+
+    def _collect_statement(self, parsed: ast.Statement,
+                           facts: _TxnFacts) -> None:
+        if isinstance(parsed, (ast.Insert, ast.Update, ast.Delete)):
+            facts.writes.add(parsed.table)
+        if isinstance(parsed, ast.Insert) and \
+                isinstance(parsed.source, (ast.Select, ast.SetOpQuery)):
+            facts.reads.update(self._query_tables(parsed.source))
+        if isinstance(parsed, (ast.Update, ast.Delete)) \
+                and parsed.where is not None:
+            for node in walk(parsed.where):
+                if isinstance(node, SubqueryExpr) \
+                        and isinstance(node.query, ast.QueryExpr):
+                    facts.reads.update(self._query_tables(node.query))
+        if isinstance(parsed, ast.Update):
+            # reading the target's own columns counts as a read of it
+            facts.reads.add(parsed.table)
+
+    def _query_tables(self, query: ast.QueryExpr) -> Set[str]:
+        tables: Set[str] = set()
+        if isinstance(query, ast.SetOpQuery):
+            tables |= self._query_tables(query.left)
+            tables |= self._query_tables(query.right)
+            return tables
+        if not isinstance(query, ast.Select):
+            return tables
+
+        def visit_source(source: ast.TableSource) -> None:
+            if isinstance(source, ast.TableRef):
+                tables.add(source.name)
+            elif isinstance(source, ast.SubquerySource):
+                tables.update(self._query_tables(source.query))
+            elif isinstance(source, ast.JoinSource):
+                visit_source(source.left)
+                visit_source(source.right)
+
+        for source in query.sources:
+            visit_source(source)
+        return tables
+
+    def _written_rows(self, record: TransactionRecord
+                      ) -> Dict[str, Set[int]]:
+        try:
+            result = self.reenactor.reenact(record.xid,
+                                            ReenactmentOptions(
+                                                annotations=True,
+                                                include_deleted=True,
+                                                only_affected=True))
+        except ReproError:
+            return {}
+        out: Dict[str, Set[int]] = {}
+        for table, relation in result.tables.items():
+            idx = relation.column_index(ROWID)
+            rows = {r[idx] for r in relation.rows if r[idx] > 0}
+            if rows:
+                out[table] = rows
+        return out
+
+    # -- detectors ----------------------------------------------------------------
+
+    @staticmethod
+    def _concurrent(a: TransactionRecord, b: TransactionRecord) -> bool:
+        a_end = a.end_ts if a.end_ts is not None else float("inf")
+        b_end = b.end_ts if b.end_ts is not None else float("inf")
+        return a.begin_ts < b_end and b.begin_ts < a_end
+
+    def _write_skew_candidates(self, facts: List[_TxnFacts]
+                               ) -> List[Suspicion]:
+        out = []
+        committed = [f for f in facts if f.record.committed]
+        for i, a in enumerate(committed):
+            for b in committed[i + 1:]:
+                if not self._concurrent(a.record, b.record):
+                    continue
+                if a.record.isolation is not IsolationLevel.SERIALIZABLE \
+                        or b.record.isolation is not \
+                        IsolationLevel.SERIALIZABLE:
+                    continue
+                cross_ab = a.reads & b.writes
+                cross_ba = b.reads & a.writes
+                if not (cross_ab and cross_ba):
+                    continue
+                overlap = any(
+                    a.written_rows.get(t, set())
+                    & b.written_rows.get(t, set())
+                    for t in (a.writes | b.writes))
+                if overlap:
+                    continue  # they collided; SI handled it
+                tables = tuple(sorted(cross_ab | cross_ba))
+                out.append(Suspicion(
+                    kind="write-skew",
+                    xids=(a.record.xid, b.record.xid),
+                    tables=tables,
+                    description=(
+                        f"T{a.record.xid} and T{b.record.xid} ran "
+                        f"concurrently under SI, each read tables the "
+                        f"other wrote ({', '.join(tables)}), and their "
+                        f"write rows are disjoint — a write-skew "
+                        f"candidate; inspect both in the debugger")))
+        return out
+
+    def _mixed_snapshots(self, facts: List[_TxnFacts]) -> List[Suspicion]:
+        out = []
+        for f in facts:
+            record = f.record
+            if record.isolation is not IsolationLevel.READ_COMMITTED:
+                continue
+            if len(record.statements) < 2 or not record.committed:
+                continue
+            window = (record.statements[0].ts, record.statements[-1].ts)
+            accessed = f.reads | f.writes
+            for other in facts:
+                o = other.record
+                if o.xid == record.xid or not o.committed:
+                    continue
+                if not (window[0] < o.commit_ts <= window[1]):
+                    continue
+                shared = accessed & (other.writes or set())
+                if shared:
+                    out.append(Suspicion(
+                        kind="mixed-snapshot",
+                        xids=(record.xid, o.xid),
+                        tables=tuple(sorted(shared)),
+                        description=(
+                            f"READ COMMITTED transaction "
+                            f"T{record.xid}'s statements straddle "
+                            f"T{o.xid}'s commit to "
+                            f"{', '.join(sorted(shared))}: its "
+                            f"statements saw different snapshots")))
+                    break
+        return out
+
+    def _conflict_aborts(self, facts: List[_TxnFacts]) -> List[Suspicion]:
+        out = []
+        for f in facts:
+            if not f.record.aborted:
+                continue
+            for other in facts:
+                o = other.record
+                if o.xid == f.record.xid or not o.committed:
+                    continue
+                if not self._concurrent(f.record, o):
+                    continue
+                shared = f.writes & other.writes
+                if shared:
+                    out.append(Suspicion(
+                        kind="abort",
+                        xids=(f.record.xid, o.xid),
+                        tables=tuple(sorted(shared)),
+                        description=(
+                            f"T{f.record.xid} aborted while concurrent "
+                            f"T{o.xid} committed writes to "
+                            f"{', '.join(sorted(shared))} — likely a "
+                            f"write-write conflict "
+                            f"(first-updater-wins)")))
+                    break
+        return out
+
+
+def find_suspicious(db: Database) -> List[Suspicion]:
+    """Convenience wrapper over :class:`SuspicionScanner`."""
+    return SuspicionScanner(db).scan()

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch everything from one root.  The hierarchy mirrors the
+layering of the system: SQL front end, catalog/analysis, transaction
+manager, execution, audit log, and reenactment.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of the library's exception hierarchy."""
+
+
+class SQLSyntaxError(ReproError):
+    """Raised by the lexer/parser for malformed SQL.
+
+    Carries the character position and (line, column) of the offending
+    token when available so errors can be pointed at precisely.
+    """
+
+    def __init__(self, message: str, position: int = -1, line: int = -1,
+                 column: int = -1):
+        self.position = position
+        self.line = line
+        self.column = column
+        if line >= 0:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class AnalysisError(ReproError):
+    """Semantic analysis failure: unknown column, ambiguous reference,
+    type mismatch, misused aggregate, and similar."""
+
+
+class CatalogError(ReproError):
+    """Unknown or duplicate table/column at the catalog level."""
+
+
+class ConstraintViolation(ReproError):
+    """A declared constraint (primary key / not null) was violated."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-manager errors."""
+
+
+class TransactionStateError(TransactionError):
+    """Operation performed on a transaction in the wrong state
+    (e.g. executing a statement on a committed transaction)."""
+
+
+class WriteConflictError(TransactionError):
+    """A write touched a row that is write-locked by another active
+    transaction (nowait semantics)."""
+
+
+class SerializationError(TransactionError):
+    """First-updater-wins violation under snapshot isolation: the row was
+    updated and committed by a concurrent transaction after our
+    snapshot."""
+
+
+class ExecutionError(ReproError):
+    """Runtime evaluation failure (division by zero, bad cast, ...)."""
+
+
+class AuditLogError(ReproError):
+    """Audit log is missing, disabled, or inconsistent for a request."""
+
+
+class TimeTravelError(ReproError):
+    """Time travel is disabled or the requested timestamp is invalid."""
+
+
+class ReenactmentError(ReproError):
+    """The reenactor could not construct or evaluate a reenactment
+    query (unsupported statement, unknown transaction, bad prefix)."""
+
+
+class WhatIfError(ReproError):
+    """Invalid what-if scenario specification."""

@@ -1,0 +1,12 @@
+"""SQL front end: lexer, parser, AST, formatter, bind inlining."""
+
+from repro.sql.bind import bind_expression, bind_statement
+from repro.sql.formatter import format_expr, format_statement
+from repro.sql.lexer import Token, TokenKind, tokenize
+from repro.sql.parser import parse, parse_expression, parse_statement
+
+__all__ = [
+    "bind_expression", "bind_statement", "format_expr",
+    "format_statement", "Token", "TokenKind", "tokenize", "parse",
+    "parse_expression", "parse_statement",
+]

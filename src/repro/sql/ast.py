@@ -1,0 +1,204 @@
+"""Abstract syntax tree for the SQL dialect.
+
+Statement nodes only; scalar expressions are the shared IR from
+:mod:`repro.algebra.expressions`.  The dialect covers what the paper's
+system needs:
+
+* queries: SELECT with joins, subqueries, aggregation, set operations,
+  ORDER BY / LIMIT, and the time-travel suffix ``AS OF <ts>`` (§3);
+* DML: INSERT (VALUES and query forms), UPDATE, DELETE — the statements
+  reenactment translates (§3, Example 3);
+* DDL and transaction control;
+* GProM extensions: ``PROVENANCE OF (q)``, ``PROVENANCE OF TRANSACTION
+  x``, ``REENACT TRANSACTION x [UPTO k]`` (§4, Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.algebra.expressions import Expr
+
+
+class Statement:
+    """Base class for all statements."""
+
+    def __str__(self) -> str:
+        from repro.sql.formatter import format_statement
+        return format_statement(self)
+
+
+class QueryExpr(Statement):
+    """Base class for things that produce a relation (SELECT bodies)."""
+
+
+# -- query building blocks --------------------------------------------------
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+class TableSource:
+    """Base class for FROM items."""
+
+
+@dataclass
+class TableRef(TableSource):
+    """A base table, optionally time-traveled: ``name AS OF ts [alias]``."""
+
+    name: str
+    alias: Optional[str] = None
+    as_of: Optional[Expr] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class SubquerySource(TableSource):
+    query: "QueryExpr"
+    alias: str
+
+
+@dataclass
+class JoinSource(TableSource):
+    left: TableSource
+    right: TableSource
+    kind: str  # 'INNER' | 'LEFT' | 'CROSS'
+    condition: Optional[Expr] = None
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class Select(QueryExpr):
+    items: List[SelectItem]
+    sources: List[TableSource] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[Expr] = None
+    distinct: bool = False
+
+
+@dataclass
+class SetOpQuery(QueryExpr):
+    op: str  # 'UNION' | 'INTERSECT' | 'EXCEPT'
+    left: QueryExpr
+    right: QueryExpr
+    all: bool = False
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[Expr] = None
+
+
+@dataclass
+class ValuesClause(QueryExpr):
+    rows: List[List[Expr]]
+
+
+# -- DML ---------------------------------------------------------------------
+
+@dataclass
+class Insert(Statement):
+    table: str
+    columns: Optional[List[str]] = None
+    source: Union[ValuesClause, QueryExpr] = None
+
+
+@dataclass
+class Assignment:
+    column: str
+    value: Expr
+
+
+@dataclass
+class Update(Statement):
+    table: str
+    assignments: List[Assignment]
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+
+# -- DDL ---------------------------------------------------------------------
+
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str
+    not_null: bool = False
+    primary_key: bool = False
+
+
+@dataclass
+class CreateTable(Statement):
+    name: str
+    columns: List[ColumnDef]
+
+
+@dataclass
+class DropTable(Statement):
+    name: str
+
+
+# -- transaction control -------------------------------------------------------
+
+@dataclass
+class BeginTransaction(Statement):
+    isolation: Optional[str] = None  # raw isolation-level words
+
+
+@dataclass
+class Commit(Statement):
+    pass
+
+
+@dataclass
+class Rollback(Statement):
+    pass
+
+
+# -- GProM extensions ----------------------------------------------------------
+
+@dataclass
+class ProvenanceOfQuery(Statement):
+    """``PROVENANCE OF (query)`` — rewritten by the provenance rewriter
+    into a plain relational query with ``prov_*`` attributes (Fig. 5)."""
+
+    query: QueryExpr
+
+
+@dataclass
+class ProvenanceOfTransaction(Statement):
+    """``PROVENANCE OF TRANSACTION x [UPTO k] [ON TABLE t]`` —
+    reenacts the transaction with provenance instrumentation."""
+
+    xid: int
+    upto: Optional[int] = None
+    table: Optional[str] = None
+
+
+@dataclass
+class ReenactTransaction(Statement):
+    """``REENACT TRANSACTION x [UPTO k] [ON TABLE t] [WITH PROVENANCE]``."""
+
+    xid: int
+    upto: Optional[int] = None
+    table: Optional[str] = None
+    with_provenance: bool = False
+
+
+DMLStatement = (Insert, Update, Delete)

@@ -1,0 +1,97 @@
+"""Bind-parameter inlining.
+
+The audit log must contain self-contained SQL: the paper's transactions
+use bind parameters (``:name``, ``:amount`` in Fig. 1), and reenactment
+needs the *bound* statement text.  Commercial audit logs record bind
+values alongside statements; we normalize by substituting parameters
+with literals before logging.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict
+
+from repro.algebra.expressions import Expr, Literal, Param, transform
+from repro.errors import ExecutionError
+from repro.sql import ast
+
+
+def bind_expression(expr: Expr, params: Dict[str, Any]) -> Expr:
+    """Replace every :class:`Param` with the literal bound value."""
+
+    from repro.algebra.expressions import SubqueryExpr
+
+    def visit(node: Expr) -> Expr:
+        if isinstance(node, Param):
+            if node.name not in params:
+                raise ExecutionError(
+                    f"missing bind parameter :{node.name}")
+            return Literal(params[node.name])
+        if isinstance(node, SubqueryExpr) and node.query is not None:
+            _bind_in_place(node.query, params)
+        return node
+
+    return transform(expr, visit)
+
+
+def bind_statement(stmt: ast.Statement,
+                   params: Dict[str, Any]) -> ast.Statement:
+    """Return a deep copy of ``stmt`` with all parameters inlined."""
+    stmt = copy.deepcopy(stmt)
+    _bind_in_place(stmt, params)
+    return stmt
+
+
+def _bind_in_place(stmt: ast.Statement, params: Dict[str, Any]) -> None:
+    if isinstance(stmt, ast.Select):
+        for item in stmt.items:
+            item.expr = bind_expression(item.expr, params)
+        for source in stmt.sources:
+            _bind_source(source, params)
+        if stmt.where is not None:
+            stmt.where = bind_expression(stmt.where, params)
+        stmt.group_by = [bind_expression(g, params) for g in stmt.group_by]
+        if stmt.having is not None:
+            stmt.having = bind_expression(stmt.having, params)
+        for item in stmt.order_by:
+            item.expr = bind_expression(item.expr, params)
+        if stmt.limit is not None:
+            stmt.limit = bind_expression(stmt.limit, params)
+    elif isinstance(stmt, ast.SetOpQuery):
+        _bind_in_place(stmt.left, params)
+        _bind_in_place(stmt.right, params)
+        for item in stmt.order_by:
+            item.expr = bind_expression(item.expr, params)
+        if stmt.limit is not None:
+            stmt.limit = bind_expression(stmt.limit, params)
+    elif isinstance(stmt, ast.ValuesClause):
+        stmt.rows = [[bind_expression(v, params) for v in row]
+                     for row in stmt.rows]
+    elif isinstance(stmt, ast.Insert):
+        _bind_in_place(stmt.source, params)
+    elif isinstance(stmt, ast.Update):
+        for assignment in stmt.assignments:
+            assignment.value = bind_expression(assignment.value, params)
+        if stmt.where is not None:
+            stmt.where = bind_expression(stmt.where, params)
+    elif isinstance(stmt, ast.Delete):
+        if stmt.where is not None:
+            stmt.where = bind_expression(stmt.where, params)
+    elif isinstance(stmt, ast.ProvenanceOfQuery):
+        _bind_in_place(stmt.query, params)
+    # DDL / transaction control / transaction-id requests carry no
+    # parameters
+
+
+def _bind_source(source: ast.TableSource, params: Dict[str, Any]) -> None:
+    if isinstance(source, ast.TableRef):
+        if source.as_of is not None:
+            source.as_of = bind_expression(source.as_of, params)
+    elif isinstance(source, ast.SubquerySource):
+        _bind_in_place(source.query, params)
+    elif isinstance(source, ast.JoinSource):
+        _bind_source(source.left, params)
+        _bind_source(source.right, params)
+        if source.condition is not None:
+            source.condition = bind_expression(source.condition, params)

@@ -1,0 +1,277 @@
+"""Canonical SQL printer for expressions and statements.
+
+The formatter produces deterministic SQL text that re-parses to an
+equivalent AST (a tested fixpoint).  It serves three roles:
+
+* the audit log stores normalized statement text;
+* the debugger displays statement SQL (Fig. 3/4 panels);
+* the SQL code generator (:mod:`repro.algebra.sqlgen`) prints rewritten
+  plans back to executable SQL — the last stage of the GProM pipeline
+  (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra import expressions as ex
+from repro.db.types import format_value
+from repro.errors import ReproError
+from repro.sql import ast
+
+# Binding strength used to decide where parentheses are required.
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "NOT": 3,
+    "=": 4, "<>": 4, "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5, "||": 5,
+    "*": 6, "/": 6, "%": 6,
+    "UNARY-": 7,
+}
+
+
+def format_expr(expr: ex.Expr, parent_prec: int = 0) -> str:
+    """Render an expression, adding parentheses only where needed."""
+    text, prec = _format_with_prec(expr)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _format_with_prec(expr: ex.Expr):
+    if isinstance(expr, ex.RawSQL):
+        return expr.text, 0  # pre-rendered; parenthesize conservatively
+    if isinstance(expr, ex.Literal):
+        return format_value(expr.value), 100
+    if isinstance(expr, ex.Column):
+        return expr.display, 100
+    if isinstance(expr, ex.Param):
+        return f":{expr.name}", 100
+    if isinstance(expr, ex.Star):
+        return f"{expr.table}.*" if expr.table else "*", 100
+    if isinstance(expr, ex.BinaryOp):
+        prec = _PRECEDENCE[expr.op]
+        left = format_expr(expr.left, prec)
+        # right side gets prec+1 for non-associative readability
+        right = format_expr(expr.right, prec + 1)
+        return f"{left} {expr.op} {right}", prec
+    if isinstance(expr, ex.UnaryOp):
+        if expr.op == "NOT":
+            prec = _PRECEDENCE["NOT"]
+            return f"NOT {format_expr(expr.operand, prec + 1)}", prec
+        prec = _PRECEDENCE["UNARY-"]
+        return f"-{format_expr(expr.operand, prec + 1)}", prec
+    if isinstance(expr, ex.Case):
+        parts = ["CASE"]
+        for cond, result in expr.whens:
+            parts.append(f"WHEN {format_expr(cond)} "
+                         f"THEN {format_expr(result)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {format_expr(expr.default)}")
+        parts.append("END")
+        return " ".join(parts), 100
+    if isinstance(expr, ex.FuncCall):
+        if expr.name.startswith("CAST_"):
+            inner = format_expr(expr.args[0])
+            return f"CAST({inner} AS {expr.name[5:]})", 100
+        args = ", ".join(format_expr(a) for a in expr.args)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({distinct}{args})", 100
+    if isinstance(expr, ex.IsNull):
+        middle = "IS NOT NULL" if expr.negated else "IS NULL"
+        prec = _PRECEDENCE["="]
+        return f"{format_expr(expr.operand, prec + 1)} {middle}", prec
+    if isinstance(expr, ex.InList):
+        items = ", ".join(format_expr(i) for i in expr.items)
+        word = "NOT IN" if expr.negated else "IN"
+        prec = _PRECEDENCE["="]
+        return (f"{format_expr(expr.operand, prec + 1)} {word} ({items})",
+                prec)
+    if isinstance(expr, ex.Between):
+        word = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        prec = _PRECEDENCE["="]
+        return (f"{format_expr(expr.operand, prec + 1)} {word} "
+                f"{format_expr(expr.low, prec + 1)} AND "
+                f"{format_expr(expr.high, prec + 1)}", prec)
+    if isinstance(expr, ex.Like):
+        word = "NOT LIKE" if expr.negated else "LIKE"
+        prec = _PRECEDENCE["="]
+        return (f"{format_expr(expr.operand, prec + 1)} {word} "
+                f"{format_expr(expr.pattern, prec + 1)}", prec)
+    if isinstance(expr, ex.SubqueryExpr):
+        query_sql = _format_subquery_body(expr)
+        if expr.kind == "EXISTS":
+            text = f"EXISTS ({query_sql})"
+            return (f"NOT {text}" if expr.negated else text,
+                    _PRECEDENCE["NOT"] if expr.negated else 100)
+        if expr.kind == "SCALAR":
+            return f"({query_sql})", 100
+        if expr.kind == "IN":
+            word = "NOT IN" if expr.negated else "IN"
+            prec = _PRECEDENCE["="]
+            return (f"{format_expr(expr.operand, prec + 1)} {word} "
+                    f"({query_sql})", prec)
+    raise ReproError(f"cannot format expression {expr!r}")
+
+
+def _format_subquery_body(expr: ex.SubqueryExpr) -> str:
+    # A planned subquery prints from the plan: the plan carries resolved
+    # (and possibly remapped) column keys — required for generated SQL
+    # whose outer aliases differ from the original text.
+    if expr.plan is not None:
+        from repro.algebra.sqlgen import generate_sql
+        return generate_sql(expr.plan)
+    if expr.query is not None and isinstance(expr.query, ast.QueryExpr):
+        return format_statement(expr.query)
+    raise ReproError("subquery has neither AST nor plan")
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+def format_statement(stmt: ast.Statement) -> str:
+    if isinstance(stmt, ast.Select):
+        return _format_select(stmt)
+    if isinstance(stmt, ast.SetOpQuery):
+        op = stmt.op + (" ALL" if stmt.all else "")
+        left = _maybe_paren_query(stmt.left)
+        right = _maybe_paren_query(stmt.right)
+        text = f"{left} {op} {right}"
+        text += _format_order_limit(stmt.order_by, stmt.limit)
+        return text
+    if isinstance(stmt, ast.ValuesClause):
+        rows = ", ".join(
+            "(" + ", ".join(format_expr(v) for v in row) + ")"
+            for row in stmt.rows)
+        return f"VALUES {rows}"
+    if isinstance(stmt, ast.Insert):
+        parts = [f"INSERT INTO {stmt.table}"]
+        if stmt.columns:
+            parts.append("(" + ", ".join(stmt.columns) + ")")
+        if isinstance(stmt.source, ast.ValuesClause):
+            parts.append(format_statement(stmt.source))
+        else:
+            parts.append("(" + format_statement(stmt.source) + ")")
+        return " ".join(parts)
+    if isinstance(stmt, ast.Update):
+        sets = ", ".join(f"{a.column} = {format_expr(a.value)}"
+                         for a in stmt.assignments)
+        text = f"UPDATE {stmt.table} SET {sets}"
+        if stmt.where is not None:
+            text += f" WHERE {format_expr(stmt.where)}"
+        return text
+    if isinstance(stmt, ast.Delete):
+        text = f"DELETE FROM {stmt.table}"
+        if stmt.where is not None:
+            text += f" WHERE {format_expr(stmt.where)}"
+        return text
+    if isinstance(stmt, ast.CreateTable):
+        cols = []
+        for col in stmt.columns:
+            piece = f"{col.name} {col.type_name.upper()}"
+            if col.primary_key:
+                piece += " PRIMARY KEY"
+            elif col.not_null:
+                piece += " NOT NULL"
+            cols.append(piece)
+        return f"CREATE TABLE {stmt.name} ({', '.join(cols)})"
+    if isinstance(stmt, ast.DropTable):
+        return f"DROP TABLE {stmt.name}"
+    if isinstance(stmt, ast.BeginTransaction):
+        if stmt.isolation:
+            return f"BEGIN ISOLATION LEVEL {stmt.isolation.upper()}"
+        return "BEGIN"
+    if isinstance(stmt, ast.Commit):
+        return "COMMIT"
+    if isinstance(stmt, ast.Rollback):
+        return "ROLLBACK"
+    if isinstance(stmt, ast.ProvenanceOfQuery):
+        return f"PROVENANCE OF ({format_statement(stmt.query)})"
+    if isinstance(stmt, ast.ProvenanceOfTransaction):
+        text = f"PROVENANCE OF TRANSACTION {stmt.xid}"
+        if stmt.upto is not None:
+            text += f" UPTO {stmt.upto}"
+        if stmt.table is not None:
+            text += f" ON TABLE {stmt.table}"
+        return text
+    if isinstance(stmt, ast.ReenactTransaction):
+        text = f"REENACT TRANSACTION {stmt.xid}"
+        if stmt.upto is not None:
+            text += f" UPTO {stmt.upto}"
+        if stmt.table is not None:
+            text += f" ON TABLE {stmt.table}"
+        if stmt.with_provenance:
+            text += " WITH PROVENANCE"
+        return text
+    raise ReproError(f"cannot format statement {stmt!r}")
+
+
+def _maybe_paren_query(query: ast.QueryExpr) -> str:
+    text = format_statement(query)
+    if isinstance(query, ast.SetOpQuery):
+        return f"({text})"
+    return text
+
+
+def _format_select(stmt: ast.Select) -> str:
+    parts = ["SELECT"]
+    if stmt.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_format_select_item(i) for i in stmt.items))
+    if stmt.sources:
+        parts.append("FROM")
+        parts.append(", ".join(_format_source(s) for s in stmt.sources))
+    if stmt.where is not None:
+        parts.append(f"WHERE {format_expr(stmt.where)}")
+    if stmt.group_by:
+        parts.append("GROUP BY "
+                     + ", ".join(format_expr(g) for g in stmt.group_by))
+    if stmt.having is not None:
+        parts.append(f"HAVING {format_expr(stmt.having)}")
+    text = " ".join(parts)
+    text += _format_order_limit(stmt.order_by, stmt.limit)
+    return text
+
+
+def _format_order_limit(order_by, limit: Optional[ex.Expr]) -> str:
+    text = ""
+    if order_by:
+        rendered = []
+        for item in order_by:
+            piece = format_expr(item.expr)
+            if not item.ascending:
+                piece += " DESC"
+            rendered.append(piece)
+        text += " ORDER BY " + ", ".join(rendered)
+    if limit is not None:
+        text += f" LIMIT {format_expr(limit)}"
+    return text
+
+
+def _format_select_item(item: ast.SelectItem) -> str:
+    text = format_expr(item.expr)
+    if item.alias:
+        text += f" AS {item.alias}"
+    return text
+
+
+def _format_source(source: ast.TableSource) -> str:
+    if isinstance(source, ast.TableRef):
+        text = source.name
+        if source.as_of is not None:
+            text += f" AS OF {format_expr(source.as_of)}"
+        if source.alias:
+            text += f" {source.alias}"
+        return text
+    if isinstance(source, ast.SubquerySource):
+        return f"({format_statement(source.query)}) AS {source.alias}"
+    if isinstance(source, ast.JoinSource):
+        left = _format_source(source.left)
+        right = _format_source(source.right)
+        if source.kind == "CROSS":
+            return f"{left} CROSS JOIN {right}"
+        word = "LEFT JOIN" if source.kind == "LEFT" else "JOIN"
+        return f"{left} {word} {right} ON {format_expr(source.condition)}"
+    raise ReproError(f"cannot format source {source!r}")

@@ -1,0 +1,178 @@
+"""Hand-written SQL lexer.
+
+Produces a flat list of :class:`Token` objects with line/column
+information for precise syntax errors.  Keywords are *not* distinguished
+from identifiers here — the parser decides contextually, which keeps the
+keyword list in one place and lets identifiers shadow non-reserved words.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SQLSyntaxError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "IDENT"      # bare identifier (maybe a keyword)
+    NUMBER = "NUMBER"    # integer or float literal
+    STRING = "STRING"    # 'single quoted'
+    PARAM = "PARAM"      # :name bind parameter
+    OP = "OP"            # operator / punctuation
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    position: int
+    line: int
+    column: int
+
+    def upper(self) -> str:
+        return self.value.upper()
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind.value}({self.value!r})"
+
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = ["<=", ">=", "<>", "!=", "||"]
+_SINGLE_OPS = set("+-*/%=<>(),.;")
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize ``sql``; raises :class:`SQLSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(sql)
+
+    def here(offset: int = 0):
+        pos = i + offset
+        return pos, line, pos - line_start + 1
+
+    while i < n:
+        ch = sql[i]
+        # whitespace
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            line_start = i
+            continue
+        # comments
+        if ch == "-" and sql.startswith("--", i):
+            while i < n and sql[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end < 0:
+                pos, ln, col = here()
+                raise SQLSyntaxError("unterminated block comment",
+                                     pos, ln, col)
+            line += sql.count("\n", i, end)
+            i = end + 2
+            continue
+        pos, ln, col = here()
+        # string literal with '' escaping
+        if ch == "'":
+            j = i + 1
+            parts: List[str] = []
+            while True:
+                if j >= n:
+                    raise SQLSyntaxError("unterminated string literal",
+                                         pos, ln, col)
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token(TokenKind.STRING, "".join(parts),
+                                pos, ln, col))
+            i = j + 1
+            continue
+        # number: digits [. digits] [e[+-]digits]
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            saw_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "."
+                                                  and not saw_dot)):
+                if sql[j] == ".":
+                    # '1.' followed by an identifier char is 'NUMBER DOT'?
+                    # keep it simple: a dot not followed by a digit ends
+                    # the number (supports tuple-style "t.col" access).
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    saw_dot = True
+                j += 1
+            # optional exponent (scientific notation, e.g. 1e-05)
+            if j < n and sql[j] in "eE":
+                k = j + 1
+                if k < n and sql[k] in "+-":
+                    k += 1
+                if k < n and sql[k].isdigit():
+                    while k < n and sql[k].isdigit():
+                        k += 1
+                    j = k
+            tokens.append(Token(TokenKind.NUMBER, sql[i:j], pos, ln, col))
+            i = j
+            continue
+        # bind parameter
+        if ch == ":":
+            j = i + 1
+            if j >= n or not (sql[j].isalpha() or sql[j] == "_"):
+                raise SQLSyntaxError("expected parameter name after ':'",
+                                     pos, ln, col)
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            tokens.append(Token(TokenKind.PARAM, sql[i + 1:j], pos, ln, col))
+            i = j
+            continue
+        # identifier (optionally double-quoted)
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            tokens.append(Token(TokenKind.IDENT, sql[i:j], pos, ln, col))
+            i = j
+            continue
+        if ch == '"':
+            end = sql.find('"', i + 1)
+            if end < 0:
+                raise SQLSyntaxError("unterminated quoted identifier",
+                                     pos, ln, col)
+            tokens.append(Token(TokenKind.IDENT, sql[i + 1:end],
+                                pos, ln, col))
+            i = end + 1
+            continue
+        # operators
+        matched = False
+        for op in _MULTI_OPS:
+            if sql.startswith(op, i):
+                value = "<>" if op == "!=" else op
+                tokens.append(Token(TokenKind.OP, value, pos, ln, col))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token(TokenKind.OP, ch, pos, ln, col))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", pos, ln, col)
+
+    pos, ln, col = (n, line, n - line_start + 1)
+    tokens.append(Token(TokenKind.EOF, "", pos, ln, col))
+    return tokens

@@ -1,0 +1,26 @@
+"""Workloads: the running example, anomaly builders, the interleaving
+simulator, and random workload generation for the experiments."""
+
+from repro.workloads.anomalies import (ALL_ANOMALIES, AnomalyReport,
+                                       lost_update_prevention,
+                                       nonrepeatable_read,
+                                       read_committed_sees_new_rows,
+                                       write_skew)
+from repro.workloads.bank import (FIG2_EXPECTED, OVERDRAFT_SQL, T1_PARAMS,
+                                  T2_PARAMS, WITHDRAW_SQL, fig2_states,
+                                  run_write_skew_history, setup_bank,
+                                  withdrawal_script)
+from repro.workloads.generator import (WorkloadConfig, WorkloadGenerator,
+                                       populate_accounts, uN_transaction)
+from repro.workloads.simulator import (HistorySimulator, TxnOp, TxnOutcome,
+                                       TxnScript)
+
+__all__ = [
+    "ALL_ANOMALIES", "AnomalyReport", "lost_update_prevention",
+    "nonrepeatable_read", "read_committed_sees_new_rows", "write_skew",
+    "FIG2_EXPECTED", "OVERDRAFT_SQL", "T1_PARAMS", "T2_PARAMS",
+    "WITHDRAW_SQL", "fig2_states", "run_write_skew_history", "setup_bank",
+    "withdrawal_script", "WorkloadConfig", "WorkloadGenerator",
+    "populate_accounts", "uN_transaction", "HistorySimulator", "TxnOp",
+    "TxnOutcome", "TxnScript",
+]

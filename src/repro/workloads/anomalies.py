@@ -1,0 +1,129 @@
+"""Concurrency-anomaly scenario builders.
+
+The demo prepares "a transaction history that contains simple examples
+... as well as more complex transactions showcasing various anomalies
+(e.g., write-skew and non-repeatable reads)" (§5).  Each builder
+executes a deterministic history against a fresh database and returns
+the transaction ids plus the facts a debugger user would discover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.db.engine import Database
+from repro.workloads import bank
+from repro.workloads.simulator import (HistorySimulator, TxnOp, TxnScript,
+                                       TxnOutcome)
+
+
+@dataclass
+class AnomalyReport:
+    """Outcome of one anomaly scenario."""
+
+    name: str
+    xids: Dict[str, Optional[int]]
+    outcomes: Dict[str, TxnOutcome]
+    description: str
+
+
+def write_skew(db: Database) -> AnomalyReport:
+    """The running example: both SI transactions read the other
+    account's outdated balance; the overdraft is missed (Example 1)."""
+    bank.setup_bank(db)
+    t1_xid, t2_xid = bank.run_write_skew_history(db)
+    return AnomalyReport(
+        name="write-skew",
+        xids={"T1": t1_xid, "T2": t2_xid},
+        outcomes={},
+        description="Both transactions computed the customer's total "
+                    "balance from a private snapshot and neither saw the "
+                    "other's debit, so no overdraft row was inserted "
+                    "although the final combined balance is negative.")
+
+
+def nonrepeatable_read(db: Database) -> AnomalyReport:
+    """READ COMMITTED: T1's second statement sees data committed by T2
+    *after* T1 began — its two statements observe different states."""
+    db.execute("CREATE TABLE items (id INT, qty INT)")
+    db.execute("INSERT INTO items VALUES (1, 10), (2, 20)")
+    t1 = TxnScript(
+        name="T1",
+        ops=[TxnOp("UPDATE items SET qty = qty + 1 WHERE id = 1"),
+             # reads item 2's quantity — already changed by T2 under RC
+             TxnOp("UPDATE items SET qty = "
+                   "(SELECT i2.qty FROM items i2 WHERE i2.id = 2) "
+                   "WHERE id = 1")],
+        isolation="READ COMMITTED")
+    t2 = TxnScript(
+        name="T2",
+        ops=[TxnOp("UPDATE items SET qty = 100 WHERE id = 2")])
+    schedule = ["T1",            # begin + first update
+                "T2", "T2",      # T2 runs fully and commits
+                "T1",            # second statement: sees qty=100
+                "T1"]            # commit
+    outcomes = HistorySimulator(db).run([t1, t2], schedule)
+    return AnomalyReport(
+        name="non-repeatable-read",
+        xids={name: outcome.xid for name, outcome in outcomes.items()},
+        outcomes=outcomes,
+        description="Under READ COMMITTED, T1's second statement read "
+                    "item 2's quantity as 100 (T2's committed value), "
+                    "not the 20 it would have seen under snapshot "
+                    "isolation: item 1 ends at 100 instead of 20.")
+
+
+def lost_update_prevention(db: Database) -> AnomalyReport:
+    """SI prevents lost updates: the second writer of the same row
+    aborts (first-updater-wins) — the mechanism promotion exploits."""
+    db.execute("CREATE TABLE counters (id INT, n INT)")
+    db.execute("INSERT INTO counters VALUES (1, 0)")
+    t1 = TxnScript(name="T1",
+                   ops=[TxnOp("UPDATE counters SET n = n + 1 "
+                              "WHERE id = 1")])
+    t2 = TxnScript(name="T2",
+                   ops=[TxnOp("UPDATE counters SET n = n + 10 "
+                              "WHERE id = 1")])
+    schedule = ["T1", "T2", "T1", "T2"]
+    outcomes = HistorySimulator(db).run([t1, t2], schedule)
+    return AnomalyReport(
+        name="lost-update-prevention",
+        xids={name: outcome.xid for name, outcome in outcomes.items()},
+        outcomes=outcomes,
+        description="T2 tried to update a row already written by the "
+                    "still-active T1 and aborted (write-write conflict), "
+                    "so T1's update cannot be lost.")
+
+
+def read_committed_sees_new_rows(db: Database) -> AnomalyReport:
+    """READ COMMITTED phantom-style behaviour: a row inserted and
+    committed by T2 mid-flight is visible to T1's later statement."""
+    db.execute("CREATE TABLE audit_items (id INT, tag TEXT)")
+    db.execute("INSERT INTO audit_items VALUES (1, 'old')")
+    t1 = TxnScript(
+        name="T1",
+        ops=[TxnOp("UPDATE audit_items SET tag = 'seen-1' "
+                   "WHERE id = 1"),
+             TxnOp("UPDATE audit_items SET tag = 'seen-2'")],
+        isolation="READ COMMITTED")
+    t2 = TxnScript(
+        name="T2",
+        ops=[TxnOp("INSERT INTO audit_items VALUES (2, 'new')")])
+    schedule = ["T1", "T2", "T2", "T1", "T1"]
+    outcomes = HistorySimulator(db).run([t1, t2], schedule)
+    return AnomalyReport(
+        name="rc-new-row-visibility",
+        xids={name: outcome.xid for name, outcome in outcomes.items()},
+        outcomes=outcomes,
+        description="T1's second statement updated the row T2 inserted "
+                    "after T1 began — impossible under snapshot "
+                    "isolation, expected under READ COMMITTED.")
+
+
+ALL_ANOMALIES = {
+    "write-skew": write_skew,
+    "non-repeatable-read": nonrepeatable_read,
+    "lost-update-prevention": lost_update_prevention,
+    "rc-new-row-visibility": read_committed_sees_new_rows,
+}

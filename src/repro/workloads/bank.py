@@ -1,0 +1,92 @@
+"""The paper's running example (Fig. 1 / Fig. 2 / Examples 1-2).
+
+Bob's withdrawal transaction: an UPDATE that debits one account type
+followed by an INSERT that records an overdraft when the customer's
+combined balance is negative.  Executed concurrently under snapshot
+isolation for the same customer but different account types, the two
+transactions exhibit a write-skew: both miss the overdraft.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.db.engine import Database
+from repro.workloads.simulator import HistorySimulator, TxnOp, TxnScript
+
+#: Bob's transaction, verbatim from Fig. 1 (modulo dialect spelling of
+#: ``!=`` which normalizes to ``<>``).
+WITHDRAW_SQL = ("UPDATE account SET bal = bal - :amount "
+                "WHERE cust = :name AND typ = :type")
+OVERDRAFT_SQL = (
+    "INSERT INTO overdraft ("
+    "SELECT a1.cust, a1.bal + a2.bal "
+    "FROM account a1, account a2 "
+    "WHERE a1.cust = :name AND a1.cust = a2.cust "
+    "AND a1.typ != a2.typ AND a1.bal + a2.bal < 0)")
+
+#: Bind parameters of Fig. 1.
+T1_PARAMS = {"name": "Alice", "amount": 70, "type": "Checking"}
+T2_PARAMS = {"name": "Alice", "amount": 40, "type": "Savings"}
+
+
+def setup_bank(db: Database) -> None:
+    """Create the schema and the Fig. 2 (a) initial state."""
+    db.execute("CREATE TABLE account (cust TEXT, typ TEXT, bal INT)")
+    db.execute("CREATE TABLE overdraft (cust TEXT, bal INT)")
+    db.execute("INSERT INTO account VALUES "
+               "('Alice', 'Checking', 50), ('Alice', 'Savings', 30)")
+
+
+def withdrawal_script(name: str, params: Dict,
+                      isolation: str = "SERIALIZABLE") -> TxnScript:
+    """Bob's transaction as a schedulable script."""
+    return TxnScript(
+        name=name,
+        ops=[TxnOp(WITHDRAW_SQL, dict(params)),
+             TxnOp(OVERDRAFT_SQL, {"name": params["name"]})],
+        isolation=isolation,
+        user="bob")
+
+
+def run_write_skew_history(db: Database) -> Tuple[int, int]:
+    """Execute T1 and T2 with the Fig. 1 interleaving (both run under
+    SI; T2 commits last).  Returns (t1_xid, t2_xid)."""
+    t1 = withdrawal_script("T1", T1_PARAMS)
+    t2 = withdrawal_script("T2", T2_PARAMS)
+    schedule = ["T1", "T2",        # begin + first statement slots
+                "T1", "T2",        # updates
+                "T1", "T2",        # inserts
+                "T1", "T2"]        # commits (T1 first, T2 last)
+    outcomes = HistorySimulator(db).run([t1, t2], schedule)
+    assert outcomes["T1"].committed and outcomes["T2"].committed
+    return outcomes["T1"].xid, outcomes["T2"].xid
+
+
+def fig2_states(db: Database, t1_xid: int, t2_xid: int) -> Dict[str, list]:
+    """The three Fig. 2 snapshots, reconstructed via time travel."""
+    log = db.audit_log
+    before = log.transaction_record(t1_xid).begin_ts
+    after_t1 = log.transaction_record(t1_xid).commit_ts
+    after_t2 = log.transaction_record(t2_xid).commit_ts
+    return {
+        "before": sorted(v for _, v, _ in
+                         db.table_snapshot("account", before)),
+        "after_t1": sorted(v for _, v, _ in
+                           db.table_snapshot("account", after_t1)),
+        "after_t2": sorted(v for _, v, _ in
+                           db.table_snapshot("account", after_t2)),
+        "overdraft_final": sorted(v for _, v, _ in
+                                  db.table_snapshot("overdraft",
+                                                    after_t2)),
+    }
+
+
+#: The states the paper shows in Fig. 2 (sorted row values).
+FIG2_EXPECTED = {
+    "before": [("Alice", "Checking", 50), ("Alice", "Savings", 30)],
+    "after_t1": [("Alice", "Checking", -20), ("Alice", "Savings", 30)],
+    "after_t2": [("Alice", "Checking", -20), ("Alice", "Savings", -10)],
+    "overdraft_final": [],  # the write-skew: no overdraft recorded
+}

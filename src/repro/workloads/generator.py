@@ -1,0 +1,172 @@
+"""Seeded random workload generation for the experiments.
+
+Generates transactional histories with the shapes the paper's
+evaluation claims are about:
+
+* **write-only vs mixed** statement mixes (the §3 overhead claim, E4);
+* **table-size and transaction-size sweeps** — the U1/U10/U100
+  transaction shapes of the reenactment papers (E5);
+* **random concurrent histories** for the equivalence experiments (E3).
+
+Everything is driven by a seed so histories are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.db.engine import Database
+from repro.workloads.simulator import (HistorySimulator, TxnOp, TxnScript,
+                                       TxnOutcome)
+
+BENCH_TABLE_DDL = ("CREATE TABLE bench_account "
+                   "(id INT, owner TEXT, branch INT, bal INT)")
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters of a generated workload."""
+
+    n_rows: int = 1000              #: rows in bench_account
+    n_transactions: int = 10
+    stmts_per_txn: Tuple[int, int] = (1, 4)
+    #: relative weights of statement kinds in transactions
+    mix: Dict[str, float] = field(default_factory=lambda: {
+        "update": 0.5, "insert": 0.2, "delete": 0.1, "select": 0.2})
+    isolation: str = "SERIALIZABLE"
+    n_branches: int = 10
+    seed: int = 7
+    #: probability that an update targets a whole branch (range predicate)
+    branch_update_prob: float = 0.3
+
+    @classmethod
+    def write_only(cls, **kw) -> "WorkloadConfig":
+        return cls(mix={"update": 0.6, "insert": 0.25, "delete": 0.15},
+                   **kw)
+
+    @classmethod
+    def mixed(cls, **kw) -> "WorkloadConfig":
+        return cls(mix={"update": 0.25, "insert": 0.1, "delete": 0.05,
+                        "select": 0.6}, **kw)
+
+
+class WorkloadGenerator:
+    """Generates and executes random transactional workloads."""
+
+    def __init__(self, config: Optional[WorkloadConfig] = None):
+        self.config = config or WorkloadConfig()
+        self._rng = random.Random(self.config.seed)
+        self._next_id = self.config.n_rows + 1
+
+    # -- setup -------------------------------------------------------------
+
+    def setup(self, db: Database) -> None:
+        db.execute(BENCH_TABLE_DDL)
+        populate_accounts(db, self.config.n_rows, self.config.n_branches,
+                          seed=self.config.seed)
+
+    # -- statement generation -------------------------------------------------
+
+    def _statement(self) -> TxnOp:
+        cfg = self.config
+        kinds, weights = zip(*cfg.mix.items())
+        kind = self._rng.choices(kinds, weights=weights)[0]
+        if kind == "update":
+            if self._rng.random() < cfg.branch_update_prob:
+                branch = self._rng.randrange(cfg.n_branches)
+                delta = self._rng.randint(-50, 50)
+                return TxnOp("UPDATE bench_account SET bal = bal + "
+                             f"{delta} WHERE branch = {branch}")
+            target = self._rng.randint(1, cfg.n_rows)
+            delta = self._rng.randint(-100, 100)
+            return TxnOp("UPDATE bench_account SET bal = bal + "
+                         f"{delta} WHERE id = {target}")
+        if kind == "insert":
+            new_id = self._next_id
+            self._next_id += 1
+            branch = self._rng.randrange(cfg.n_branches)
+            bal = self._rng.randint(0, 1000)
+            return TxnOp("INSERT INTO bench_account VALUES "
+                         f"({new_id}, 'acct-{new_id}', {branch}, {bal})")
+        if kind == "delete":
+            target = self._rng.randint(1, cfg.n_rows)
+            return TxnOp("DELETE FROM bench_account WHERE id = "
+                         f"{target} AND bal < 0")
+        # select: aggregation over a branch (read path, not audit-logged)
+        branch = self._rng.randrange(cfg.n_branches)
+        return TxnOp("SELECT branch, COUNT(*) AS n, SUM(bal) AS total "
+                     f"FROM bench_account WHERE branch = {branch} "
+                     "GROUP BY branch")
+
+    def scripts(self) -> List[TxnScript]:
+        cfg = self.config
+        out = []
+        for index in range(cfg.n_transactions):
+            n_stmts = self._rng.randint(*cfg.stmts_per_txn)
+            ops = [self._statement() for _ in range(n_stmts)]
+            out.append(TxnScript(name=f"W{index}", ops=ops,
+                                 isolation=cfg.isolation,
+                                 user=f"gen-{index}"))
+        return out
+
+    def random_schedule(self, scripts: Sequence[TxnScript],
+                        concurrency: int = 3) -> List[str]:
+        """Random interleaving with at most ``concurrency`` transactions
+        in flight (deterministic given the seed)."""
+        slots = {s.name: len(s.normalized_ops()) + 1 for s in scripts}
+        pending = [s.name for s in scripts]
+        active: List[str] = []
+        schedule: List[str] = []
+        while pending or active:
+            while pending and len(active) < concurrency:
+                active.append(pending.pop(0))
+            name = self._rng.choice(active)
+            schedule.append(name)
+            slots[name] -= 1
+            if slots[name] <= 0:
+                active.remove(name)
+        return schedule
+
+    def run(self, db: Database, concurrency: int = 3
+            ) -> Dict[str, TxnOutcome]:
+        scripts = self.scripts()
+        schedule = self.random_schedule(scripts, concurrency=concurrency)
+        return HistorySimulator(db).run(scripts, schedule)
+
+
+def populate_accounts(db: Database, n_rows: int, n_branches: int = 10,
+                      seed: int = 7, table: str = "bench_account",
+                      batch: int = 500) -> None:
+    """Bulk-load ``n_rows`` accounts (used by the scaling experiment)."""
+    rng = random.Random(seed)
+    rows: List[str] = []
+    session = db.connect(user="loader")
+    for i in range(1, n_rows + 1):
+        branch = rng.randrange(n_branches)
+        bal = rng.randint(0, 1000)
+        rows.append(f"({i}, 'acct-{i}', {branch}, {bal})")
+        if len(rows) >= batch:
+            session.execute(
+                f"INSERT INTO {table} VALUES {', '.join(rows)}")
+            rows.clear()
+    if rows:
+        session.execute(f"INSERT INTO {table} VALUES {', '.join(rows)}")
+
+
+def uN_transaction(db: Database, n_statements: int,
+                   spread: Optional[int] = None) -> int:
+    """Execute one committed transaction of ``n_statements`` single-row
+    updates (the U1/U10/U100 shapes from the reenactment evaluation) and
+    return its xid.  ``spread`` bounds the id range the updates touch."""
+    session = db.connect(user="uN")
+    session.begin()
+    spread = spread or max(n_statements, 1)
+    for k in range(n_statements):
+        target = (k % spread) + 1
+        session.execute("UPDATE bench_account SET bal = bal + 1 "
+                        f"WHERE id = {target}")
+    xid = session.txn.xid
+    session.commit()
+    return xid

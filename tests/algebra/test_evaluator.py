@@ -1,0 +1,257 @@
+"""Evaluator tests: every operator, hash/nested-loop joins, aggregation,
+set operations, subqueries, correlated subqueries."""
+
+import pytest
+
+from repro import Database
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE emp (name TEXT, dept TEXT, sal INT)")
+    database.execute(
+        "INSERT INTO emp VALUES "
+        "('ann','eng',100), ('bob','eng',80), ('cat','ops',60), "
+        "('dan','ops',60), ('eve','hr',NULL)")
+    database.execute("CREATE TABLE dept (dept TEXT, head TEXT)")
+    database.execute(
+        "INSERT INTO dept VALUES ('eng','ann'), ('ops','cat'), "
+        "('fin','zed')")
+    return database
+
+
+def q(db, sql):
+    return db.execute(sql).rows
+
+
+class TestScanSelectProject:
+    def test_projection_expressions(self, db):
+        rows = q(db, "SELECT name, sal * 2 AS double FROM emp "
+                     "WHERE dept = 'eng'")
+        assert sorted(rows) == [("ann", 200), ("bob", 160)]
+
+    def test_where_null_filtered(self, db):
+        rows = q(db, "SELECT name FROM emp WHERE sal > 0")
+        assert ("eve",) not in rows  # NULL sal: condition is unknown
+
+    def test_select_star_order(self, db):
+        result = db.execute("SELECT * FROM dept")
+        assert result.columns == ["dept", "head"]
+
+
+class TestJoins:
+    def test_hash_equi_join(self, db):
+        rows = q(db, "SELECT e.name, d.head FROM emp e "
+                     "JOIN dept d ON e.dept = d.dept WHERE e.sal >= 80")
+        assert sorted(rows) == [("ann", "ann"), ("bob", "ann")]
+
+    def test_join_with_residual_condition(self, db):
+        rows = q(db, "SELECT e.name FROM emp e JOIN dept d "
+                     "ON e.dept = d.dept AND e.name <> d.head")
+        assert sorted(rows) == [("bob",), ("dan",)]
+
+    def test_left_join_pads_nulls(self, db):
+        rows = q(db, "SELECT d.dept, e.name FROM dept d "
+                     "LEFT JOIN emp e ON d.dept = e.dept "
+                     "WHERE d.dept = 'fin'")
+        assert rows == [("fin", None)]
+
+    def test_cross_join_count(self, db):
+        rows = q(db, "SELECT COUNT(*) FROM emp, dept")
+        assert rows == [(15,)]
+
+    def test_nested_loop_inequality_join(self, db):
+        rows = q(db, "SELECT e1.name, e2.name FROM emp e1 "
+                     "JOIN emp e2 ON e1.sal > e2.sal "
+                     "WHERE e2.name = 'bob'")
+        assert rows == [("ann", "bob")]
+
+    def test_null_keys_never_match(self, db):
+        db.execute("INSERT INTO dept VALUES (NULL, 'nobody')")
+        db.execute("INSERT INTO emp VALUES ('nul', NULL, 1)")
+        rows = q(db, "SELECT e.name FROM emp e JOIN dept d "
+                     "ON e.dept = d.dept WHERE e.name = 'nul'")
+        assert rows == []
+
+    def test_self_join_paper_shape(self, db):
+        # Fig. 1's overdraft query shape: self-join with <> filter
+        db.execute("CREATE TABLE account (cust TEXT, typ TEXT, bal INT)")
+        db.execute("INSERT INTO account VALUES ('A','C',50), "
+                   "('A','S',-60), ('B','C',10)")
+        rows = q(db, "SELECT a1.cust, a1.bal + a2.bal FROM account a1, "
+                     "account a2 WHERE a1.cust = a2.cust "
+                     "AND a1.typ <> a2.typ AND a1.bal + a2.bal < 0")
+        assert sorted(rows) == [("A", -10), ("A", -10)]
+
+
+class TestAggregation:
+    def test_group_by(self, db):
+        rows = q(db, "SELECT dept, COUNT(*) AS n, SUM(sal) AS s "
+                     "FROM emp GROUP BY dept")
+        assert sorted(rows) == [("eng", 2, 180), ("hr", 1, None),
+                                ("ops", 2, 120)]
+
+    def test_count_star_vs_count_col(self, db):
+        rows = q(db, "SELECT COUNT(*), COUNT(sal) FROM emp")
+        assert rows == [(5, 4)]
+
+    def test_avg_min_max(self, db):
+        rows = q(db, "SELECT AVG(sal), MIN(sal), MAX(sal) FROM emp "
+                     "WHERE dept = 'ops'")
+        assert rows == [(60.0, 60, 60)]
+
+    def test_global_aggregate_on_empty_input(self, db):
+        rows = q(db, "SELECT COUNT(*), SUM(sal) FROM emp "
+                     "WHERE dept = 'none'")
+        assert rows == [(0, None)]
+
+    def test_group_by_on_empty_input_yields_no_rows(self, db):
+        rows = q(db, "SELECT dept, COUNT(*) FROM emp "
+                     "WHERE dept = 'none' GROUP BY dept")
+        assert rows == []
+
+    def test_having(self, db):
+        rows = q(db, "SELECT dept FROM emp GROUP BY dept "
+                     "HAVING COUNT(*) > 1")
+        assert sorted(rows) == [("eng",), ("ops",)]
+
+    def test_count_distinct(self, db):
+        rows = q(db, "SELECT COUNT(DISTINCT sal) FROM emp")
+        assert rows == [(3,)]
+
+    def test_group_by_expression(self, db):
+        rows = q(db, "SELECT sal / 10, COUNT(*) FROM emp "
+                     "WHERE sal IS NOT NULL GROUP BY sal / 10")
+        assert sorted(rows) == [(6, 2), (8, 1), (10, 1)]
+
+    def test_null_group(self, db):
+        rows = q(db, "SELECT sal, COUNT(*) FROM emp GROUP BY sal")
+        assert (None, 1) in rows
+
+    def test_aggregate_over_expression(self, db):
+        rows = q(db, "SELECT SUM(sal + 10) FROM emp WHERE dept = 'eng'")
+        assert rows == [(200,)]
+
+
+class TestSetOps:
+    def test_union_distinct(self, db):
+        rows = q(db, "SELECT dept FROM emp UNION SELECT dept FROM dept")
+        assert sorted(r[0] for r in rows) == ["eng", "fin", "hr", "ops"]
+
+    def test_union_all_keeps_duplicates(self, db):
+        rows = q(db, "SELECT dept FROM emp UNION ALL "
+                     "SELECT dept FROM dept")
+        assert len(rows) == 8
+
+    def test_intersect(self, db):
+        rows = q(db, "SELECT dept FROM emp INTERSECT "
+                     "SELECT dept FROM dept")
+        assert sorted(r[0] for r in rows) == ["eng", "ops"]
+
+    def test_except(self, db):
+        rows = q(db, "SELECT dept FROM dept EXCEPT SELECT dept FROM emp")
+        assert rows == [("fin",)]
+
+    def test_except_all_multiset(self, db):
+        rows = q(db, "SELECT sal FROM emp EXCEPT ALL "
+                     "SELECT 60 AS s")
+        sals = sorted((r[0] for r in rows), key=lambda v: (v is None, v))
+        assert sals == [60, 80, 100, None]
+
+    def test_intersect_all(self, db):
+        rows = q(db, "SELECT sal FROM emp INTERSECT ALL "
+                     "(SELECT 60 AS x UNION ALL SELECT 60 AS x "
+                     "UNION ALL SELECT 60 AS x)")
+        assert rows == [(60,), (60,)]
+
+
+class TestOrderLimitDistinct:
+    def test_order_by_multiple_keys(self, db):
+        rows = q(db, "SELECT name FROM emp ORDER BY dept, sal DESC, name")
+        assert rows == [("ann",), ("bob",), ("eve",), ("cat",), ("dan",)]
+
+    def test_nulls_sort_last_asc(self, db):
+        rows = q(db, "SELECT name FROM emp ORDER BY sal")
+        assert rows[-1] == ("eve",)
+
+    def test_order_by_alias(self, db):
+        rows = q(db, "SELECT sal * 2 AS d FROM emp "
+                     "WHERE sal IS NOT NULL ORDER BY d")
+        assert rows[0] == (120,)
+
+    def test_order_by_unprojected_column(self, db):
+        rows = q(db, "SELECT name FROM emp WHERE sal IS NOT NULL "
+                     "ORDER BY sal DESC")
+        assert rows[0] == ("ann",)
+
+    def test_limit(self, db):
+        assert len(q(db, "SELECT name FROM emp LIMIT 2")) == 2
+        assert len(q(db, "SELECT name FROM emp LIMIT 0")) == 0
+
+    def test_distinct(self, db):
+        rows = q(db, "SELECT DISTINCT dept FROM emp")
+        assert len(rows) == 3
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self, db):
+        rows = q(db, "SELECT name FROM emp "
+                     "WHERE sal = (SELECT MAX(sal) FROM emp)")
+        assert rows == [("ann",)]
+
+    def test_scalar_subquery_multiple_rows_error(self, db):
+        with pytest.raises(ExecutionError, match="more than one row"):
+            q(db, "SELECT (SELECT sal FROM emp) FROM dept")
+
+    def test_in_subquery(self, db):
+        rows = q(db, "SELECT name FROM emp WHERE dept IN "
+                     "(SELECT dept FROM dept WHERE head = 'ann')")
+        assert sorted(rows) == [("ann",), ("bob",)]
+
+    def test_not_in_subquery(self, db):
+        rows = q(db, "SELECT dept FROM dept WHERE dept NOT IN "
+                     "(SELECT dept FROM emp WHERE dept IS NOT NULL)")
+        assert rows == [("fin",)]
+
+    def test_exists_correlated(self, db):
+        rows = q(db, "SELECT d.dept FROM dept d WHERE EXISTS "
+                     "(SELECT 1 FROM emp e WHERE e.dept = d.dept "
+                     "AND e.sal > 70)")
+        assert rows == [("eng",)]
+
+    def test_not_exists(self, db):
+        rows = q(db, "SELECT d.dept FROM dept d WHERE NOT EXISTS "
+                     "(SELECT 1 FROM emp e WHERE e.dept = d.dept)")
+        assert rows == [("fin",)]
+
+    def test_correlated_scalar_subquery(self, db):
+        rows = q(db, "SELECT d.dept, (SELECT COUNT(*) FROM emp e "
+                     "WHERE e.dept = d.dept) AS n FROM dept d")
+        assert sorted(rows) == [("eng", 2), ("fin", 0), ("ops", 2)]
+
+    def test_empty_scalar_subquery_is_null(self, db):
+        rows = q(db, "SELECT name FROM emp WHERE sal = "
+                     "(SELECT sal FROM emp WHERE name = 'nobody')")
+        assert rows == []
+
+
+class TestMisc:
+    def test_select_without_from(self, db):
+        assert q(db, "SELECT 1 + 1, 'x'") == [(2, "x")]
+
+    def test_rowid_pseudo_column(self, db):
+        rows = q(db, "SELECT name, __rowid__ FROM emp WHERE name='ann'")
+        assert rows == [("ann", 1)]
+
+    def test_xid_pseudo_column(self, db):
+        rows = q(db, "SELECT DISTINCT __xid__ FROM emp")
+        assert len(rows) == 1  # all inserted by the same transaction
+
+    def test_case_in_projection(self, db):
+        rows = q(db, "SELECT name, CASE WHEN sal IS NULL THEN 'unpaid' "
+                     "WHEN sal >= 80 THEN 'high' ELSE 'low' END "
+                     "FROM emp ORDER BY name")
+        assert rows[0] == ("ann", "high")
+        assert rows[4] == ("eve", "unpaid")

@@ -1,0 +1,241 @@
+"""Expression evaluation semantics, especially three-valued logic."""
+
+import pytest
+
+from repro.algebra.expressions import (BinaryOp, Case, Column, EvalState,
+                                       Expr, InList, IsNull, Like, Literal,
+                                       Param, RowEnv, UnaryOp, Between,
+                                       columns_used, conjunction,
+                                       conjuncts, eval_expr, negate,
+                                       substitute, transform,
+                                       transform_topdown)
+from repro.errors import ExecutionError
+from repro.sql.parser import parse_expression
+
+
+def ev(sql, env=None, params=None):
+    expr = parse_expression(sql)
+    row_env = RowEnv(env) if env is not None else None
+    return eval_expr(expr, row_env, EvalState(params=params))
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert ev("1 + 2 * 3") == 7
+        assert ev("10 % 3") == 1
+        assert ev("2.5 * 2") == 5.0
+
+    def test_integer_division_stays_int_when_exact(self):
+        assert ev("10 / 2") == 5
+        assert isinstance(ev("10 / 2"), int)
+        assert ev("10 / 4") == 2.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            ev("1 / 0")
+        with pytest.raises(ExecutionError, match="division by zero"):
+            ev("1 % 0")
+
+    def test_null_propagates(self):
+        assert ev("1 + NULL") is None
+        assert ev("NULL * 2") is None
+        assert ev("-a", {"a": None}) is None
+
+    def test_concat(self):
+        assert ev("'a' || 'b' || 1") == "ab1"
+        assert ev("'a' || NULL") is None
+
+
+class TestComparison:
+    def test_basic(self):
+        assert ev("1 < 2") is True
+        assert ev("'a' >= 'b'") is False
+        assert ev("1 <> 2") is True
+
+    def test_null_comparisons_are_null(self):
+        assert ev("NULL = NULL") is None
+        assert ev("1 < NULL") is None
+        assert ev("NULL <> 1") is None
+
+    def test_incomparable_types(self):
+        with pytest.raises(ExecutionError, match="cannot compare"):
+            ev("1 < 'a'")
+
+
+class TestKleeneLogic:
+    def test_and_truth_table(self):
+        assert ev("TRUE AND TRUE") is True
+        assert ev("TRUE AND FALSE") is False
+        assert ev("FALSE AND NULL") is False   # short-circuit safe
+        assert ev("NULL AND FALSE") is False
+        assert ev("TRUE AND NULL") is None
+        assert ev("NULL AND NULL") is None
+
+    def test_or_truth_table(self):
+        assert ev("FALSE OR TRUE") is True
+        assert ev("NULL OR TRUE") is True
+        assert ev("FALSE OR NULL") is None
+        assert ev("FALSE OR FALSE") is False
+
+    def test_not(self):
+        assert ev("NOT TRUE") is False
+        assert ev("NOT NULL") is None
+
+    def test_non_boolean_condition_rejected(self):
+        with pytest.raises(ExecutionError, match="boolean"):
+            ev("1 AND TRUE")
+
+
+class TestPredicates:
+    def test_is_null(self):
+        assert ev("NULL IS NULL") is True
+        assert ev("1 IS NULL") is False
+        assert ev("1 IS NOT NULL") is True
+
+    def test_in_list(self):
+        assert ev("2 IN (1, 2, 3)") is True
+        assert ev("5 IN (1, 2)") is False
+        assert ev("5 NOT IN (1, 2)") is True
+
+    def test_in_list_null_semantics(self):
+        assert ev("NULL IN (1, 2)") is None
+        assert ev("3 IN (1, NULL)") is None       # unknown membership
+        assert ev("1 IN (1, NULL)") is True       # found despite NULL
+        assert ev("3 NOT IN (1, NULL)") is None
+
+    def test_between(self):
+        assert ev("5 BETWEEN 1 AND 10") is True
+        assert ev("0 BETWEEN 1 AND 10") is False
+        assert ev("0 NOT BETWEEN 1 AND 10") is True
+        assert ev("NULL BETWEEN 1 AND 2") is None
+
+    def test_like(self):
+        assert ev("'hello' LIKE 'h%'") is True
+        assert ev("'hello' LIKE 'h_llo'") is True
+        assert ev("'hello' LIKE 'H%'") is False
+        assert ev("'x' NOT LIKE 'y%'") is True
+        assert ev("NULL LIKE 'a'") is None
+
+    def test_like_escapes_regex_metachars(self):
+        assert ev("'a.c' LIKE 'a.c'") is True
+        assert ev("'abc' LIKE 'a.c'") is False
+
+
+class TestCase:
+    def test_first_match_wins(self):
+        assert ev("CASE WHEN TRUE THEN 1 WHEN TRUE THEN 2 END") == 1
+
+    def test_null_condition_skipped(self):
+        assert ev("CASE WHEN NULL THEN 1 ELSE 2 END") == 2
+
+    def test_no_match_no_else_is_null(self):
+        assert ev("CASE WHEN FALSE THEN 1 END") is None
+
+    def test_paper_update_shape(self):
+        env = {"cust": "Alice", "typ": "Checking", "bal": 50}
+        result = ev("CASE WHEN cust = 'Alice' AND typ = 'Checking' "
+                    "THEN bal - 70 ELSE bal END", env)
+        assert result == -20
+
+
+class TestFunctions:
+    def test_scalars(self):
+        assert ev("ABS(-3)") == 3
+        assert ev("COALESCE(NULL, NULL, 5, 6)") == 5
+        assert ev("NULLIF(1, 1)") is None
+        assert ev("NULLIF(1, 2)") == 1
+        assert ev("UPPER('ab')") == "AB"
+        assert ev("LOWER('AB')") == "ab"
+        assert ev("LENGTH('abc')") == 3
+        assert ev("ROUND(2.567, 1)") == 2.6
+        assert ev("MOD(7, 3)") == 1
+        assert ev("GREATEST(1, 9, 3)") == 9
+        assert ev("LEAST(4, 2)") == 2
+
+    def test_null_handling(self):
+        assert ev("ABS(NULL)") is None
+        assert ev("GREATEST(1, NULL)") is None
+
+    def test_cast(self):
+        assert ev("CAST('42' AS INT)") == 42
+        assert ev("CAST(1 AS BOOLEAN)") is True
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError, match="unknown function"):
+            ev("FROBNICATE(1)")
+
+
+class TestEnvAndParams:
+    def test_column_lookup(self):
+        assert ev("a + b", {"a": 1, "b": 2}) == 3
+
+    def test_env_chaining(self):
+        outer = RowEnv({"x": 10})
+        inner = RowEnv({"y": 1}, outer)
+        expr = parse_expression("x + y")
+        assert eval_expr(expr, inner, EvalState()) == 11
+
+    def test_inner_shadows_outer(self):
+        outer = RowEnv({"x": 10})
+        inner = RowEnv({"x": 1}, outer)
+        assert eval_expr(parse_expression("x"), inner,
+                         EvalState()) == 1
+
+    def test_unknown_column(self):
+        with pytest.raises(ExecutionError, match="unknown column"):
+            ev("ghost", {})
+
+    def test_params(self):
+        assert ev(":a * 2", params={"a": 21}) == 42
+
+
+class TestUtilities:
+    def test_columns_used(self):
+        expr = parse_expression("a + b * a")
+        assert columns_used(expr) == ["a", "b"]
+
+    def test_conjuncts_and_conjunction(self):
+        expr = parse_expression("a AND b AND (c OR d)")
+        parts = conjuncts(expr)
+        assert len(parts) == 3
+        rebuilt = conjunction(parts)
+        assert str(rebuilt) == str(expr)
+        assert conjunction([]) is None
+
+    def test_negate_simplifies(self):
+        expr = parse_expression("NOT a")
+        assert negate(expr) == Column(name="a")
+        assert negate(Literal(True)) == Literal(False)
+
+    def test_substitute(self):
+        expr = parse_expression("a + b")
+        for node in [expr.left, expr.right]:
+            node.key = node.name
+        result = substitute(expr, {"a": Literal(10)})
+        env = RowEnv({"b": 5})
+        assert eval_expr(result, env, EvalState()) == 15
+
+    def test_transform_topdown_first_match_wins(self):
+        # replacing "a + b" wholesale must beat replacing "a"
+        expr = parse_expression("a + b")
+        whole = parse_expression("a + b")
+
+        def visit(node):
+            if node == whole:
+                return Literal(99)
+            if node == Column(name="a"):
+                return Literal(1)
+            return node
+
+        assert transform_topdown(expr, visit) == Literal(99)
+
+    def test_transform_bottom_up(self):
+        expr = parse_expression("a + a")
+
+        def visit(node):
+            if isinstance(node, Column):
+                return Literal(1)
+            return node
+
+        result = transform(expr, visit)
+        assert eval_expr(result, None, EvalState()) == 2

@@ -1,0 +1,141 @@
+"""Operator-tree invariants and Relation helper tests."""
+
+import pytest
+
+from repro.algebra import operators as op
+from repro.algebra.evaluator import Relation
+from repro.algebra.expressions import BinaryOp, Column, Literal
+from repro.errors import AnalysisError, ExecutionError
+
+
+def scan(table="t", binding=None, columns=("a", "b")):
+    return op.TableScan(table=table, columns=list(columns),
+                        binding=binding or table)
+
+
+class TestSchemas:
+    def test_scan_attrs_qualified(self):
+        assert scan().attrs == ["t.a", "t.b"]
+
+    def test_scan_annotations_extend_attrs(self):
+        node = op.TableScan(table="t", columns=["a"], binding="x",
+                            annotations=(op.ANNOT_ROWID, op.ANNOT_XID))
+        assert node.attrs == ["x.a", "x.__rowid__", "x.__xid__"]
+
+    def test_projection_arity_checked(self):
+        with pytest.raises(AnalysisError, match="length mismatch"):
+            op.Projection(scan(), [Literal(1)], ["a", "b"])
+
+    def test_join_attrs_by_kind(self):
+        left, right = scan("l"), scan("r")
+        inner = op.Join(left, right, "inner",
+                        BinaryOp("=", Column(name="a", key="l.a"),
+                                 Column(name="a", key="r.a")))
+        assert inner.attrs == ["l.a", "l.b", "r.a", "r.b"]
+        semi = op.Join(scan("l"), scan("r"), "semi", Literal(True))
+        assert semi.attrs == ["l.a", "l.b"]
+        anti = op.Join(scan("l"), scan("r"), "anti", Literal(True))
+        assert anti.attrs == ["l.a", "l.b"]
+
+    def test_bad_join_kind_rejected(self):
+        with pytest.raises(AnalysisError, match="join kind"):
+            op.Join(scan("l"), scan("r"), "sideways")
+
+    def test_bad_setop_kind_rejected(self):
+        with pytest.raises(AnalysisError, match="set operation"):
+            op.SetOp("merge", scan("l"), scan("r"))
+
+    def test_setop_attrs_from_left(self):
+        union = op.SetOp("union", scan("l"), scan("r"), all=True)
+        assert union.attrs == ["l.a", "l.b"]
+
+    def test_aggregation_attrs(self):
+        agg = op.Aggregation(
+            scan(), [Column(name="a", key="t.a")], ["t.a"],
+            [op.AggSpec("COUNT", None, "__agg1")])
+        assert agg.attrs == ["t.a", "__agg1"]
+
+    def test_annotate_rowid_appends(self):
+        node = op.AnnotateRowId(scan(), name="__new__", seed=2)
+        assert node.attrs == ["t.a", "t.b", "__new__"]
+
+
+class TestTreeUtilities:
+    def make_plan(self):
+        return op.Selection(
+            op.Join(scan("x"), scan("y", columns=("c",)), "cross"),
+            Literal(True))
+
+    def test_walk_plan_preorder(self):
+        plan = self.make_plan()
+        kinds = [type(n).__name__ for n in op.walk_plan(plan)]
+        assert kinds == ["Selection", "Join", "TableScan", "TableScan"]
+
+    def test_plan_tables_deduplicates(self):
+        plan = op.Join(scan("t"), scan("t", binding="t2"), "cross")
+        assert op.plan_tables(plan) == ["t"]
+
+    def test_transform_plan_bottom_up_replacement(self):
+        plan = self.make_plan()
+
+        def strip_selection(node):
+            if isinstance(node, op.Selection):
+                return node.child
+            return node
+
+        result = op.transform_plan(plan, strip_selection)
+        assert isinstance(result, op.Join)
+
+    def test_replace_children_on_leaf_rejected(self):
+        with pytest.raises(AnalysisError):
+            scan().replace_children([scan()])
+
+
+class TestRelation:
+    @pytest.fixture
+    def relation(self):
+        return Relation(["t.a", "b"], [(1, "x"), (2, None), (1, "x")])
+
+    def test_len_iter(self, relation):
+        assert len(relation) == 3
+        assert list(relation)[0] == (1, "x")
+
+    def test_column_index_exact_and_suffix(self, relation):
+        assert relation.column_index("t.a") == 0
+        assert relation.column_index("a") == 0
+        with pytest.raises(ExecutionError, match="no column"):
+            relation.column_index("zzz")
+
+    def test_ambiguous_suffix_rejected(self):
+        relation = Relation(["x.a", "y.a"], [])
+        with pytest.raises(ExecutionError):
+            relation.column_index("a")
+
+    def test_column_values(self, relation):
+        assert relation.column("b") == ["x", None, "x"]
+
+    def test_as_dicts(self, relation):
+        assert relation.as_dicts()[1] == {"t.a": 2, "b": None}
+
+    def test_as_multiset(self, relation):
+        counts = relation.as_multiset()
+        assert counts[(1, "x")] == 2 and counts[(2, None)] == 1
+
+    def test_project(self, relation):
+        projected = relation.project(["b"])
+        assert projected.attrs == ["b"]
+        assert projected.rows == [("x",), (None,), ("x",)]
+
+    def test_sorted_handles_nulls_and_types(self, relation):
+        ordered = relation.sorted()
+        assert ordered.rows[-1] == (2, None)
+
+    def test_pretty_truncates(self):
+        relation = Relation(["n"], [(i,) for i in range(100)])
+        text = relation.pretty(max_rows=5)
+        assert "95 more rows" in text
+        assert text.count("\n") < 20
+
+    def test_pretty_renders_null_and_bool(self):
+        text = Relation(["v"], [(None,), (True,)]).pretty()
+        assert "NULL" in text and "true" in text

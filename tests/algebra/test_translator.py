@@ -1,0 +1,184 @@
+"""Name resolution and plan shape tests for the translator."""
+
+import pytest
+
+from repro.algebra import operators as op
+from repro.algebra.translator import Scope, Translator, plan_free_columns
+from repro.db.schema import Catalog, Column, TableSchema
+from repro.db.types import DataType
+from repro.errors import AnalysisError, CatalogError
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture
+def translator():
+    catalog = Catalog()
+    catalog.create(TableSchema("t", [
+        Column("a", DataType.INT), Column("b", DataType.STRING)]))
+    catalog.create(TableSchema("u", [
+        Column("a", DataType.INT), Column("c", DataType.INT)]))
+    return Translator(catalog)
+
+
+def plan_of(translator, sql):
+    return translator.translate_query(parse_statement(sql))
+
+
+class TestResolution:
+    def test_unqualified_unique(self, translator):
+        plan = plan_of(translator, "SELECT b FROM t")
+        assert plan.attrs == ["b"]
+        assert plan.exprs[0].key == "t.b"
+
+    def test_qualified(self, translator):
+        plan = plan_of(translator, "SELECT t1.a FROM t t1, u")
+        assert plan.exprs[0].key == "t1.a"
+
+    def test_ambiguous_rejected(self, translator):
+        with pytest.raises(AnalysisError, match="ambiguous"):
+            plan_of(translator, "SELECT a FROM t, u")
+
+    def test_unknown_column(self, translator):
+        with pytest.raises(AnalysisError, match="unknown column"):
+            plan_of(translator, "SELECT zzz FROM t")
+
+    def test_unknown_table(self, translator):
+        with pytest.raises(CatalogError, match="does not exist"):
+            plan_of(translator, "SELECT 1 FROM ghost")
+
+    def test_alias_shadows_table_name(self, translator):
+        plan = plan_of(translator, "SELECT x.a FROM t x")
+        assert plan.exprs[0].key == "x.a"
+        with pytest.raises(AnalysisError):
+            plan_of(translator, "SELECT t.a FROM t x")
+
+    def test_scope_object(self):
+        scope = Scope(["t.a", "t.b", "u.a"])
+        from repro.algebra.expressions import Column as Col
+        key, depth = scope.resolve(Col(name="b"))
+        assert key == "t.b" and depth == 0
+        with pytest.raises(AnalysisError, match="ambiguous"):
+            scope.resolve(Col(name="a"))
+
+    def test_outer_scope_depth(self):
+        outer = Scope(["o.x"])
+        inner = Scope(["i.y"], outer)
+        from repro.algebra.expressions import Column as Col
+        key, depth = inner.resolve(Col(name="x"))
+        assert key == "o.x" and depth == 1
+
+
+class TestPlanShapes:
+    def test_select_where_shape(self, translator):
+        plan = plan_of(translator, "SELECT a FROM t WHERE b = 'x'")
+        assert isinstance(plan, op.Projection)
+        assert isinstance(plan.child, op.Selection)
+        assert isinstance(plan.child.child, op.TableScan)
+
+    def test_aggregation_shape(self, translator):
+        plan = plan_of(translator,
+                       "SELECT b, SUM(a) FROM t GROUP BY b")
+        assert isinstance(plan, op.Projection)
+        assert isinstance(plan.child, op.Aggregation)
+        agg = plan.child
+        assert len(agg.aggregates) == 1
+        assert agg.aggregates[0].func == "SUM"
+
+    def test_having_is_selection_above_aggregation(self, translator):
+        plan = plan_of(translator,
+                       "SELECT b FROM t GROUP BY b HAVING COUNT(*) > 1")
+        assert isinstance(plan.child, op.Selection)
+        assert isinstance(plan.child.child, op.Aggregation)
+
+    def test_duplicate_aggregates_computed_once(self, translator):
+        plan = plan_of(translator,
+                       "SELECT SUM(a), SUM(a) + 1 FROM t")
+        agg = plan.child
+        assert len(agg.aggregates) == 1
+
+    def test_ungrouped_column_rejected(self, translator):
+        with pytest.raises(AnalysisError, match="GROUP BY"):
+            plan_of(translator, "SELECT a, COUNT(*) FROM t GROUP BY b")
+
+    def test_aggregate_in_where_rejected(self, translator):
+        with pytest.raises(AnalysisError, match="WHERE"):
+            plan_of(translator, "SELECT a FROM t WHERE SUM(a) > 1")
+
+    def test_nested_aggregate_rejected(self, translator):
+        with pytest.raises(AnalysisError, match="nested"):
+            plan_of(translator, "SELECT SUM(MAX(a)) FROM t")
+
+    def test_having_without_groups_or_aggregates_rejected(self,
+                                                          translator):
+        with pytest.raises(AnalysisError, match="HAVING"):
+            plan_of(translator, "SELECT a FROM t HAVING a > 1")
+
+    def test_setop_arity_mismatch(self, translator):
+        with pytest.raises(AnalysisError, match="arity"):
+            plan_of(translator,
+                    "SELECT a FROM t UNION SELECT a, c FROM u")
+
+    def test_distinct_shape(self, translator):
+        plan = plan_of(translator, "SELECT DISTINCT a FROM t")
+        assert isinstance(plan, op.Distinct)
+
+    def test_order_by_adds_orderby_node(self, translator):
+        plan = plan_of(translator, "SELECT a FROM t ORDER BY a")
+        assert isinstance(plan, op.OrderBy)
+
+    def test_hidden_order_column_stripped(self, translator):
+        plan = plan_of(translator, "SELECT b FROM t ORDER BY a")
+        assert plan.attrs == ["b"]
+
+    def test_duplicate_output_names_uniquified(self, translator):
+        plan = plan_of(translator, "SELECT a, a FROM t")
+        assert plan.attrs == ["a", "a_1"]
+
+    def test_star_excludes_annotations(self, translator):
+        plan = plan_of(translator, "SELECT * FROM t")
+        assert plan.attrs == ["a", "b"]
+
+    def test_pseudo_column_annotates_scan(self, translator):
+        plan = plan_of(translator, "SELECT a, __rowid__ FROM t")
+        scans = [n for n in op.walk_plan(plan)
+                 if isinstance(n, op.TableScan)]
+        assert op.ANNOT_ROWID in scans[0].annotations
+
+    def test_plain_query_has_unannotated_scan(self, translator):
+        plan = plan_of(translator, "SELECT a FROM t")
+        scans = [n for n in op.walk_plan(plan)
+                 if isinstance(n, op.TableScan)]
+        assert scans[0].annotations == ()
+
+
+class TestSubqueries:
+    def test_correlated_detection(self, translator):
+        plan = plan_of(translator,
+                       "SELECT a FROM t WHERE EXISTS "
+                       "(SELECT 1 FROM u WHERE u.a = t.a)")
+        from repro.algebra.expressions import SubqueryExpr, walk
+        sub = [n for n in walk(plan.child.condition)
+               if isinstance(n, SubqueryExpr)][0]
+        assert sub.correlated
+        assert plan_free_columns(sub.plan) == ["t.a"]
+
+    def test_uncorrelated_detection(self, translator):
+        plan = plan_of(translator,
+                       "SELECT a FROM t WHERE a IN (SELECT a FROM u)")
+        from repro.algebra.expressions import SubqueryExpr, walk
+        sub = [n for n in walk(plan.child.condition)
+               if isinstance(n, SubqueryExpr)][0]
+        assert not sub.correlated
+
+    def test_subquery_source_renames(self, translator):
+        plan = plan_of(translator,
+                       "SELECT s.x FROM (SELECT a AS x FROM t) s")
+        assert plan.attrs == ["x"]
+
+    def test_subquery_duplicate_columns_uniquified(self, translator):
+        # select-list uniquification renames the second 'a' to 'a_1',
+        # so the derived table exposes both without a collision
+        plan = plan_of(translator,
+                       "SELECT s.a, s.a_1 FROM "
+                       "(SELECT t.a, u.a FROM t, u) s")
+        assert plan.attrs == ["a", "a_1"]

@@ -1,0 +1,31 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro import Database
+from repro.workloads import setup_bank, run_write_skew_history
+
+
+@pytest.fixture
+def db():
+    """A fresh empty database."""
+    return Database()
+
+
+@pytest.fixture
+def bank_db():
+    """Database with the running example schema and initial state
+    (Fig. 2a), no transactions run yet."""
+    database = Database()
+    setup_bank(database)
+    return database
+
+
+@pytest.fixture
+def skew_db():
+    """Database after the Fig. 1 write-skew history; returns
+    (db, t1_xid, t2_xid)."""
+    database = Database()
+    setup_bank(database)
+    t1, t2 = run_write_skew_history(database)
+    return database, t1, t2

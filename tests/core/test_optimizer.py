@@ -1,0 +1,170 @@
+"""Provenance-aware optimizer: every rule preserves semantics, and the
+rules fire on the plan shapes reenactment produces."""
+
+import pytest
+
+from repro import Database
+from repro.algebra import operators as op
+from repro.algebra.evaluator import Evaluator
+from repro.algebra.translator import Translator
+from repro.core.optimizer import (OptimizerConfig, ProvenanceOptimizer,
+                                  expr_size)
+from repro.core.reenactor import ReenactmentOptions, Reenactor
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (a INT, b TEXT, c INT)")
+    database.execute("INSERT INTO t VALUES (1,'x',10), (2,'y',20), "
+                     "(3,'z',30), (4,'x',40)")
+    return database
+
+
+def plan_for(db, sql):
+    return Translator(db.catalog).translate_query(parse_statement(sql))
+
+
+def rows(db, plan):
+    return sorted(Evaluator(db.context()).evaluate(plan).rows)
+
+
+QUERIES = [
+    "SELECT a FROM t WHERE b = 'x'",
+    "SELECT a + c AS s FROM t WHERE a > 1 ORDER BY s",
+    "SELECT b, SUM(a) FROM t GROUP BY b HAVING COUNT(*) > 1",
+    "SELECT x.s FROM (SELECT a + c AS s, b FROM t) x WHERE x.b = 'x'",
+    "SELECT t1.a FROM t t1 JOIN t t2 ON t1.a = t2.c / 10",
+    "SELECT DISTINCT b FROM t WHERE a IN (SELECT a FROM t WHERE c > 15)",
+    "SELECT a FROM t UNION ALL SELECT c FROM t",
+]
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_optimizer_preserves_semantics(db, sql):
+    plan = plan_for(db, sql)
+    import copy
+    expected = rows(db, copy.deepcopy(plan))
+    optimized = ProvenanceOptimizer().optimize(plan)
+    assert rows(db, optimized) == expected
+
+
+class TestRules:
+    def test_merge_projections(self, db):
+        inner = plan_for(db, "SELECT a + 1 AS x, b FROM t")
+        outer = op.Projection(
+            inner,
+            [__import__("repro.algebra.expressions",
+                        fromlist=["Column"]).Column(name="x", key="x")],
+            ["x"])
+        optimizer = ProvenanceOptimizer()
+        result = optimizer.optimize(outer)
+        assert optimizer.rule_applications.get("merge_projections", 0) \
+            >= 1
+        assert rows(db, result) == [(2,), (3,), (4,), (5,)]
+
+    def test_combine_selections(self, db):
+        base = plan_for(db, "SELECT a FROM t WHERE a > 1")
+        from repro.algebra.expressions import BinaryOp, Column, Literal
+        wrapped = op.Selection(
+            op.Selection(base, BinaryOp("<", Column(name="a", key="a"),
+                                        Literal(4))),
+            BinaryOp("<>", Column(name="a", key="a"), Literal(3)))
+        optimizer = ProvenanceOptimizer()
+        result = optimizer.optimize(wrapped)
+        assert optimizer.rule_applications.get("combine_selections", 0) \
+            >= 1
+        assert rows(db, result) == [(2,)]
+
+    def test_identity_projection_removed(self, db):
+        base = plan_for(db, "SELECT a, b, c FROM t")
+        from repro.algebra.expressions import Column
+        identity = op.Projection(
+            base, [Column(name=n, key=n) for n in base.attrs],
+            list(base.attrs))
+        # disable merging so the identity-removal rule (not projection
+        # merging) is what eliminates the wrapper
+        optimizer = ProvenanceOptimizer(OptimizerConfig(
+            merge_projections=False))
+        optimizer.optimize(identity)
+        assert optimizer.rule_applications.get("remove_identity", 0) >= 1
+
+    def test_prune_columns_narrows_scan(self, db):
+        plan = plan_for(db, "SELECT a FROM t")
+        optimized = ProvenanceOptimizer().optimize(plan)
+        scans = [n for n in op.walk_plan(optimized)
+                 if isinstance(n, op.TableScan)]
+        assert scans[0].columns == ["a"]
+
+    def test_prune_keeps_condition_columns(self, db):
+        plan = plan_for(db, "SELECT a FROM t WHERE c > 15")
+        optimized = ProvenanceOptimizer().optimize(plan)
+        scans = [n for n in op.walk_plan(optimized)
+                 if isinstance(n, op.TableScan)]
+        assert set(scans[0].columns) == {"a", "c"}
+
+    def test_fold_constants(self, db):
+        from repro.algebra.expressions import (BinaryOp, Literal)
+        base = plan_for(db, "SELECT a FROM t")
+        wrapped = op.Selection(base, BinaryOp("AND", Literal(True),
+                                              Literal(True)))
+        optimizer = ProvenanceOptimizer()
+        result = optimizer.optimize(wrapped)
+        # the tautological selection disappears entirely
+        assert not any(isinstance(n, op.Selection)
+                       for n in op.walk_plan(result))
+
+    def test_disabled_config_changes_nothing(self, db):
+        import copy
+        plan = plan_for(db, "SELECT a FROM t WHERE b = 'x'")
+        snapshot = copy.deepcopy(plan)
+        optimizer = ProvenanceOptimizer(OptimizerConfig.disabled())
+        result = optimizer.optimize(plan)
+        assert optimizer.rule_applications == {}
+        assert rows(db, result) == rows(db, snapshot)
+
+
+class TestOnReenactmentChains:
+    def make_chain_xid(self, db, n):
+        s = db.connect()
+        s.begin()
+        for i in range(n):
+            s.execute(f"UPDATE t SET c = c + 1 WHERE a = {(i % 4) + 1}")
+        xid = s.txn.xid
+        s.commit()
+        return xid
+
+    def test_chain_collapses(self, db):
+        xid = self.make_chain_xid(db, 8)
+        reenactor = Reenactor(db)
+        record = reenactor.transaction_record(xid)
+        naive = reenactor.build_plans(
+            record, ReenactmentOptions(optimize=False))["t"]
+        optimized = reenactor.build_plans(
+            record, ReenactmentOptions(optimize=True))["t"]
+        count = lambda p: sum(1 for _ in op.walk_plan(p))  # noqa: E731
+        assert count(optimized) < count(naive)
+        assert rows(db, optimized) == rows(db, naive)
+
+    def test_merge_size_guard_stops_blowup(self, db):
+        xid = self.make_chain_xid(db, 30)
+        reenactor = Reenactor(db)
+        record = reenactor.transaction_record(xid)
+        plans = reenactor.build_plans(
+            record, ReenactmentOptions(optimize=False))
+        config = OptimizerConfig(merge_size_limit=500)
+        optimized = ProvenanceOptimizer(config).optimize(plans["t"])
+        # every projection's expressions stay under the size guard
+        for node in op.walk_plan(optimized):
+            if isinstance(node, op.Projection):
+                assert sum(expr_size(e) for e in node.exprs) <= 500 * 2
+
+    def test_optimized_reenactment_correct(self, db):
+        xid = self.make_chain_xid(db, 12)
+        reenactor = Reenactor(db)
+        optimized = reenactor.reenact(
+            xid, ReenactmentOptions(optimize=True)).tables["t"]
+        naive = reenactor.reenact(
+            xid, ReenactmentOptions(optimize=False)).tables["t"]
+        assert sorted(optimized.rows) == sorted(naive.rows)

@@ -1,0 +1,139 @@
+"""Provenance-graph tests (Fig. 4's click action)."""
+
+import pytest
+
+from repro import Database
+from repro.core.provenance.graph import (ProvenanceGraphBuilder,
+                                         build_transaction_graph,
+                                         render_graph)
+from repro.errors import ReenactmentError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE src (k INT, v INT)")
+    database.execute("CREATE TABLE dst (k INT, total INT)")
+    database.execute("INSERT INTO src VALUES (1,10), (1,20), (2,5)")
+    return database
+
+
+def run_txn(db, *stmts):
+    s = db.connect()
+    s.begin()
+    for stmt in stmts:
+        s.execute(stmt)
+    xid = s.txn.xid
+    s.commit()
+    return xid
+
+
+class TestUpdateChains:
+    def test_update_edge(self, db):
+        xid = run_txn(db, "UPDATE src SET v = v + 1 WHERE k = 2")
+        graph = build_transaction_graph(db, xid)
+        assert (("src", 3, -1), ("src", 3, 0)) in graph.edges
+        edge = graph.edges[("src", 3, -1), ("src", 3, 0)]
+        assert edge["kind"] == "update"
+
+    def test_two_updates_chain_through_columns(self, db):
+        xid = run_txn(db,
+                      "UPDATE src SET v = v + 1 WHERE k = 2",
+                      "UPDATE src SET v = v * 10 WHERE k = 2")
+        graph = build_transaction_graph(db, xid)
+        assert (("src", 3, -1), ("src", 3, 0)) in graph.edges
+        assert (("src", 3, 0), ("src", 3, 1)) in graph.edges
+        final = graph.nodes[("src", 3, 1)]["version"]
+        assert final.values == (2, 60)
+
+    def test_unchanged_rows_have_no_new_nodes(self, db):
+        xid = run_txn(db, "UPDATE src SET v = 0 WHERE k = 2")
+        graph = build_transaction_graph(db, xid)
+        # rows 1 and 2 (k=1) only exist as initial versions
+        assert ("src", 1, 0) not in graph
+        assert ("src", 1, -1) in graph
+
+    def test_delete_edge(self, db):
+        xid = run_txn(db, "DELETE FROM src WHERE k = 1")
+        graph = build_transaction_graph(db, xid)
+        edge = graph.edges[("src", 1, -1), ("src", 1, 0)]
+        assert edge["kind"] == "delete"
+        assert graph.nodes[("src", 1, 0)]["version"].deleted
+
+
+class TestInsertSources:
+    def test_aggregated_insert_sources(self, db):
+        xid = run_txn(db,
+                      "INSERT INTO dst (SELECT k, SUM(v) FROM src "
+                      "GROUP BY k)")
+        graph = build_transaction_graph(db, xid)
+        inserted = [k for k in graph.nodes
+                    if k[0] == "dst" and k[2] == 0]
+        assert len(inserted) == 2
+        group1 = [k for k in inserted
+                  if graph.nodes[k]["version"].values == (1, 30)][0]
+        sources = {graph.nodes[p]["version"].rowid
+                   for p in graph.predecessors(group1)}
+        assert sources == {1, 2}
+
+    def test_insert_after_update_links_to_updated_version(self, db):
+        xid = run_txn(db,
+                      "UPDATE src SET v = 100 WHERE k = 2",
+                      "INSERT INTO dst (SELECT k, v FROM src "
+                      "WHERE v = 100)")
+        graph = build_transaction_graph(db, xid)
+        inserted = [k for k in graph.nodes
+                    if k[0] == "dst" and k[2] == 1][0]
+        predecessors = list(graph.predecessors(inserted))
+        # the source is the *statement-0* version, not the initial one
+        assert predecessors == [("src", 3, 0)]
+
+    def test_insert_values_has_no_source_edges(self, db):
+        xid = run_txn(db, "INSERT INTO dst VALUES (9, 9)")
+        graph = build_transaction_graph(db, xid)
+        inserted = [k for k in graph.nodes if k[0] == "dst"]
+        assert len(inserted) == 1
+        assert list(graph.predecessors(inserted[0])) == []
+
+
+class TestProvenanceOf:
+    def test_ancestors_subgraph(self, db):
+        xid = run_txn(db,
+                      "UPDATE src SET v = v + 1 WHERE k = 1",
+                      "INSERT INTO dst (SELECT k, SUM(v) FROM src "
+                      "WHERE k = 1 GROUP BY k)")
+        builder = ProvenanceGraphBuilder(db, xid)
+        graph = builder.build()
+        inserted = [k for k in graph.nodes
+                    if k[0] == "dst" and k[2] == 1][0]
+        sub = builder.provenance_of(graph, "dst", inserted[1])
+        # contains: the inserted tuple, 2 updated versions, 2 initial
+        assert sub.number_of_nodes() == 5
+        # and nothing about row 3 (k=2)
+        assert ("src", 3, -1) not in sub
+
+    def test_latest_column_chosen_by_default(self, db):
+        xid = run_txn(db,
+                      "UPDATE src SET v = 1 WHERE k = 2",
+                      "UPDATE src SET v = 2 WHERE k = 2")
+        builder = ProvenanceGraphBuilder(db, xid)
+        graph = builder.build()
+        sub = builder.provenance_of(graph, "src", 3)
+        assert ("src", 3, 1) in sub and ("src", 3, 0) in sub
+
+    def test_unknown_tuple_raises(self, db):
+        xid = run_txn(db, "UPDATE src SET v = 0 WHERE k = 2")
+        builder = ProvenanceGraphBuilder(db, xid)
+        graph = builder.build()
+        with pytest.raises(ReenactmentError, match="does not appear"):
+            builder.provenance_of(graph, "src", 999)
+
+
+class TestRendering:
+    def test_render_contains_labels_and_edges(self, db):
+        xid = run_txn(db, "UPDATE src SET v = v + 1 WHERE k = 2")
+        graph = build_transaction_graph(db, xid)
+        text = render_graph(graph)
+        assert "src[3]" in text
+        assert "<-[update]-" in text
+        assert f"T{xid}" in text

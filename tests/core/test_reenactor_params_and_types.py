@@ -1,0 +1,138 @@
+"""Reenactment edge cases: bound parameters in the audit log, type
+coercion through chains, NULL-heavy data, self-referencing updates."""
+
+import pytest
+
+from repro import Database
+from repro.core.equivalence import check_transaction_equivalence
+from repro.core.reenactor import ReenactmentOptions, Reenactor
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE m (k INT, txt TEXT, f FLOAT, flag BOOLEAN)")
+    database.execute(
+        "INSERT INTO m VALUES (1, 'one', 1.5, TRUE), "
+        "(2, NULL, NULL, FALSE), (3, 'three', -0.5, NULL)")
+    return database
+
+
+def run_txn(db, ops):
+    s = db.connect()
+    s.begin()
+    for sql, params in ops:
+        s.execute(sql, params)
+    xid = s.txn.xid
+    s.commit()
+    return xid
+
+
+class TestParameters:
+    def test_bound_parameters_reenact(self, db):
+        xid = run_txn(db, [
+            ("UPDATE m SET txt = :label WHERE k = :k",
+             {"label": "it's", "k": 1}),
+            ("INSERT INTO m VALUES (:k, :t, :f, :b)",
+             {"k": 9, "t": None, "f": 2.25, "b": True}),
+        ])
+        rows = sorted(Reenactor(db).reenact(xid).tables["m"].rows,
+                      key=lambda r: r[0])
+        assert rows[0][1] == "it's"
+        assert rows[-1] == (9, None, 2.25, True)
+        assert check_transaction_equivalence(db, xid).ok
+
+    def test_audit_sql_is_parameter_free(self, db):
+        xid = run_txn(db, [
+            ("DELETE FROM m WHERE k = :k", {"k": 2}),
+        ])
+        record = db.audit_log.transaction_record(xid)
+        assert ":" not in record.statements[0].sql
+
+
+class TestTypesAndNulls:
+    def test_float_arithmetic_chain(self, db):
+        xid = run_txn(db, [
+            ("UPDATE m SET f = f * 2 WHERE f IS NOT NULL", None),
+            ("UPDATE m SET f = f + 0.25 WHERE k = 1", None),
+        ])
+        rows = {r[0]: r[2] for r in
+                Reenactor(db).reenact(xid).tables["m"].rows}
+        assert rows[1] == 3.25
+        assert rows[2] is None
+        assert rows[3] == -1.0
+
+    def test_null_conditions_in_updates(self, db):
+        # rows where txt IS NULL must not match txt <> 'one'
+        xid = run_txn(db, [
+            ("UPDATE m SET flag = TRUE WHERE txt <> 'one'", None),
+        ])
+        rows = {r[0]: r[3] for r in
+                Reenactor(db).reenact(xid).tables["m"].rows}
+        assert rows[2] is False   # NULL txt: untouched
+        assert rows[3] is True
+
+    def test_boolean_column_updates(self, db):
+        xid = run_txn(db, [
+            ("UPDATE m SET flag = NOT flag WHERE flag IS NOT NULL",
+             None),
+        ])
+        rows = {r[0]: r[3] for r in
+                Reenactor(db).reenact(xid).tables["m"].rows}
+        assert rows[1] is False and rows[2] is True and rows[3] is None
+        assert check_transaction_equivalence(db, xid).ok
+
+    def test_set_column_to_other_column(self, db):
+        xid = run_txn(db, [
+            ("UPDATE m SET txt = 'k=' || k WHERE k <= 2", None),
+        ])
+        rows = {r[0]: r[1] for r in
+                Reenactor(db).reenact(xid).tables["m"].rows}
+        assert rows[1] == "k=1" and rows[2] == "k=2"
+
+    def test_case_expression_in_set_clause(self, db):
+        xid = run_txn(db, [
+            ("UPDATE m SET txt = CASE WHEN k = 1 THEN 'first' "
+             "ELSE 'rest' END", None),
+        ])
+        rows = {r[0]: r[1] for r in
+                Reenactor(db).reenact(xid).tables["m"].rows}
+        assert rows[1] == "first" and rows[2] == "rest"
+        assert check_transaction_equivalence(db, xid).ok
+
+
+class TestSelfReference:
+    def test_update_from_scalar_subquery_over_self(self, db):
+        xid = run_txn(db, [
+            ("UPDATE m SET k = k + (SELECT MAX(m2.k) FROM m m2) "
+             "WHERE k = 1", None),
+        ])
+        ks = sorted(r[0] for r in
+                    Reenactor(db).reenact(xid).tables["m"].rows)
+        assert ks == [2, 3, 4]
+        assert check_transaction_equivalence(db, xid).ok
+
+    def test_insert_select_from_self_twice(self, db):
+        xid = run_txn(db, [
+            ("INSERT INTO m (SELECT k + 10, txt, f, flag FROM m "
+             "WHERE k = 1)", None),
+            ("INSERT INTO m (SELECT k + 100, txt, f, flag FROM m "
+             "WHERE k = 11)", None),
+        ])
+        ks = sorted(r[0] for r in
+                    Reenactor(db).reenact(xid).tables["m"].rows)
+        assert 11 in ks and 111 in ks
+        assert check_transaction_equivalence(db, xid).ok
+
+    def test_delete_with_exists_subquery(self, db):
+        db.execute("CREATE TABLE sel (k INT)")
+        db.execute("INSERT INTO sel VALUES (1), (3)")
+        xid = run_txn(db, [
+            ("DELETE FROM m WHERE EXISTS "
+             "(SELECT 1 FROM sel WHERE sel.k = m.k)", None),
+        ])
+        ks = sorted(r[0] for r in
+                    Reenactor(db).reenact(xid).tables["m"].rows)
+        assert ks == [2]
+        assert check_transaction_equivalence(db, xid).ok

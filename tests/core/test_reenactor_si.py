@@ -1,0 +1,247 @@
+"""Reenactment under snapshot isolation: statement translation,
+chaining, prefix reenactment, annotations."""
+
+import pytest
+
+from repro import Database
+from repro.core.reenactor import (DEL, ROWID, UPD, XID,
+                                  ReenactmentOptions, Reenactor)
+from repro.errors import ReenactmentError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE acc (name TEXT, bal INT)")
+    database.execute("INSERT INTO acc VALUES ('a', 10), ('b', 20), "
+                     "('c', 30)")
+    return database
+
+
+def run_txn(db, *stmts, isolation=None):
+    s = db.connect()
+    s.begin(isolation)
+    for stmt in stmts:
+        s.execute(stmt)
+    xid = s.txn.xid
+    s.commit()
+    return xid
+
+
+def reenacted(db, xid, **kw):
+    result = Reenactor(db).reenact(xid, ReenactmentOptions(**kw))
+    return {t: sorted(r.rows) for t, r in result.tables.items()}
+
+
+class TestSingleStatements:
+    def test_update(self, db):
+        xid = run_txn(db, "UPDATE acc SET bal = bal + 5 WHERE name='a'")
+        assert reenacted(db, xid)["acc"] == \
+            [("a", 15), ("b", 20), ("c", 30)]
+
+    def test_update_all_rows(self, db):
+        xid = run_txn(db, "UPDATE acc SET bal = 0")
+        assert reenacted(db, xid)["acc"] == \
+            [("a", 0), ("b", 0), ("c", 0)]
+
+    def test_delete(self, db):
+        xid = run_txn(db, "DELETE FROM acc WHERE bal >= 20")
+        assert reenacted(db, xid)["acc"] == [("a", 10)]
+
+    def test_delete_with_null_condition_keeps_row(self, db):
+        db.execute("INSERT INTO acc VALUES ('n', NULL)")
+        xid = run_txn(db, "DELETE FROM acc WHERE bal < 100")
+        assert reenacted(db, xid)["acc"] == [("n", None)]
+
+    def test_insert_values(self, db):
+        xid = run_txn(db, "INSERT INTO acc VALUES ('d', 40), ('e', 50)")
+        assert reenacted(db, xid)["acc"] == \
+            [("a", 10), ("b", 20), ("c", 30), ("d", 40), ("e", 50)]
+
+    def test_insert_column_subset(self, db):
+        xid = run_txn(db, "INSERT INTO acc (name) VALUES ('x')")
+        assert ("x", None) in reenacted(db, xid)["acc"]
+
+    def test_insert_select_self(self, db):
+        xid = run_txn(db, "INSERT INTO acc "
+                          "(SELECT name, bal * 2 FROM acc "
+                          "WHERE bal <= 20)")
+        rows = reenacted(db, xid)["acc"]
+        assert ("a", 20) in rows and ("b", 40) in rows
+        assert len(rows) == 5
+
+
+class TestChaining:
+    def test_update_then_update_composes(self, db):
+        xid = run_txn(db,
+                      "UPDATE acc SET bal = bal + 1 WHERE name = 'a'",
+                      "UPDATE acc SET bal = bal * 10 WHERE name = 'a'")
+        assert ("a", 110) in reenacted(db, xid)["acc"]
+
+    def test_update_sees_own_insert(self, db):
+        xid = run_txn(db,
+                      "INSERT INTO acc VALUES ('new', 1)",
+                      "UPDATE acc SET bal = bal + 100 "
+                      "WHERE name = 'new'")
+        assert ("new", 101) in reenacted(db, xid)["acc"]
+
+    def test_delete_then_insert_same_key(self, db):
+        xid = run_txn(db,
+                      "DELETE FROM acc WHERE name = 'a'",
+                      "INSERT INTO acc VALUES ('a', 999)")
+        rows = reenacted(db, xid)["acc"]
+        assert rows.count(("a", 999)) == 1
+        assert ("a", 10) not in rows
+
+    def test_update_does_not_resurrect_deleted(self, db):
+        xid = run_txn(db,
+                      "DELETE FROM acc WHERE name = 'a'",
+                      "UPDATE acc SET bal = 777")
+        rows = reenacted(db, xid)["acc"]
+        assert not any(name == "a" for name, _ in rows)
+
+    def test_multi_table_transaction(self, db):
+        db.execute("CREATE TABLE log (name TEXT)")
+        xid = run_txn(db,
+                      "UPDATE acc SET bal = -1 WHERE name = 'a'",
+                      "INSERT INTO log (SELECT name FROM acc "
+                      "WHERE bal < 0)")
+        result = reenacted(db, xid)
+        assert result["log"] == [("a",)]
+        assert ("a", -1) in result["acc"]
+
+    def test_insert_select_reads_other_table_chain(self, db):
+        db.execute("CREATE TABLE log (name TEXT)")
+        # the insert's subquery must see the update's effect
+        xid = run_txn(db,
+                      "UPDATE acc SET bal = 100 WHERE name = 'c'",
+                      "INSERT INTO log (SELECT name FROM acc "
+                      "WHERE bal = 100)")
+        assert reenacted(db, xid)["log"] == [("c",)]
+
+
+class TestSnapshotSemantics:
+    def test_si_ignores_concurrent_commits(self, db):
+        s1 = db.connect()
+        s1.begin()
+        s1.execute("UPDATE acc SET bal = bal + 1 WHERE name = 'a'")
+        # concurrent transaction commits an insert mid-flight
+        db.execute("INSERT INTO acc VALUES ('zz', 1000)")
+        s1.execute("UPDATE acc SET bal = bal + 1 WHERE name = 'b'")
+        xid = s1.txn.xid
+        s1.commit()
+        rows = reenacted(db, xid)["acc"]
+        # SI: the reenacted transaction never saw 'zz'
+        assert not any(name == "zz" for name, _ in rows)
+
+    def test_reenactment_of_old_transaction_after_later_changes(self, db):
+        xid = run_txn(db, "UPDATE acc SET bal = bal + 5 WHERE name='a'")
+        db.execute("UPDATE acc SET bal = 0")
+        db.execute("DELETE FROM acc WHERE name = 'c'")
+        # reenactment still reproduces the historical result
+        assert reenacted(db, xid)["acc"] == \
+            [("a", 15), ("b", 20), ("c", 30)]
+
+
+class TestPrefixAndOptions:
+    @pytest.fixture
+    def three_stmt_xid(self, db):
+        return run_txn(db,
+                       "UPDATE acc SET bal = bal + 1 WHERE name = 'a'",
+                       "INSERT INTO acc VALUES ('d', 40)",
+                       "DELETE FROM acc WHERE name = 'b'")
+
+    def test_prefix_zero_is_initial_state(self, db, three_stmt_xid):
+        rows = reenacted(db, three_stmt_xid, upto=0, table="acc")
+        assert rows["acc"] == [("a", 10), ("b", 20), ("c", 30)]
+
+    def test_prefix_one(self, db, three_stmt_xid):
+        rows = reenacted(db, three_stmt_xid, upto=1)
+        assert rows["acc"] == [("a", 11), ("b", 20), ("c", 30)]
+
+    def test_prefix_two(self, db, three_stmt_xid):
+        rows = reenacted(db, three_stmt_xid, upto=2)
+        assert ("d", 40) in rows["acc"] and ("b", 20) in rows["acc"]
+
+    def test_full(self, db, three_stmt_xid):
+        rows = reenacted(db, three_stmt_xid)
+        assert rows["acc"] == [("a", 11), ("c", 30), ("d", 40)]
+
+    def test_prefix_out_of_range(self, db, three_stmt_xid):
+        with pytest.raises(ReenactmentError, match="out of range"):
+            reenacted(db, three_stmt_xid, upto=9)
+
+    def test_only_affected_filter(self, db, three_stmt_xid):
+        result = Reenactor(db).reenact(
+            three_stmt_xid,
+            ReenactmentOptions(only_affected=True, table="acc"))
+        rows = sorted(result.tables["acc"].rows)
+        assert rows == [("a", 11), ("d", 40)]
+
+    def test_annotations_exposed(self, db, three_stmt_xid):
+        result = Reenactor(db).reenact(
+            three_stmt_xid,
+            ReenactmentOptions(annotations=True, table="acc"))
+        relation = result.tables["acc"]
+        for annotation in (ROWID, XID, UPD, DEL):
+            assert annotation in relation.attrs
+
+    def test_include_deleted_tombstones(self, db, three_stmt_xid):
+        result = Reenactor(db).reenact(
+            three_stmt_xid,
+            ReenactmentOptions(annotations=True, include_deleted=True,
+                               table="acc"))
+        relation = result.tables["acc"]
+        del_idx = relation.column_index(DEL)
+        deleted = [r for r in relation.rows if r[del_idx]]
+        assert len(deleted) == 1 and deleted[0][0] == "b"
+
+    def test_include_deleted_requires_annotations(self, db,
+                                                  three_stmt_xid):
+        with pytest.raises(ReenactmentError, match="annotations"):
+            reenacted(db, three_stmt_xid, include_deleted=True)
+
+    def test_creator_xid_attribution(self, db, three_stmt_xid):
+        result = Reenactor(db).reenact(
+            three_stmt_xid,
+            ReenactmentOptions(annotations=True, table="acc"))
+        relation = result.tables["acc"]
+        by_name = {row[0]: row for row in relation.rows}
+        xid_idx = relation.column_index(XID)
+        assert by_name["a"][xid_idx] == three_stmt_xid
+        assert by_name["d"][xid_idx] == three_stmt_xid
+        assert by_name["c"][xid_idx] != three_stmt_xid
+
+
+class TestErrors:
+    def test_unknown_transaction(self, db):
+        with pytest.raises(Exception, match="not found"):
+            Reenactor(db).reenact(999)
+
+    def test_table_restriction_unknown_table(self, db):
+        xid = run_txn(db, "UPDATE acc SET bal = 0 WHERE name = 'a'")
+        result = Reenactor(db).reenact(
+            xid, ReenactmentOptions(table="acc"))
+        with pytest.raises(ReenactmentError, match="not touched"):
+            result.table("ghost")
+
+    def test_dropped_table_rejected(self, db):
+        xid = run_txn(db, "UPDATE acc SET bal = 0 WHERE name = 'a'")
+        db.execute("DROP TABLE acc")
+        with pytest.raises(ReenactmentError, match="no longer exists"):
+            Reenactor(db).reenact(xid)
+
+    def test_non_invasive(self, db):
+        """Reenactment must not change the database (challenge C1)."""
+        xid = run_txn(db, "UPDATE acc SET bal = bal * 2")
+        clock_before = db.clock.now()
+        audit_before = len(db.audit_log)
+        versions_before = [
+            (rowid, len(chain.versions))
+            for rowid, chain in sorted(db.table("acc").rows.items())]
+        Reenactor(db).reenact(xid)
+        assert db.clock.now() == clock_before
+        assert len(db.audit_log) == audit_before
+        assert [(rowid, len(chain.versions)) for rowid, chain
+                in sorted(db.table("acc").rows.items())] \
+            == versions_before

@@ -1,0 +1,165 @@
+"""Trigger-based audit/time-travel fallback (§3 footnote 3).
+
+The database under test has *native audit logging and time travel
+disabled*; everything reenactment needs comes from trigger-maintained
+shadow tables.
+"""
+
+import pytest
+
+from repro import Database, DatabaseConfig
+from repro.core.reenactor import ReenactmentOptions, Reenactor
+from repro.core.trigger_history import (AUDIT_TABLE, COMMITS_TABLE,
+                                        TriggerHistory)
+from repro.errors import ReproError, TimeTravelError
+
+
+@pytest.fixture
+def bare_db():
+    """No native audit log, no native time travel."""
+    db = Database(DatabaseConfig(audit_enabled=False,
+                                 timetravel_enabled=False))
+    db.execute("CREATE TABLE acc (name TEXT, bal INT)")
+    db.execute("INSERT INTO acc VALUES ('a', 10), ('b', 20)")
+    return db
+
+
+@pytest.fixture
+def tracked(bare_db):
+    history = TriggerHistory(bare_db)
+    history.install(["acc"])
+    return bare_db, history
+
+
+def run_txn(db, *stmts, isolation=None):
+    s = db.connect(user="bob")
+    s.begin(isolation)
+    for stmt in stmts:
+        s.execute(stmt)
+    xid = s.txn.xid
+    s.commit()
+    return xid
+
+
+class TestRecording:
+    def test_native_features_really_disabled(self, tracked):
+        db, _ = tracked
+        assert len(db.audit_log) == 0
+        with pytest.raises(TimeTravelError):
+            db.table_snapshot("acc", 1)
+
+    def test_history_rows_written(self, tracked):
+        db, _ = tracked
+        run_txn(db, "UPDATE acc SET bal = 0 WHERE name = 'a'")
+        hist = db.execute("SELECT op FROM __hist_acc").rows
+        ops = sorted(r[0] for r in hist)
+        assert ops == ["seed", "seed", "update"]
+
+    def test_audit_table_entries(self, tracked):
+        db, _ = tracked
+        xid = run_txn(db, "DELETE FROM acc WHERE name = 'b'")
+        kinds = [r[0] for r in db.execute(
+            f"SELECT kind FROM {AUDIT_TABLE} WHERE xid = {xid}").rows]
+        assert sorted(kinds) == ["BEGIN", "COMMIT", "STATEMENT"]
+
+    def test_aborted_transaction_history_rolls_back(self, tracked):
+        db, _ = tracked
+        s = db.connect()
+        s.begin()
+        s.execute("UPDATE acc SET bal = 99")
+        s.rollback()
+        hist_ops = [r[0] for r in
+                    db.execute("SELECT op FROM __hist_acc").rows]
+        assert "update" not in hist_ops  # trigger writes rolled back
+
+    def test_double_install_rejected(self, tracked):
+        db, history = tracked
+        with pytest.raises(ReproError, match="already installed"):
+            history.install(["acc"])
+
+
+class TestSnapshots:
+    def test_snapshot_reconstruction(self, tracked):
+        db, history = tracked
+        ts_before = db.clock.now()
+        run_txn(db, "UPDATE acc SET bal = bal + 5 WHERE name = 'a'")
+        ts_mid = db.clock.now()
+        run_txn(db, "DELETE FROM acc WHERE name = 'b'")
+        ts_after = db.clock.now()
+
+        def values_at(ts):
+            return sorted(v for _, v, _ in history.snapshot("acc", ts))
+
+        assert values_at(ts_before) == [("a", 10), ("b", 20)]
+        assert values_at(ts_mid) == [("a", 15), ("b", 20)]
+        assert values_at(ts_after) == [("a", 15)]
+
+    def test_inserts_appear(self, tracked):
+        db, history = tracked
+        run_txn(db, "INSERT INTO acc VALUES ('c', 30)")
+        values = sorted(v for _, v, _ in
+                        history.snapshot("acc", db.clock.now()))
+        assert ("c", 30) in values
+
+    def test_untracked_table_rejected(self, tracked):
+        db, history = tracked
+        db.execute("CREATE TABLE other (x INT)")
+        with pytest.raises(ReproError, match="not tracked"):
+            history.snapshot("other", 1)
+
+
+class TestReenactmentOnTriggerHistory:
+    def test_full_reenactment(self, tracked):
+        db, history = tracked
+        xid = run_txn(db,
+                      "UPDATE acc SET bal = bal * 2 WHERE bal >= 20",
+                      "INSERT INTO acc VALUES ('c', 1)")
+        reenactor = Reenactor(db, audit_log=history.audit_log(),
+                              snapshot_provider=history.snapshot)
+        result = reenactor.reenact(xid)
+        assert sorted(result.tables["acc"].rows) == \
+            [("a", 10), ("b", 40), ("c", 1)]
+
+    def test_prefix_reenactment(self, tracked):
+        db, history = tracked
+        xid = run_txn(db,
+                      "UPDATE acc SET bal = 0 WHERE name = 'a'",
+                      "UPDATE acc SET bal = 1 WHERE name = 'a'")
+        reenactor = Reenactor(db, audit_log=history.audit_log(),
+                              snapshot_provider=history.snapshot)
+        first = reenactor.reenact(xid, ReenactmentOptions(upto=1))
+        assert ("a", 0) in first.tables["acc"].rows
+        full = reenactor.reenact(xid)
+        assert ("a", 1) in full.tables["acc"].rows
+
+    def test_rc_reenactment(self, tracked):
+        db, history = tracked
+        s1 = db.connect()
+        s1.begin("READ COMMITTED")
+        s1.execute("UPDATE acc SET bal = bal + 1 WHERE name = 'a'")
+        db.execute("INSERT INTO acc VALUES ('late', 7)")
+        s1.execute("UPDATE acc SET bal = bal * 10 WHERE name = 'late'")
+        xid = s1.txn.xid
+        s1.commit()
+        reenactor = Reenactor(db, audit_log=history.audit_log(),
+                              snapshot_provider=history.snapshot)
+        rows = sorted(reenactor.reenact(xid).tables["acc"].rows)
+        assert ("late", 70) in rows and ("a", 11) in rows
+
+    def test_matches_native_reenactment(self):
+        """With both mechanisms on, trigger-based and native
+        reenactment agree exactly."""
+        db = Database()  # native features enabled
+        db.execute("CREATE TABLE acc (name TEXT, bal INT)")
+        db.execute("INSERT INTO acc VALUES ('a', 10), ('b', 20)")
+        history = TriggerHistory(db)
+        history.install(["acc"])
+        xid = run_txn(db,
+                      "UPDATE acc SET bal = -bal WHERE name = 'b'",
+                      "DELETE FROM acc WHERE bal < -10")
+        native = Reenactor(db).reenact(xid)
+        triggered = Reenactor(
+            db, audit_log=history.audit_log(),
+            snapshot_provider=history.snapshot).reenact(xid)
+        assert sorted(native.tables["acc"].rows) == \
+            sorted(triggered.tables["acc"].rows)

@@ -1,0 +1,163 @@
+"""What-if scenario tests (§2), including the promotion example."""
+
+import pytest
+
+from repro import Database
+from repro.core.whatif import WhatIfScenario
+from repro.errors import WhatIfError
+from repro.workloads import setup_bank, run_write_skew_history
+
+
+@pytest.fixture
+def skewed():
+    db = Database()
+    setup_bank(db)
+    t1, t2 = run_write_skew_history(db)
+    return db, t1, t2
+
+
+@pytest.fixture
+def simple_db():
+    db = Database()
+    db.execute("CREATE TABLE t (k INT, v INT)")
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+    s = db.connect()
+    s.begin()
+    s.execute("UPDATE t SET v = v + 1 WHERE k = 1")
+    s.execute("INSERT INTO t VALUES (3, 30)")
+    xid = s.txn.xid
+    s.commit()
+    return db, xid
+
+
+class TestStatementEdits:
+    def test_replace_statement(self, simple_db):
+        db, xid = simple_db
+        scenario = WhatIfScenario(db, xid)
+        scenario.replace_statement(
+            0, "UPDATE t SET v = v + 100 WHERE k = 1")
+        result = scenario.run()
+        diff = result.diffs["t"]
+        assert (1, 110) in diff.added
+        assert (1, 11) in diff.removed
+
+    def test_delete_statement(self, simple_db):
+        db, xid = simple_db
+        result = WhatIfScenario(db, xid).delete_statement(1).run()
+        diff = result.diffs["t"]
+        assert (3, 30) in diff.removed and not diff.added
+
+    def test_insert_statement(self, simple_db):
+        db, xid = simple_db
+        scenario = WhatIfScenario(db, xid)
+        scenario.insert_statement(2, "DELETE FROM t WHERE k = 2")
+        result = scenario.run()
+        assert (2, 20) in result.diffs["t"].removed
+
+    def test_append_statement(self, simple_db):
+        db, xid = simple_db
+        scenario = WhatIfScenario(db, xid)
+        scenario.insert_statement(
+            2, "UPDATE t SET v = 0 WHERE k = 3")
+        result = scenario.run()
+        assert (3, 0) in result.diffs["t"].added
+
+    def test_params_supported(self, simple_db):
+        db, xid = simple_db
+        scenario = WhatIfScenario(db, xid)
+        scenario.replace_statement(
+            0, "UPDATE t SET v = v + :delta WHERE k = 1",
+            {"delta": 5})
+        result = scenario.run()
+        assert (1, 15) in result.diffs["t"].added
+
+    def test_unchanged_scenario_has_no_diff(self, simple_db):
+        db, xid = simple_db
+        result = WhatIfScenario(db, xid).run()
+        assert not result.changed_tables
+
+    def test_bad_index(self, simple_db):
+        db, xid = simple_db
+        with pytest.raises(WhatIfError, match="out of range"):
+            WhatIfScenario(db, xid).replace_statement(9, "DELETE FROM t")
+
+    def test_non_dml_rejected(self, simple_db):
+        db, xid = simple_db
+        with pytest.raises(WhatIfError, match="must be DML"):
+            WhatIfScenario(db, xid).replace_statement(0, "SELECT 1")
+
+    def test_original_execution_not_modified(self, simple_db):
+        db, xid = simple_db
+        before = sorted(db.execute("SELECT * FROM t").rows)
+        scenario = WhatIfScenario(db, xid)
+        scenario.replace_statement(0, "DELETE FROM t")
+        scenario.run()
+        assert sorted(db.execute("SELECT * FROM t").rows) == before
+
+
+class TestTableEdits:
+    def test_edit_table_changes_outcome(self, simple_db):
+        db, xid = simple_db
+        scenario = WhatIfScenario(db, xid)
+        scenario.edit_table("t", [(1, 1000), (2, 2000)])
+        result = scenario.run()
+        assert (1, 1001) in result.diffs["t"].added
+
+    def test_edit_table_validates_schema(self, simple_db):
+        db, xid = simple_db
+        from repro.errors import CatalogError
+        with pytest.raises(CatalogError):
+            WhatIfScenario(db, xid).edit_table("t", [(1,)])
+
+
+class TestPromotion:
+    """The paper's §2 closing example: adding the redundant update
+    (promotion) makes T1 write both accounts, which forces T2 to abort
+    under first-updater-wins."""
+
+    def test_promotion_detects_conflict_with_t2(self, skewed):
+        db, t1, t2 = skewed
+        scenario = WhatIfScenario(db, t1)
+        scenario.insert_statement(
+            0, "UPDATE account SET bal = bal WHERE cust = 'Alice'")
+        result = scenario.run()
+        assert any(c.other_xid == t2 for c in result.conflicts)
+        assert all(c.table == "account" for c in result.conflicts)
+
+    def test_original_history_has_no_conflicts(self, skewed):
+        db, t1, _ = skewed
+        result = WhatIfScenario(db, t1).run()
+        assert result.conflicts == []
+
+    def test_overdraft_whatif_threshold(self, skewed):
+        db, _, t2 = skewed
+        scenario = WhatIfScenario(db, t2)
+        scenario.replace_statement(
+            1,
+            "INSERT INTO overdraft (SELECT a1.cust, a1.bal + a2.bal "
+            "FROM account a1, account a2 WHERE a1.cust = 'Alice' AND "
+            "a1.cust = a2.cust AND a1.typ != a2.typ "
+            "AND a1.bal + a2.bal < 50)")
+        result = scenario.run()
+        assert len(result.diffs["overdraft"].added) == 2
+
+    def test_edit_table_what_if_from_paper(self, skewed):
+        # "the user can edit the data in a table": lower the checking
+        # balance so that T2 *does* detect the overdraft
+        db, _, t2 = skewed
+        scenario = WhatIfScenario(db, t2)
+        scenario.edit_table("account", [
+            ("Alice", "Checking", 10), ("Alice", "Savings", 30)])
+        result = scenario.run()
+        added = result.diffs["overdraft"].added
+        assert ("Alice", 0) in added or len(added) >= 1 or \
+            result.diffs["account"].changed
+
+    def test_summary_is_readable(self, skewed):
+        db, t1, _ = skewed
+        scenario = WhatIfScenario(db, t1)
+        scenario.insert_statement(
+            0, "UPDATE account SET bal = bal WHERE cust = 'Alice'")
+        text = scenario.run().summary()
+        assert "conflict" in text
+        assert "unchanged" in text

@@ -1,0 +1,112 @@
+"""Audit log recording and transaction-record reconstruction."""
+
+import pytest
+
+from repro import Database
+from repro.db.auditlog import AuditEventKind
+from repro.errors import AuditLogError
+
+
+@pytest.fixture
+def db_with_txn():
+    db = Database()
+    db.execute("CREATE TABLE t (a INT, b INT)")
+    db.execute("INSERT INTO t VALUES (1, 10)")
+    s = db.connect(user="tester")
+    s.begin()
+    s.execute("UPDATE t SET b = b + 1 WHERE a = 1")
+    s.execute("INSERT INTO t VALUES (2, 20)")
+    xid = s.txn.xid
+    s.commit()
+    return db, xid
+
+
+class TestRecording:
+    def test_dml_creates_begin_statement_commit(self, db_with_txn):
+        db, xid = db_with_txn
+        kinds = [e.kind for e in db.audit_log.entries if e.xid == xid]
+        assert kinds == [AuditEventKind.BEGIN, AuditEventKind.STATEMENT,
+                         AuditEventKind.STATEMENT, AuditEventKind.COMMIT]
+
+    def test_readonly_transactions_leave_no_trace(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT)")
+        before = len(db.audit_log)
+        db.execute("SELECT * FROM t")
+        db.execute("SELECT COUNT(*) FROM t")
+        assert len(db.audit_log) == before
+
+    def test_aborted_transaction_recorded(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT)")
+        s = db.connect()
+        s.begin()
+        s.execute("INSERT INTO t VALUES (1)")
+        xid = s.txn.xid
+        s.rollback()
+        record = db.audit_log.transaction_record(xid)
+        assert record.aborted and not record.committed
+        assert record.abort_ts is not None
+
+    def test_audit_disabled_records_nothing(self):
+        from repro import DatabaseConfig
+        db = Database(DatabaseConfig(audit_enabled=False))
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert len(db.audit_log) == 0
+
+    def test_statement_sql_has_bound_parameters(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT, b TEXT)")
+        db.execute("INSERT INTO t VALUES (:x, :y)",
+                   {"x": 7, "y": "it's"})
+        stmt = [e for e in db.audit_log.entries
+                if e.kind is AuditEventKind.STATEMENT][0]
+        assert ":x" not in stmt.sql
+        assert "7" in stmt.sql and "'it''s'" in stmt.sql
+
+
+class TestTransactionRecord:
+    def test_record_fields(self, db_with_txn):
+        db, xid = db_with_txn
+        record = db.audit_log.transaction_record(xid)
+        assert record.xid == xid
+        assert record.user == "tester"
+        assert record.committed
+        assert record.begin_ts < record.statements[0].ts \
+            < record.statements[1].ts < record.commit_ts
+        assert [s.index for s in record.statements] == [0, 1]
+
+    def test_statement_interval(self, db_with_txn):
+        db, xid = db_with_txn
+        record = db.audit_log.transaction_record(xid)
+        s0 = record.statement_interval(0)
+        s1 = record.statement_interval(1)
+        assert s0 == (record.statements[0].ts, record.statements[1].ts)
+        assert s1 == (record.statements[1].ts, record.commit_ts)
+
+    def test_unknown_xid_raises(self, db_with_txn):
+        db, _ = db_with_txn
+        with pytest.raises(AuditLogError, match="not found"):
+            db.audit_log.transaction_record(424242)
+
+    def test_transactions_time_window(self, db_with_txn):
+        db, xid = db_with_txn
+        record = db.audit_log.transaction_record(xid)
+        inside = db.audit_log.transactions(start_ts=record.begin_ts,
+                                           end_ts=record.commit_ts)
+        assert any(r.xid == xid for r in inside)
+        after = db.audit_log.transactions(
+            start_ts=record.commit_ts + 100)
+        assert not any(r.xid == xid for r in after)
+
+    def test_committed_only_filter(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT)")
+        s = db.connect()
+        s.begin()
+        s.execute("INSERT INTO t VALUES (1)")
+        aborted_xid = s.txn.xid
+        s.rollback()
+        records = db.audit_log.transactions(committed_only=True)
+        assert not any(r.xid == aborted_xid for r in records)

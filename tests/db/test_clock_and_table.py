@@ -1,0 +1,99 @@
+"""Logical clock and versioned-table mechanism tests."""
+
+import pytest
+
+from repro.db.clock import LogicalClock
+from repro.db.schema import Column, TableSchema
+from repro.db.table import VersionedTable
+from repro.db.types import DataType
+from repro.errors import ExecutionError
+
+
+class TestLogicalClock:
+    def test_monotonic(self):
+        clock = LogicalClock()
+        stamps = [clock.tick() for _ in range(10)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 10
+
+    def test_now_does_not_advance(self):
+        clock = LogicalClock()
+        clock.tick()
+        assert clock.now() == clock.now()
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = LogicalClock()
+        clock.advance_to(100)
+        assert clock.now() == 100
+        clock.advance_to(50)
+        assert clock.now() == 100
+
+    def test_custom_start(self):
+        assert LogicalClock(start=41).tick() == 42
+
+
+@pytest.fixture
+def table():
+    return VersionedTable(TableSchema("t", [
+        Column("a", DataType.INT), Column("b", DataType.STRING)]))
+
+
+class TestVersionedTable:
+    def test_rowids_monotonic(self, table):
+        first = table.insert_row(1, (1, "x"), stmt_ts=1)
+        second = table.insert_row(1, (2, "y"), stmt_ts=1)
+        assert second == first + 1
+
+    def test_scan_committed_orders_by_rowid(self, table):
+        for i in range(5):
+            rowid = table.insert_row(1, (i, "v"), stmt_ts=1)
+            table.commit_rows(1, [rowid], commit_ts=2)
+        rowids = [rowid for rowid, _, _ in table.scan_committed(2)]
+        assert rowids == sorted(rowids)
+
+    def test_scan_for_txn_overlays_own_writes(self, table):
+        rowid = table.insert_row(1, (1, "old"), stmt_ts=1)
+        table.commit_rows(1, [rowid], commit_ts=2)
+        table.write_row(7, rowid, (1, "mine"), stmt_ts=3)
+        mine = list(table.scan_for_txn(7, snapshot_ts=2))
+        other = list(table.scan_for_txn(8, snapshot_ts=2))
+        assert mine[0][1] == (1, "mine")
+        assert other[0][1] == (1, "old")
+
+    def test_abort_rows_removes_empty_chains(self, table):
+        rowid = table.insert_row(5, (1, "x"), stmt_ts=1)
+        table.abort_rows(5, [rowid])
+        assert rowid not in table.rows
+
+    def test_commit_without_history_prunes(self, table):
+        rowid = table.insert_row(1, (1, "a"), stmt_ts=1)
+        table.commit_rows(1, [rowid], commit_ts=2)
+        table.write_row(2, rowid, (1, "b"), stmt_ts=3)
+        table.commit_rows(2, [rowid], commit_ts=4, keep_history=False)
+        assert len(table.rows[rowid].versions) == 1
+
+    def test_unknown_rowid_raises(self, table):
+        with pytest.raises(ExecutionError, match="does not exist"):
+            table.chain(99)
+
+    def test_version_history_lists_committed_only(self, table):
+        rowid = table.insert_row(1, (1, "a"), stmt_ts=1)
+        table.commit_rows(1, [rowid], commit_ts=2)
+        table.write_row(3, rowid, (1, "pending"), stmt_ts=3)
+        history = list(table.version_history())
+        assert len(history) == 1
+
+    def test_row_count_committed_at_time(self, table):
+        r1 = table.insert_row(1, (1, "a"), stmt_ts=1)
+        table.commit_rows(1, [r1], commit_ts=2)
+        r2 = table.insert_row(2, (2, "b"), stmt_ts=3)
+        table.commit_rows(2, [r2], commit_ts=4)
+        assert table.row_count_committed(2) == 1
+        assert table.row_count_committed(4) == 2
+
+    def test_latest_committed_rows_skips_tombstones(self, table):
+        rowid = table.insert_row(1, (1, "a"), stmt_ts=1)
+        table.commit_rows(1, [rowid], commit_ts=2)
+        table.write_row(2, rowid, None, stmt_ts=3)  # delete
+        table.commit_rows(2, [rowid], commit_ts=4)
+        assert list(table.latest_committed_rows()) == []

@@ -1,0 +1,190 @@
+"""MVCC policy tests: snapshot isolation, READ COMMITTED, conflicts."""
+
+import pytest
+
+from repro.db.clock import LogicalClock
+from repro.db.mvcc import MVCCManager
+from repro.db.schema import Column, TableSchema
+from repro.db.table import VersionedTable
+from repro.db.transaction import IsolationLevel, TransactionStatus
+from repro.db.types import DataType
+from repro.errors import (SerializationError, TransactionStateError,
+                          WriteConflictError)
+
+
+@pytest.fixture
+def env():
+    clock = LogicalClock()
+    table = VersionedTable(TableSchema("t", [
+        Column("k", DataType.INT), Column("v", DataType.INT)]))
+    tables = {"t": table}
+    mvcc = MVCCManager(tables, clock)
+    return clock, table, mvcc
+
+
+def seed_row(mvcc, table, clock, values=(1, 100)):
+    txn = mvcc.begin(IsolationLevel.SERIALIZABLE)
+    rowid = mvcc.insert(txn, table, values, clock.tick())
+    mvcc.commit(txn)
+    return rowid
+
+
+class TestSnapshotIsolation:
+    def test_si_reads_begin_snapshot(self, env):
+        clock, table, mvcc = env
+        rowid = seed_row(mvcc, table, clock)
+        reader = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        writer = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        mvcc.update(writer, table, rowid, (1, 200), clock.tick())
+        mvcc.commit(writer)
+        # reader still sees the old value after writer committed
+        rows = list(mvcc.read(reader, table, clock.tick()))
+        assert rows[0][1] == (1, 100)
+
+    def test_rc_reads_statement_snapshot(self, env):
+        clock, table, mvcc = env
+        rowid = seed_row(mvcc, table, clock)
+        reader = mvcc.begin(IsolationLevel.READ_COMMITTED)
+        writer = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        mvcc.update(writer, table, rowid, (1, 200), clock.tick())
+        mvcc.commit(writer)
+        rows = list(mvcc.read(reader, table, clock.tick()))
+        assert rows[0][1] == (1, 200)
+
+    def test_own_writes_visible(self, env):
+        clock, table, mvcc = env
+        rowid = seed_row(mvcc, table, clock)
+        txn = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        mvcc.update(txn, table, rowid, (1, 111), clock.tick())
+        rows = list(mvcc.read(txn, table, clock.tick()))
+        assert rows[0][1] == (1, 111)
+
+    def test_uncommitted_invisible_to_others(self, env):
+        clock, table, mvcc = env
+        rowid = seed_row(mvcc, table, clock)
+        writer = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        mvcc.update(writer, table, rowid, (1, 999), clock.tick())
+        other = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        rows = list(mvcc.read(other, table, clock.tick()))
+        assert rows[0][1] == (1, 100)
+
+
+class TestConflicts:
+    def test_write_write_conflict_nowait(self, env):
+        clock, table, mvcc = env
+        rowid = seed_row(mvcc, table, clock)
+        t1 = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        t2 = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        mvcc.update(t1, table, rowid, (1, 1), clock.tick())
+        with pytest.raises(WriteConflictError, match="locked by"):
+            mvcc.update(t2, table, rowid, (1, 2), clock.tick())
+
+    def test_first_updater_wins_after_commit(self, env):
+        clock, table, mvcc = env
+        rowid = seed_row(mvcc, table, clock)
+        t1 = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        t2 = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        mvcc.update(t1, table, rowid, (1, 1), clock.tick())
+        mvcc.commit(t1)
+        # t2's snapshot predates t1's commit: SI forbids the write
+        with pytest.raises(SerializationError,
+                           match="first-updater-wins"):
+            mvcc.update(t2, table, rowid, (1, 2), clock.tick())
+
+    def test_read_committed_allows_write_after_commit(self, env):
+        clock, table, mvcc = env
+        rowid = seed_row(mvcc, table, clock)
+        t1 = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        t2 = mvcc.begin(IsolationLevel.READ_COMMITTED)
+        mvcc.update(t1, table, rowid, (1, 1), clock.tick())
+        mvcc.commit(t1)
+        # RC re-reads latest committed: no serialization failure
+        mvcc.update(t2, table, rowid, (1, 2), clock.tick())
+        mvcc.commit(t2)
+        assert table.chain(rowid).latest_committed().values == (1, 2)
+
+    def test_lock_released_on_commit(self, env):
+        clock, table, mvcc = env
+        rowid = seed_row(mvcc, table, clock)
+        t1 = mvcc.begin(IsolationLevel.READ_COMMITTED)
+        mvcc.update(t1, table, rowid, (1, 1), clock.tick())
+        mvcc.commit(t1)
+        t2 = mvcc.begin(IsolationLevel.READ_COMMITTED)
+        mvcc.update(t2, table, rowid, (1, 2), clock.tick())  # no error
+        mvcc.commit(t2)
+
+    def test_lock_released_on_abort(self, env):
+        clock, table, mvcc = env
+        rowid = seed_row(mvcc, table, clock)
+        t1 = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        mvcc.update(t1, table, rowid, (1, 1), clock.tick())
+        mvcc.abort(t1)
+        t2 = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        mvcc.update(t2, table, rowid, (1, 2), clock.tick())
+        mvcc.commit(t2)
+        assert table.chain(rowid).latest_committed().values == (1, 2)
+
+    def test_own_lock_is_reentrant(self, env):
+        clock, table, mvcc = env
+        rowid = seed_row(mvcc, table, clock)
+        t1 = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        mvcc.update(t1, table, rowid, (1, 1), clock.tick())
+        mvcc.update(t1, table, rowid, (1, 2), clock.tick())
+        mvcc.commit(t1)
+        assert table.chain(rowid).latest_committed().values == (1, 2)
+
+
+class TestLifecycle:
+    def test_abort_removes_inserted_rows(self, env):
+        clock, table, mvcc = env
+        txn = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        mvcc.insert(txn, table, (9, 9), clock.tick())
+        mvcc.abort(txn)
+        assert len(table.rows) == 0
+
+    def test_delete_creates_tombstone(self, env):
+        clock, table, mvcc = env
+        rowid = seed_row(mvcc, table, clock)
+        txn = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        mvcc.delete(txn, table, rowid, clock.tick())
+        commit_ts = mvcc.commit(txn)
+        assert table.chain(rowid).committed_at(commit_ts) is None
+        assert table.chain(rowid).committed_at(commit_ts - 1) is not None
+
+    def test_operations_on_finished_txn_raise(self, env):
+        clock, table, mvcc = env
+        txn = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        mvcc.commit(txn)
+        with pytest.raises(TransactionStateError):
+            mvcc.insert(txn, table, (1, 1), clock.tick())
+        with pytest.raises(TransactionStateError):
+            mvcc.commit(txn)
+
+    def test_statuses(self, env):
+        clock, table, mvcc = env
+        t1 = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        t2 = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        assert t1.status is TransactionStatus.ACTIVE
+        mvcc.commit(t1)
+        mvcc.abort(t2)
+        assert t1.status is TransactionStatus.COMMITTED
+        assert t2.status is TransactionStatus.ABORTED
+        assert t1.commit_ts is not None
+        assert t2.commit_ts is None
+
+    def test_commit_timestamps_are_distinct_and_ordered(self, env):
+        clock, table, mvcc = env
+        stamps = []
+        for _ in range(5):
+            txn = mvcc.begin(IsolationLevel.SERIALIZABLE)
+            stamps.append(mvcc.commit(txn))
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 5
+
+    def test_keep_history_false_prunes(self, env):
+        clock, table, mvcc = env
+        rowid = seed_row(mvcc, table, clock)
+        txn = mvcc.begin(IsolationLevel.SERIALIZABLE)
+        mvcc.update(txn, table, rowid, (1, 2), clock.tick())
+        mvcc.commit(txn, keep_history=False)
+        assert len(table.chain(rowid).versions) == 1

@@ -1,0 +1,92 @@
+"""Unit tests for repro.db.schema."""
+
+import pytest
+
+from repro.db.schema import Catalog, Column, TableSchema
+from repro.db.types import DataType
+from repro.errors import CatalogError, ConstraintViolation
+
+
+def make_schema():
+    return TableSchema("account", [
+        Column("cust", DataType.STRING, nullable=False),
+        Column("typ", DataType.STRING),
+        Column("bal", DataType.INT),
+    ])
+
+
+class TestTableSchema:
+    def test_column_lookup(self):
+        schema = make_schema()
+        assert schema.index_of("typ") == 1
+        assert schema.column("bal").dtype is DataType.INT
+        assert "cust" in schema
+        assert "missing" not in schema
+        assert len(schema) == 3
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(CatalogError, match="does not exist"):
+            make_schema().index_of("nope")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(CatalogError, match="at least one column"):
+            TableSchema("empty", [])
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError, match="duplicate column"):
+            TableSchema("t", [Column("a", DataType.INT),
+                              Column("a", DataType.INT)])
+
+    def test_validate_row_coerces(self):
+        schema = make_schema()
+        row = schema.validate_row(["Alice", "Checking", "50"])
+        assert row == ("Alice", "Checking", 50)
+
+    def test_validate_row_wrong_arity(self):
+        with pytest.raises(CatalogError, match="expects 3 values"):
+            make_schema().validate_row(["Alice"])
+
+    def test_not_null_enforced(self):
+        with pytest.raises(ConstraintViolation, match="cust"):
+            make_schema().validate_row([None, "Checking", 50])
+
+    def test_nullable_column_accepts_null(self):
+        row = make_schema().validate_row(["Alice", None, None])
+        assert row == ("Alice", None, None)
+
+    def test_primary_key_implies_not_null(self):
+        schema = TableSchema("t", [
+            Column("id", DataType.INT, primary_key=True),
+            Column("v", DataType.INT)])
+        with pytest.raises(ConstraintViolation):
+            schema.validate_row([None, 1])
+        assert schema.primary_key_columns == ["id"]
+
+    def test_str(self):
+        assert "account" in str(make_schema())
+
+
+class TestCatalog:
+    def test_create_get_drop(self):
+        catalog = Catalog()
+        schema = make_schema()
+        catalog.create(schema)
+        assert catalog.get("account") is schema
+        assert catalog.has("account")
+        assert catalog.table_names() == ["account"]
+        catalog.drop("account")
+        assert not catalog.has("account")
+
+    def test_duplicate_create_raises(self):
+        catalog = Catalog()
+        catalog.create(make_schema())
+        with pytest.raises(CatalogError, match="already exists"):
+            catalog.create(make_schema())
+
+    def test_missing_get_raises(self):
+        with pytest.raises(CatalogError, match="does not exist"):
+            Catalog().get("ghost")
+
+    def test_missing_drop_raises(self):
+        with pytest.raises(CatalogError, match="does not exist"):
+            Catalog().drop("ghost")

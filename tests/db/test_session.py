@@ -1,0 +1,237 @@
+"""Session-level SQL execution: DML semantics, transactions, DDL,
+constraints, time travel."""
+
+import pytest
+
+from repro import Database, DatabaseConfig
+from repro.errors import (AnalysisError, CatalogError,
+                          ConstraintViolation, ExecutionError,
+                          TimeTravelError, TransactionStateError,
+                          WriteConflictError)
+
+
+@pytest.fixture
+def tdb():
+    db = Database()
+    db.execute("CREATE TABLE t (a INT, b TEXT, c FLOAT)")
+    db.execute("INSERT INTO t VALUES (1, 'x', 1.5), (2, 'y', 2.5), "
+               "(3, 'z', 3.5)")
+    return db
+
+
+class TestQueries:
+    def test_select_where(self, tdb):
+        rows = tdb.execute("SELECT a, b FROM t WHERE a >= 2").rows
+        assert sorted(rows) == [(2, "y"), (3, "z")]
+
+    def test_order_and_limit(self, tdb):
+        rows = tdb.execute("SELECT a FROM t ORDER BY a DESC LIMIT 2").rows
+        assert rows == [(3,), (2,)]
+
+    def test_params(self, tdb):
+        rows = tdb.execute("SELECT b FROM t WHERE a = :id",
+                           {"id": 2}).rows
+        assert rows == [("y",)]
+
+    def test_missing_param_raises(self, tdb):
+        with pytest.raises(ExecutionError, match="missing bind"):
+            tdb.execute("SELECT * FROM t WHERE a = :nope")
+
+    def test_column_names_are_short(self, tdb):
+        result = tdb.execute("SELECT t.a AS alpha, b FROM t")
+        assert result.columns == ["alpha", "b"]
+
+
+class TestInsert:
+    def test_insert_values_multiple(self, tdb):
+        result = tdb.execute("INSERT INTO t VALUES (4,'w',0.5), "
+                             "(5,'v',0.25)")
+        assert result.rowcount == 2
+        assert len(tdb.execute("SELECT * FROM t").rows) == 5
+
+    def test_insert_column_subset_fills_null(self, tdb):
+        tdb.execute("INSERT INTO t (a) VALUES (9)")
+        rows = tdb.execute("SELECT a, b, c FROM t WHERE a = 9").rows
+        assert rows == [(9, None, None)]
+
+    def test_insert_select(self, tdb):
+        tdb.execute("INSERT INTO t (SELECT a + 10, b, c FROM t "
+                    "WHERE a = 1)")
+        assert (11, "x", 1.5) in tdb.execute("SELECT * FROM t").rows
+
+    def test_insert_wrong_arity(self, tdb):
+        with pytest.raises(AnalysisError, match="expects 3 values"):
+            tdb.execute("INSERT INTO t VALUES (1, 'a')")
+
+    def test_insert_coerces_types(self, tdb):
+        tdb.execute("INSERT INTO t VALUES (7, 'q', 7)")
+        rows = tdb.execute("SELECT c FROM t WHERE a = 7").rows
+        assert rows == [(7.0,)]
+
+
+class TestUpdateDelete:
+    def test_update_expression(self, tdb):
+        result = tdb.execute("UPDATE t SET a = a * 10 WHERE b <> 'x'")
+        assert result.rowcount == 2
+        assert sorted(r[0] for r in tdb.execute("SELECT a FROM t").rows) \
+            == [1, 20, 30]
+
+    def test_update_without_where_touches_all(self, tdb):
+        assert tdb.execute("UPDATE t SET c = 0.0").rowcount == 3
+
+    def test_update_multiple_assignments_use_old_values(self, tdb):
+        # both assignments read the pre-statement value of a
+        tdb.execute("UPDATE t SET a = a + 1, c = a WHERE a = 1")
+        rows = tdb.execute("SELECT a, c FROM t WHERE b = 'x'").rows
+        assert rows == [(2, 1.0)]
+
+    def test_update_with_subquery(self, tdb):
+        tdb.execute("UPDATE t SET a = (SELECT MAX(a) FROM t) + 1 "
+                    "WHERE b = 'x'")
+        assert (4,) in tdb.execute("SELECT a FROM t WHERE b='x'").rows
+
+    def test_delete(self, tdb):
+        assert tdb.execute("DELETE FROM t WHERE a < 3").rowcount == 2
+        assert tdb.execute("SELECT COUNT(*) FROM t").rows == [(1,)]
+
+    def test_delete_null_condition_keeps_row(self, tdb):
+        tdb.execute("INSERT INTO t VALUES (8, NULL, 0.0)")
+        # b = 'x' is NULL for the new row: it must survive the delete
+        tdb.execute("DELETE FROM t WHERE b <> 'x'")
+        remaining = tdb.execute("SELECT a FROM t").rows
+        assert (8,) in remaining and (1,) in remaining
+
+
+class TestTransactions:
+    def test_explicit_commit(self, tdb):
+        s = tdb.connect()
+        s.begin()
+        s.execute("UPDATE t SET a = 99 WHERE a = 1")
+        s.commit()
+        assert (99,) in tdb.execute("SELECT a FROM t").rows
+
+    def test_rollback_discards(self, tdb):
+        s = tdb.connect()
+        s.begin()
+        s.execute("UPDATE t SET a = 99 WHERE a = 1")
+        s.rollback()
+        assert (99,) not in tdb.execute("SELECT a FROM t").rows
+
+    def test_sql_begin_commit(self, tdb):
+        s = tdb.connect()
+        s.execute("BEGIN")
+        assert s.in_transaction
+        s.execute("UPDATE t SET a = 50 WHERE a = 1; COMMIT")
+        assert not s.in_transaction
+        assert (50,) in tdb.execute("SELECT a FROM t").rows
+
+    def test_begin_isolation_level(self, tdb):
+        s = tdb.connect()
+        s.execute("BEGIN ISOLATION LEVEL READ COMMITTED")
+        from repro.db.transaction import IsolationLevel
+        assert s.txn.isolation is IsolationLevel.READ_COMMITTED
+        s.rollback()
+
+    def test_nested_begin_rejected(self, tdb):
+        s = tdb.connect()
+        s.begin()
+        with pytest.raises(TransactionStateError, match="already has"):
+            s.begin()
+
+    def test_commit_without_txn_rejected(self, tdb):
+        with pytest.raises(TransactionStateError):
+            tdb.connect().commit()
+
+    def test_conflict_aborts_transaction(self, tdb):
+        s1, s2 = tdb.connect(), tdb.connect()
+        s1.begin(); s2.begin()
+        s1.execute("UPDATE t SET a = 10 WHERE a = 1")
+        with pytest.raises(WriteConflictError):
+            s2.execute("UPDATE t SET a = 20 WHERE a = 1")
+        assert not s2.in_transaction  # auto-aborted
+        s1.commit()
+
+    def test_snapshot_isolation_between_sessions(self, tdb):
+        s1, s2 = tdb.connect(), tdb.connect()
+        s1.begin()
+        s1.execute("SELECT * FROM t")  # establish nothing; snapshot is begin
+        s2.execute("UPDATE t SET a = 77 WHERE a = 1")  # autocommit
+        rows = s1.execute("SELECT a FROM t ORDER BY a").rows
+        assert (77,) not in rows  # SI: begin-time snapshot
+        s1.commit()
+        assert (77,) in tdb.execute("SELECT a FROM t").rows
+
+
+class TestDDL:
+    def test_create_and_drop(self):
+        db = Database()
+        db.execute("CREATE TABLE x (a INT NOT NULL, b TEXT)")
+        db.execute("INSERT INTO x VALUES (1, NULL)")
+        db.execute("DROP TABLE x")
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM x")
+
+    def test_ddl_inside_transaction_rejected(self, tdb):
+        s = tdb.connect()
+        s.begin()
+        with pytest.raises(TransactionStateError, match="DDL"):
+            s.execute("CREATE TABLE y (a INT)")
+
+    def test_not_null_violation(self):
+        db = Database()
+        db.execute("CREATE TABLE x (a INT NOT NULL)")
+        with pytest.raises(ConstraintViolation):
+            db.execute("INSERT INTO x VALUES (NULL)")
+
+    def test_primary_key_duplicate_insert(self):
+        db = Database()
+        db.execute("CREATE TABLE x (id INT PRIMARY KEY, v INT)")
+        db.execute("INSERT INTO x VALUES (1, 10)")
+        with pytest.raises(ConstraintViolation, match="duplicate"):
+            db.execute("INSERT INTO x VALUES (1, 20)")
+
+    def test_primary_key_duplicate_update(self):
+        db = Database()
+        db.execute("CREATE TABLE x (id INT PRIMARY KEY, v INT)")
+        db.execute("INSERT INTO x VALUES (1, 10), (2, 20)")
+        with pytest.raises(ConstraintViolation, match="duplicate"):
+            db.execute("UPDATE x SET id = 1 WHERE id = 2")
+
+    def test_primary_key_swap_within_statement_allowed(self):
+        db = Database()
+        db.execute("CREATE TABLE x (id INT PRIMARY KEY, v INT)")
+        db.execute("INSERT INTO x VALUES (1, 10), (2, 20)")
+        # shifting all ids by 10 never collides
+        db.execute("UPDATE x SET id = id + 10")
+        assert sorted(db.execute("SELECT id FROM x").rows) == \
+            [(11,), (12,)]
+
+
+class TestTimeTravel:
+    def test_as_of_query(self, tdb):
+        ts = tdb.clock.now()
+        tdb.execute("UPDATE t SET a = 1000 WHERE a = 1")
+        old = tdb.execute(f"SELECT a FROM t AS OF {ts} ORDER BY a").rows
+        assert old == [(1,), (2,), (3,)]
+
+    def test_as_of_with_param(self, tdb):
+        ts = tdb.clock.now()
+        tdb.execute("DELETE FROM t")
+        rows = tdb.execute("SELECT COUNT(*) FROM t AS OF :ts",
+                           {"ts": ts}).rows
+        assert rows == [(3,)]
+
+    def test_timetravel_disabled_raises(self):
+        db = Database(DatabaseConfig(timetravel_enabled=False))
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(TimeTravelError):
+            db.execute("SELECT * FROM t AS OF 1")
+
+    def test_timetravel_disabled_prunes_versions(self):
+        db = Database(DatabaseConfig(timetravel_enabled=False))
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("UPDATE t SET a = 2")
+        chain = db.table("t").rows[1]
+        assert len(chain.versions) == 1

@@ -1,0 +1,58 @@
+"""Transaction object and isolation-level parsing tests."""
+
+import pytest
+
+from repro.db.transaction import (IsolationLevel, Transaction,
+                                  TransactionStatus, parse_isolation)
+
+
+class TestParseIsolation:
+    def test_canonical_names(self):
+        assert parse_isolation("SERIALIZABLE") \
+            is IsolationLevel.SERIALIZABLE
+        assert parse_isolation("READ COMMITTED") \
+            is IsolationLevel.READ_COMMITTED
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_isolation("read   committed") \
+            is IsolationLevel.READ_COMMITTED
+        assert parse_isolation("serializable") \
+            is IsolationLevel.SERIALIZABLE
+
+    def test_shorthands(self):
+        assert parse_isolation("SI") is IsolationLevel.SERIALIZABLE
+        assert parse_isolation("snapshot") \
+            is IsolationLevel.SERIALIZABLE
+        assert parse_isolation("rc") is IsolationLevel.READ_COMMITTED
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown isolation"):
+            parse_isolation("chaos")
+
+
+class TestTransaction:
+    def make(self, isolation=IsolationLevel.SERIALIZABLE):
+        return Transaction(xid=7, isolation=isolation, begin_ts=10)
+
+    def test_snapshot_ts_si_uses_begin(self):
+        txn = self.make()
+        assert txn.snapshot_ts(stmt_ts=99) == 10
+
+    def test_snapshot_ts_rc_uses_statement(self):
+        txn = self.make(IsolationLevel.READ_COMMITTED)
+        assert txn.snapshot_ts(stmt_ts=99) == 99
+
+    def test_write_set_deduplicates(self):
+        txn = self.make()
+        txn.record_write("t", 1)
+        txn.record_write("t", 1)
+        txn.record_write("t", 2)
+        assert txn.write_set["t"] == [1, 2]
+        assert txn.written_rowids("t") == {1, 2}
+        assert txn.written_rowids("other") == set()
+
+    def test_initial_state(self):
+        txn = self.make()
+        assert txn.is_active
+        assert txn.status is TransactionStatus.ACTIVE
+        assert txn.commit_ts is None

@@ -1,0 +1,122 @@
+"""Unit tests for version chains (repro.db.tuples)."""
+
+from repro.db.tuples import Version, VersionChain
+
+
+def committed_chain():
+    """rowid 1: v1 committed at 10, superseded at 20, deleted at 30."""
+    chain = VersionChain(1)
+    v1 = Version(xid=1, values=("a", 1), stmt_ts=9, begin_ts=10,
+                 end_ts=20)
+    v2 = Version(xid=2, values=("a", 2), stmt_ts=19, begin_ts=20,
+                 end_ts=30)
+    tomb = Version(xid=3, values=None, stmt_ts=29, begin_ts=30)
+    chain.versions = [v1, v2, tomb]
+    return chain
+
+
+class TestVisibility:
+    def test_before_creation_invisible(self):
+        assert committed_chain().committed_at(5) is None
+
+    def test_first_version_window(self):
+        chain = committed_chain()
+        assert chain.committed_at(10).values == ("a", 1)
+        assert chain.committed_at(19).values == ("a", 1)
+
+    def test_second_version_window(self):
+        chain = committed_chain()
+        assert chain.committed_at(20).values == ("a", 2)
+        assert chain.committed_at(29).values == ("a", 2)
+
+    def test_tombstone_hides_row(self):
+        assert committed_chain().committed_at(30) is None
+        assert committed_chain().committed_at(99) is None
+
+    def test_latest_committed_includes_tombstone(self):
+        latest = committed_chain().latest_committed()
+        assert latest.is_tombstone
+
+    def test_uncommitted_version_not_visible_at_ts(self):
+        chain = VersionChain(1)
+        chain.append_uncommitted(7, ("x",), stmt_ts=5)
+        assert chain.committed_at(100) is None
+
+    def test_own_writes_visible_to_writer(self):
+        chain = committed_chain()
+        chain.append_uncommitted(7, ("mine",), stmt_ts=35)
+        assert chain.visible_to(7, snapshot_ts=25).values == ("mine",)
+        # other transactions still see the snapshot
+        assert chain.visible_to(8, snapshot_ts=25).values == ("a", 2)
+
+    def test_own_tombstone_hides_row(self):
+        chain = committed_chain()
+        chain.append_uncommitted(7, None, stmt_ts=35)
+        assert chain.visible_to(7, snapshot_ts=25) is None
+
+
+class TestLifecycle:
+    def test_same_txn_overwrites_pending_version(self):
+        chain = VersionChain(1)
+        chain.append_uncommitted(5, ("v1",), stmt_ts=1)
+        chain.append_uncommitted(5, ("v2",), stmt_ts=2)
+        assert len(chain.versions) == 1
+        assert chain.uncommitted_for(5).values == ("v2",)
+
+    def test_commit_publishes_and_closes_previous(self):
+        chain = VersionChain(1)
+        chain.versions = [Version(xid=1, values=("old",), stmt_ts=1,
+                                  begin_ts=2)]
+        chain.append_uncommitted(5, ("new",), stmt_ts=8)
+        chain.commit(5, commit_ts=10)
+        assert chain.committed_at(9).values == ("old",)
+        assert chain.committed_at(10).values == ("new",)
+        assert chain.versions[0].end_ts == 10
+
+    def test_abort_discards_pending(self):
+        chain = VersionChain(1)
+        chain.versions = [Version(xid=1, values=("old",), stmt_ts=1,
+                                  begin_ts=2)]
+        chain.append_uncommitted(5, ("new",), stmt_ts=8)
+        chain.abort(5)
+        assert len(chain.versions) == 1
+        assert chain.committed_at(100).values == ("old",)
+
+    def test_commit_without_pending_is_noop(self):
+        chain = committed_chain()
+        before = list(chain.versions)
+        chain.commit(99, commit_ts=50)
+        assert chain.versions == before
+
+    def test_prune_history_keeps_current_only(self):
+        chain = VersionChain(1)
+        chain.versions = [
+            Version(xid=1, values=("a",), stmt_ts=1, begin_ts=2,
+                    end_ts=5),
+            Version(xid=2, values=("b",), stmt_ts=4, begin_ts=5),
+        ]
+        chain.prune_history()
+        assert len(chain.versions) == 1
+        assert chain.versions[0].values == ("b",)
+
+    def test_creation_events(self):
+        events = committed_chain().creation_events()
+        assert [ts for ts, _ in events] == [10, 20, 30]
+
+
+class TestVersion:
+    def test_visible_at_boundaries(self):
+        v = Version(xid=1, values=("x",), stmt_ts=1, begin_ts=10,
+                    end_ts=20)
+        assert not v.visible_at(9)
+        assert v.visible_at(10)
+        assert v.visible_at(19)
+        assert not v.visible_at(20)
+
+    def test_uncommitted_never_visible(self):
+        v = Version(xid=1, values=("x",), stmt_ts=1)
+        assert not v.visible_at(10**9)
+
+    def test_tombstone_flag(self):
+        assert Version(xid=1, values=None, stmt_ts=1).is_tombstone
+        assert not Version(xid=1, values=(1,), stmt_ts=1).is_tombstone

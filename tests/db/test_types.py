@@ -1,0 +1,119 @@
+"""Unit tests for repro.db.types."""
+
+import pytest
+
+from repro.db.types import (DataType, coerce_value, comparable,
+                            format_value, infer_type, is_numeric,
+                            lookup_type, promote)
+from repro.errors import ExecutionError
+
+
+class TestLookupType:
+    def test_aliases_resolve(self):
+        assert lookup_type("INT") is DataType.INT
+        assert lookup_type("integer") is DataType.INT
+        assert lookup_type("BIGINT") is DataType.INT
+        assert lookup_type("text") is DataType.STRING
+        assert lookup_type("VARCHAR") is DataType.STRING
+        assert lookup_type("double") is DataType.FLOAT
+        assert lookup_type("NUMERIC") is DataType.FLOAT
+        assert lookup_type("boolean") is DataType.BOOL
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ExecutionError, match="unknown data type"):
+            lookup_type("BLOB")
+
+
+class TestInferType:
+    def test_null_has_no_type(self):
+        assert infer_type(None) is None
+
+    def test_bool_before_int(self):
+        # bool is an int subclass in Python; must not infer INT
+        assert infer_type(True) is DataType.BOOL
+        assert infer_type(0) is DataType.INT
+
+    def test_scalars(self):
+        assert infer_type(3) is DataType.INT
+        assert infer_type(3.5) is DataType.FLOAT
+        assert infer_type("x") is DataType.STRING
+
+    def test_unsupported_value(self):
+        with pytest.raises(ExecutionError):
+            infer_type(object())
+
+
+class TestCoerceValue:
+    def test_null_passes_through(self):
+        for dtype in DataType:
+            assert coerce_value(None, dtype) is None
+
+    def test_int_coercions(self):
+        assert coerce_value(3.0, DataType.INT) == 3
+        assert coerce_value("42", DataType.INT) == 42
+        assert coerce_value(True, DataType.INT) == 1
+
+    def test_float_coercions(self):
+        assert coerce_value(3, DataType.FLOAT) == 3.0
+        assert isinstance(coerce_value(3, DataType.FLOAT), float)
+        assert coerce_value(" 2.5 ", DataType.FLOAT) == 2.5
+
+    def test_string_coercions(self):
+        assert coerce_value(3, DataType.STRING) == "3"
+        assert coerce_value(True, DataType.STRING) == "true"
+
+    def test_bool_coercions(self):
+        assert coerce_value(1, DataType.BOOL) is True
+        assert coerce_value(0, DataType.BOOL) is False
+        assert coerce_value("true", DataType.BOOL) is True
+        assert coerce_value("F", DataType.BOOL) is False
+
+    def test_impossible_coercion_raises(self):
+        with pytest.raises(ExecutionError, match="cannot coerce"):
+            coerce_value("not-a-number", DataType.INT)
+        with pytest.raises(ExecutionError, match="cannot coerce"):
+            coerce_value("maybe", DataType.BOOL)
+
+
+class TestPromotion:
+    def test_null_promotes_to_other(self):
+        assert promote(None, DataType.INT) is DataType.INT
+        assert promote(DataType.STRING, None) is DataType.STRING
+        assert promote(None, None) is None
+
+    def test_same_type(self):
+        assert promote(DataType.INT, DataType.INT) is DataType.INT
+
+    def test_numeric_promotion(self):
+        assert promote(DataType.INT, DataType.FLOAT) is DataType.FLOAT
+        assert promote(DataType.FLOAT, DataType.INT) is DataType.FLOAT
+
+    def test_incompatible_raises(self):
+        with pytest.raises(ExecutionError, match="incompatible"):
+            promote(DataType.INT, DataType.STRING)
+
+    def test_comparable(self):
+        assert comparable(DataType.INT, DataType.FLOAT)
+        assert not comparable(DataType.BOOL, DataType.STRING)
+
+    def test_is_numeric(self):
+        assert is_numeric(DataType.INT)
+        assert is_numeric(DataType.FLOAT)
+        assert is_numeric(None)
+        assert not is_numeric(DataType.STRING)
+
+
+class TestFormatValue:
+    def test_null(self):
+        assert format_value(None) == "NULL"
+
+    def test_bool(self):
+        assert format_value(True) == "true"
+        assert format_value(False) == "false"
+
+    def test_string_escaping(self):
+        assert format_value("it's") == "'it''s'"
+
+    def test_numbers(self):
+        assert format_value(42) == "42"
+        assert format_value(2.5) == "2.5"

@@ -1,0 +1,133 @@
+"""Debug-panel model tests (Fig. 4): per-statement intermediate states,
+affected-row filtering, creator attribution, provenance click action.
+
+These tests walk through Example 2 of the paper: Bob inspecting T2.
+"""
+
+import pytest
+
+from repro import Database
+from repro.debugger import TransactionInspector
+from repro.errors import ReenactmentError
+from repro.workloads import setup_bank, run_write_skew_history
+
+
+@pytest.fixture
+def skewed():
+    db = Database()
+    setup_bank(db)
+    t1, t2 = run_write_skew_history(db)
+    return db, t1, t2
+
+
+class TestColumns:
+    def test_one_column_per_statement_plus_initial(self, skewed):
+        db, _, t2 = skewed
+        inspector = TransactionInspector(db, t2)
+        columns = inspector.columns()
+        assert [c.index for c in columns] == [-1, 0, 1]
+        assert columns[0].sql is None
+        assert "UPDATE account" in columns[1].sql
+        assert "INSERT INTO overdraft" in columns[2].sql
+
+    def test_initial_state_is_transaction_snapshot(self, skewed):
+        """The heart of Example 2: T2's snapshot shows the *outdated*
+        checking balance of 50 — T1's debit is invisible under SI."""
+        db, _, t2 = skewed
+        inspector = TransactionInspector(db, t2, show_unaffected=True)
+        initial = inspector.column(-1).states["account"]
+        values = sorted(r.values for r in initial.rows)
+        assert values == [("Alice", "Checking", 50),
+                          ("Alice", "Savings", 30)]
+
+    def test_state_after_update(self, skewed):
+        db, _, t2 = skewed
+        inspector = TransactionInspector(db, t2, show_unaffected=True)
+        after = inspector.column(0).states["account"]
+        values = sorted(r.values for r in after.rows)
+        assert values == [("Alice", "Checking", 50),
+                          ("Alice", "Savings", -10)]
+
+    def test_overdraft_stays_empty(self, skewed):
+        """Bob 'observes that both transactions did not insert any
+        tuples into the overdraft table'."""
+        db, _, t2 = skewed
+        inspector = TransactionInspector(db, t2, show_unaffected=True)
+        final = inspector.column(1).states["overdraft"]
+        assert final.rows == []
+
+    def test_creator_attribution(self, skewed):
+        db, t1, t2 = skewed
+        inspector = TransactionInspector(db, t2, show_unaffected=True)
+        after = inspector.column(0).states["account"]
+        by_type = {r.values[1]: r for r in after.rows}
+        assert by_type["Savings"].creator_xid == t2
+        assert by_type["Checking"].creator_xid != t2
+
+
+class TestFiltering:
+    def test_affected_filter_default(self, skewed):
+        db, _, t2 = skewed
+        inspector = TransactionInspector(db, t2)
+        state = inspector.column(0).states["account"]
+        visible = state.visible_rows(inspector.show_unaffected)
+        assert len(visible) == 1
+        assert visible[0].values[1] == "Savings"
+
+    def test_toggle_unaffected(self, skewed):
+        db, _, t2 = skewed
+        inspector = TransactionInspector(db, t2)
+        assert inspector.toggle_unaffected() is True
+        state = inspector.column(0).states["account"]
+        assert len(state.visible_rows(inspector.show_unaffected)) == 2
+
+    def test_select_tables(self, skewed):
+        db, _, t2 = skewed
+        inspector = TransactionInspector(db, t2)
+        inspector.select_tables(["overdraft"])
+        column = inspector.column(0)
+        assert list(column.states) == ["overdraft"]
+
+    def test_select_unknown_table_rejected(self, skewed):
+        db, _, t2 = skewed
+        inspector = TransactionInspector(db, t2)
+        with pytest.raises(ReenactmentError, match="not touched"):
+            inspector.select_tables(["ghost"])
+
+
+class TestDeletes:
+    def test_deleted_rows_shown_as_tombstones(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        s = db.connect()
+        s.begin()
+        s.execute("DELETE FROM t WHERE a = 1")
+        xid = s.txn.xid
+        s.commit()
+        inspector = TransactionInspector(db, xid)
+        state = inspector.column(0).states["t"]
+        deleted = [r for r in state.rows if r.deleted]
+        assert len(deleted) == 1 and deleted[0].values == (1,)
+        assert deleted[0].affected
+
+
+class TestProvenanceClick:
+    def test_graph_for_updated_tuple(self, skewed):
+        db, _, t2 = skewed
+        inspector = TransactionInspector(db, t2, show_unaffected=True)
+        state = inspector.column(0).states["account"]
+        savings = [r for r in state.rows
+                   if r.values[1] == "Savings"][0]
+        graph = inspector.provenance_graph("account", savings.rowid)
+        assert ("account", savings.rowid, 0) in graph
+        assert ("account", savings.rowid, -1) in graph
+
+    def test_whatif_entry_point(self, skewed):
+        db, t1, _ = skewed
+        inspector = TransactionInspector(db, t1)
+        scenario = inspector.whatif()
+        scenario.insert_statement(
+            0, "UPDATE account SET bal = bal WHERE cust = 'Alice'")
+        result = scenario.run()
+        assert result.conflicts

@@ -1,0 +1,102 @@
+"""Suspicion-scanner tests: each anomaly builder must be flagged, and
+innocent histories must not be."""
+
+import pytest
+
+from repro import Database
+from repro.debugger.suspicion import find_suspicious
+from repro.workloads import (lost_update_prevention, nonrepeatable_read,
+                             write_skew)
+
+
+class TestWriteSkew:
+    def test_running_example_flagged(self):
+        db = Database()
+        report = write_skew(db)
+        suspicions = find_suspicious(db)
+        skews = [s for s in suspicions if s.kind == "write-skew"]
+        assert len(skews) == 1
+        assert set(skews[0].xids) == {report.xids["T1"],
+                                      report.xids["T2"]}
+        assert "account" in skews[0].tables
+
+    def test_serial_execution_not_flagged(self):
+        from repro.workloads import (HistorySimulator, T1_PARAMS,
+                                     T2_PARAMS, setup_bank,
+                                     withdrawal_script)
+        db = Database()
+        setup_bank(db)
+        sim = HistorySimulator(db)
+        sim.run([withdrawal_script("T1", T1_PARAMS)])
+        sim.run([withdrawal_script("T2", T2_PARAMS)])
+        assert not [s for s in find_suspicious(db)
+                    if s.kind == "write-skew"]
+
+    def test_colliding_writers_not_flagged_as_skew(self):
+        # two concurrent txns writing the SAME row are not write-skew
+        db = Database()
+        lost_update_prevention(db)
+        assert not [s for s in find_suspicious(db)
+                    if s.kind == "write-skew"]
+
+
+class TestMixedSnapshot:
+    def test_nonrepeatable_read_flagged(self):
+        db = Database()
+        report = nonrepeatable_read(db)
+        suspicions = find_suspicious(db)
+        mixed = [s for s in suspicions if s.kind == "mixed-snapshot"]
+        assert len(mixed) == 1
+        assert mixed[0].xids[0] == report.xids["T1"]
+        assert "items" in mixed[0].tables
+
+    def test_si_transaction_not_flagged(self):
+        db = Database()
+        db.execute("CREATE TABLE items (id INT, qty INT)")
+        db.execute("INSERT INTO items VALUES (1, 10)")
+        s1 = db.connect()
+        s1.begin("SERIALIZABLE")
+        s1.execute("UPDATE items SET qty = 1 WHERE id = 1")
+        db.execute("INSERT INTO items VALUES (2, 20)")
+        s1.execute("UPDATE items SET qty = 2 WHERE id = 1")
+        s1.commit()
+        assert not [s for s in find_suspicious(db)
+                    if s.kind == "mixed-snapshot"]
+
+
+class TestConflictAborts:
+    def test_lost_update_abort_flagged(self):
+        db = Database()
+        report = lost_update_prevention(db)
+        suspicions = find_suspicious(db)
+        aborts = [s for s in suspicions if s.kind == "abort"]
+        assert len(aborts) == 1
+        assert aborts[0].xids[0] == report.xids["T2"]
+        assert "counters" in aborts[0].tables
+
+    def test_voluntary_rollback_without_conflict_not_flagged(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT)")
+        s = db.connect()
+        s.begin()
+        s.execute("INSERT INTO t VALUES (1)")
+        s.rollback()
+        assert not [s_ for s_ in find_suspicious(db)
+                    if s_.kind == "abort"]
+
+
+class TestQuietHistories:
+    def test_empty_database(self):
+        assert find_suspicious(Database()) == []
+
+    def test_disjoint_tables_not_flagged(self):
+        db = Database()
+        db.execute("CREATE TABLE a (x INT)")
+        db.execute("CREATE TABLE b (y INT)")
+        db.execute("INSERT INTO a VALUES (1)")
+        s1, s2 = db.connect(), db.connect()
+        s1.begin(); s2.begin()
+        s1.execute("UPDATE a SET x = 2")
+        s2.execute("INSERT INTO b VALUES (1)")
+        s1.commit(); s2.commit()
+        assert [s.kind for s in find_suspicious(db)] == []

@@ -1,0 +1,86 @@
+"""Timeline model tests (Fig. 3)."""
+
+import pytest
+
+from repro import Database
+from repro.debugger import TransactionTimeline
+from repro.errors import AuditLogError
+from repro.workloads import setup_bank, run_write_skew_history
+
+
+@pytest.fixture
+def timeline_env():
+    db = Database()
+    setup_bank(db)
+    t1, t2 = run_write_skew_history(db)
+    return db, t1, t2
+
+
+class TestConstruction:
+    def test_rows_sorted_by_begin(self, timeline_env):
+        db, t1, t2 = timeline_env
+        timeline = TransactionTimeline.from_database(db)
+        begins = [r.begin_ts for r in timeline.rows]
+        assert begins == sorted(begins)
+        assert len(timeline) == 3  # setup insert + T1 + T2
+
+    def test_statement_intervals_abut(self, timeline_env):
+        db, t1, _ = timeline_env
+        row = TransactionTimeline.from_database(db).row(t1)
+        assert len(row.statements) == 2
+        first, second = row.statements
+        assert first.end == second.start
+        assert second.end == row.end_ts  # last statement ends at commit
+
+    def test_status_classification(self, timeline_env):
+        db, t1, _ = timeline_env
+        session = db.connect()
+        session.begin()
+        session.execute("UPDATE account SET bal = 0 WHERE bal = 12345")
+        aborted_xid = session.txn.xid
+        session.rollback()
+        timeline = TransactionTimeline.from_database(db)
+        assert timeline.row(t1).status == "committed"
+        assert timeline.row(aborted_xid).status == "aborted"
+
+    def test_detail_panel_content(self, timeline_env):
+        db, _, t2 = timeline_env
+        detail = TransactionTimeline.from_database(db).row(t2).detail()
+        assert f"T{t2}" in detail
+        assert "SERIALIZABLE" in detail
+        assert "bob" in detail
+        assert "UPDATE account" in detail
+
+
+class TestInteractions:
+    def test_window_restriction(self, timeline_env):
+        db, t1, t2 = timeline_env
+        record_t2 = db.audit_log.transaction_record(t2)
+        windowed = TransactionTimeline.from_database(db).window(
+            record_t2.begin_ts, record_t2.commit_ts)
+        xids = [r.xid for r in windowed]
+        assert t2 in xids
+        assert windowed.start_ts == record_t2.begin_ts
+
+    def test_window_excludes_disjoint(self, timeline_env):
+        db, _, t2 = timeline_env
+        end = db.audit_log.transaction_record(t2).commit_ts
+        later = TransactionTimeline.from_database(db).window(
+            end + 100, end + 200)
+        assert len(later) == 0
+
+    def test_search(self, timeline_env):
+        db, t1, t2 = timeline_env
+        timeline = TransactionTimeline.from_database(db)
+        hits = timeline.search("overdraft")
+        assert {r.xid for r in hits} >= {t1, t2}
+        assert timeline.search("no such text") == []
+
+    def test_unknown_row(self, timeline_env):
+        db, _, _ = timeline_env
+        with pytest.raises(AuditLogError, match="not on the timeline"):
+            TransactionTimeline.from_database(db).row(999)
+
+    def test_empty_timeline(self):
+        timeline = TransactionTimeline.from_database(Database())
+        assert len(timeline) == 0

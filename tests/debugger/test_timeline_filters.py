@@ -1,0 +1,70 @@
+"""Structured timeline search (the §2 future-work extension)."""
+
+import pytest
+
+from repro import Database
+from repro.debugger import TransactionTimeline
+
+
+@pytest.fixture
+def filtered_db():
+    db = Database()
+    db.execute("CREATE TABLE a (x INT)")
+    db.execute("CREATE TABLE b (y INT)")
+
+    alice = db.connect(user="alice")
+    alice.begin("READ COMMITTED")
+    alice.execute("INSERT INTO a VALUES (1)")
+    alice.commit()
+
+    bob = db.connect(user="bob")
+    bob.begin()
+    bob.execute("INSERT INTO b VALUES (2)")
+    bob.execute("UPDATE b SET y = 3")
+    bob.commit()
+
+    carol = db.connect(user="carol")
+    carol.begin()
+    carol.execute("INSERT INTO a VALUES (9)")
+    carol.rollback()
+    return db
+
+
+def timeline(db):
+    return TransactionTimeline.from_database(db)
+
+
+class TestFilters:
+    def test_by_user(self, filtered_db):
+        rows = timeline(filtered_db).filter(user="bob").rows
+        assert len(rows) == 1 and rows[0].user == "bob"
+
+    def test_by_isolation(self, filtered_db):
+        rows = timeline(filtered_db).filter(
+            isolation="read committed").rows
+        assert len(rows) == 1 and rows[0].user == "alice"
+
+    def test_by_status(self, filtered_db):
+        aborted = timeline(filtered_db).filter(status="aborted").rows
+        assert len(aborted) == 1 and aborted[0].user == "carol"
+
+    def test_by_table(self, filtered_db):
+        rows = timeline(filtered_db).filter(table="b").rows
+        assert len(rows) == 1 and rows[0].user == "bob"
+        # no substring false-positives ("b" must not match "bench")
+        assert timeline(filtered_db).filter(table="ab").rows == []
+
+    def test_by_min_statements(self, filtered_db):
+        rows = timeline(filtered_db).filter(min_statements=2).rows
+        assert len(rows) == 1 and rows[0].user == "bob"
+
+    def test_filters_compose(self, filtered_db):
+        rows = timeline(filtered_db).filter(
+            status="committed", table="a").rows
+        assert len(rows) == 1 and rows[0].user == "alice"
+
+    def test_filter_preserves_window(self, filtered_db):
+        base = timeline(filtered_db)
+        filtered = base.filter(user="bob")
+        assert filtered.start_ts == base.start_ts
+        assert filtered.end_ts == base.end_ts

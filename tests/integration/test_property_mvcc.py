@@ -1,0 +1,126 @@
+"""Property-based MVCC invariants, checked against a reference model."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro import Database
+from repro.errors import TransactionError
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10**6),
+       n_steps=st.integers(min_value=3, max_value=25))
+def test_si_reads_are_repeatable(seed, n_steps):
+    """Within an SI transaction, a table read returns the same rows no
+    matter how many concurrent transactions commit in between."""
+    import random
+    rng = random.Random(seed)
+    db = Database()
+    db.execute("CREATE TABLE t (k INT, v INT)")
+    db.execute("INSERT INTO t VALUES (1,1), (2,2), (3,3)")
+    reader = db.connect()
+    reader.begin("SERIALIZABLE")
+    first = sorted(reader.execute("SELECT * FROM t").rows)
+    for _ in range(n_steps):
+        action = rng.choice(["update", "insert", "delete"])
+        if action == "update":
+            db.execute(f"UPDATE t SET v = v + 1 "
+                       f"WHERE k = {rng.randint(1, 3)}")
+        elif action == "insert":
+            db.execute(f"INSERT INTO t VALUES ({rng.randint(10, 99)}, 0)")
+        else:
+            db.execute(f"DELETE FROM t WHERE k = {rng.randint(10, 99)}")
+        assert sorted(reader.execute("SELECT * FROM t").rows) == first
+    reader.commit()
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_time_travel_reconstructs_every_committed_state(seed):
+    """Record the table state after every commit; later, AS OF each
+    commit timestamp must reproduce exactly the recorded state."""
+    import random
+    rng = random.Random(seed)
+    db = Database()
+    db.execute("CREATE TABLE t (k INT, v INT)")
+    states = []
+    for step in range(10):
+        action = rng.choice(["insert", "update", "delete"])
+        if action == "insert" or step == 0:
+            db.execute(f"INSERT INTO t VALUES ({step}, {step * 10})")
+        elif action == "update":
+            db.execute(f"UPDATE t SET v = v + 1 WHERE k <= {step}")
+        else:
+            db.execute(f"DELETE FROM t WHERE k = {rng.randint(0, step)}")
+        ts = db.clock.now()
+        rows = sorted(db.execute("SELECT * FROM t").rows)
+        states.append((ts, rows))
+    for ts, expected in states:
+        historical = sorted(
+            db.execute(f"SELECT * FROM t AS OF {ts}").rows)
+        assert historical == expected
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10**6),
+       n_txns=st.integers(min_value=2, max_value=5))
+def test_no_lost_updates_under_si(seed, n_txns):
+    """Counter invariant: concurrent increments either commit (and are
+    counted) or abort — the final value equals the number of commits."""
+    import random
+    rng = random.Random(seed)
+    db = Database()
+    db.execute("CREATE TABLE c (id INT, n INT)")
+    db.execute("INSERT INTO c VALUES (1, 0)")
+    sessions = [db.connect() for _ in range(n_txns)]
+    for session in sessions:
+        session.begin("SERIALIZABLE")
+    committed = 0
+    order = list(range(n_txns))
+    rng.shuffle(order)
+    alive = set(order)
+    for index in order:
+        session = sessions[index]
+        try:
+            session.execute("UPDATE c SET n = n + 1 WHERE id = 1")
+        except TransactionError:
+            alive.discard(index)
+    rng.shuffle(order)
+    for index in order:
+        if index not in alive:
+            continue
+        try:
+            sessions[index].commit()
+            committed += 1
+        except TransactionError:
+            pass
+    final = db.execute("SELECT n FROM c").rows[0][0]
+    assert final == committed
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_aborted_transactions_leave_no_trace_in_data(seed):
+    import random
+    rng = random.Random(seed)
+    db = Database()
+    db.execute("CREATE TABLE t (k INT, v INT)")
+    db.execute("INSERT INTO t VALUES (1, 1)")
+    before = sorted(db.execute("SELECT * FROM t").rows)
+    session = db.connect()
+    session.begin()
+    for _ in range(rng.randint(1, 5)):
+        action = rng.choice(["update", "insert", "delete"])
+        if action == "update":
+            session.execute("UPDATE t SET v = v * 2")
+        elif action == "insert":
+            session.execute(f"INSERT INTO t VALUES "
+                            f"({rng.randint(2, 9)}, 0)")
+        else:
+            session.execute("DELETE FROM t WHERE k > 1")
+    session.rollback()
+    assert sorted(db.execute("SELECT * FROM t").rows) == before

@@ -1,0 +1,118 @@
+"""Property-based tests: parse ∘ format is the identity on the
+expression and statement IR (hypothesis-generated trees)."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.algebra import expressions as ex
+from repro.sql.formatter import format_expr, format_statement
+from repro.sql.parser import parse_expression, parse_statement
+
+# identifiers that cannot collide with keywords or literals
+_names = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s.upper() not in {
+        "NULL", "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE", "END",
+        "AND", "OR", "NOT", "IN", "IS", "BETWEEN", "LIKE", "EXISTS",
+        "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT",
+        "AS", "BY", "ON", "JOIN", "UNION", "ALL", "CAST", "DESC", "ASC",
+        "SET", "VALUES", "INTO", "DELETE", "UPDATE", "INSERT", "LEFT",
+        "CROSS", "INNER", "OUTER", "INTERSECT", "EXCEPT", "DISTINCT",
+        "ABORT", "BEGIN", "COMMIT", "ROLLBACK", "OF", "MOD", "ABS",
+        "UPPER", "LOWER", "LENGTH", "ROUND", "COUNT", "SUM", "AVG",
+        "MIN", "MAX", "COALESCE", "NULLIF", "GREATEST", "LEAST",
+    })
+
+_literals = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32)
+    .filter(lambda f: abs(f) < 1e9),
+    st.text(alphabet=st.characters(blacklist_categories=("Cs",),
+                                   blacklist_characters="\x00"),
+            max_size=12),
+    st.booleans(),
+    st.none(),
+).map(ex.Literal)
+
+
+def _exprs(depth):
+    if depth <= 0:
+        return st.one_of(
+            _literals,
+            _names.map(lambda n: ex.Column(name=n)),
+            st.tuples(_names, _names).map(
+                lambda p: ex.Column(name=p[1], table=p[0])),
+            _names.map(ex.Param),
+        )
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        sub,
+        st.tuples(st.sampled_from(["+", "-", "*", "/", "%", "=", "<>",
+                                   "<", "<=", ">", ">=", "AND", "OR",
+                                   "||"]), sub, sub)
+        .map(lambda t: ex.BinaryOp(t[0], t[1], t[2])),
+        st.tuples(st.sampled_from(["NOT", "-"]), sub)
+        .map(lambda t: ex.UnaryOp(t[0], t[1])),
+        st.tuples(sub, st.booleans()).map(
+            lambda t: ex.IsNull(t[0], t[1])),
+        st.tuples(sub, st.lists(sub, min_size=1, max_size=3),
+                  st.booleans())
+        .map(lambda t: ex.InList(t[0], tuple(t[1]), t[2])),
+        st.tuples(sub, sub, sub, st.booleans())
+        .map(lambda t: ex.Between(t[0], t[1], t[2], t[3])),
+        st.lists(st.tuples(sub, sub), min_size=1, max_size=3)
+        .map(lambda whens: ex.Case(tuple(whens))),
+        st.tuples(st.sampled_from(["COALESCE", "ABS", "UPPER"]),
+                  st.lists(sub, min_size=1, max_size=2))
+        .map(lambda t: ex.FuncCall(t[0], tuple(t[1]))),
+    )
+
+
+expression_trees = _exprs(3)
+
+
+def _normalize(expr: ex.Expr) -> ex.Expr:
+    """Account for representation-level normalizations the parser makes:
+    a unary minus of a numeric literal folds into the literal."""
+    def visit(node: ex.Expr) -> ex.Expr:
+        if isinstance(node, ex.UnaryOp) and node.op == "-" \
+                and isinstance(node.operand, ex.Literal) \
+                and isinstance(node.operand.value, (int, float)) \
+                and not isinstance(node.operand.value, bool):
+            return ex.Literal(-node.operand.value)
+        return node
+    return ex.transform(expr, visit)
+
+
+@settings(max_examples=300, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(expression_trees)
+def test_expression_roundtrip(expr):
+    text = format_expr(_normalize(expr))
+    reparsed = parse_expression(text)
+    assert format_expr(reparsed) == text
+
+
+@settings(max_examples=150, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.tuples(_names, _exprs(2)), min_size=1, max_size=3),
+       _names, st.one_of(st.none(), _exprs(2)))
+def test_update_statement_roundtrip(assignments, table, where):
+    from repro.sql import ast
+    stmt = ast.Update(
+        table=table,
+        assignments=[ast.Assignment(c, _normalize(v))
+                     for c, v in assignments],
+        where=_normalize(where) if where is not None else None)
+    text = format_statement(stmt)
+    assert format_statement(parse_statement(text)) == text
+
+
+@settings(max_examples=150, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.lists(_literals, min_size=2, max_size=2),
+                min_size=1, max_size=4), _names)
+def test_insert_values_roundtrip(rows, table):
+    from repro.sql import ast
+    stmt = ast.Insert(table=table, source=ast.ValuesClause(rows=rows))
+    text = format_statement(stmt)
+    assert format_statement(parse_statement(text)) == text

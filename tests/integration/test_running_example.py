@@ -1,0 +1,111 @@
+"""Experiment E1: the paper's running example end to end.
+
+Fig. 1 (transactions + interleaving) → Fig. 2 (states) → Example 2
+(debugging T2) → §2 what-if (promotion).  This is the full story of the
+demo as one integration test suite.
+"""
+
+import pytest
+
+from repro import Database
+from repro.core.equivalence import check_history_equivalence
+from repro.core.reenactor import ReenactmentOptions, Reenactor
+from repro.core.whatif import WhatIfScenario
+from repro.debugger import (TransactionInspector, TransactionTimeline,
+                            render_debug_panel, render_timeline)
+from repro.workloads import (FIG2_EXPECTED, fig2_states,
+                             run_write_skew_history, setup_bank)
+
+
+@pytest.fixture(scope="module")
+def story():
+    db = Database()
+    setup_bank(db)
+    t1, t2 = run_write_skew_history(db)
+    return db, t1, t2
+
+
+class TestFig1AndFig2:
+    def test_database_states_match_fig2(self, story):
+        db, t1, t2 = story
+        assert fig2_states(db, t1, t2) == FIG2_EXPECTED
+
+    def test_writeskew_missed_the_overdraft(self, story):
+        db, _, _ = story
+        assert db.execute("SELECT * FROM overdraft").rows == []
+        total = db.execute(
+            "SELECT SUM(bal) FROM account WHERE cust = 'Alice'").rows
+        assert total == [(-30,)]  # yet the combined balance is negative
+
+
+class TestExample2Debugging:
+    def test_t2_saw_outdated_checking_balance(self, story):
+        """Bob's discovery: 'the insert statement of T2 sees an
+        outdated balance (50 instead of -20) for the checking
+        account'."""
+        db, _, t2 = story
+        inspector = TransactionInspector(db, t2, show_unaffected=True)
+        state = inspector.column(0).states["account"]
+        checking = [r.values for r in state.rows
+                    if r.values[1] == "Checking"][0]
+        assert checking[2] == 50  # not -20!
+
+    def test_neither_transaction_inserted_overdraft(self, story):
+        db, t1, t2 = story
+        for xid in (t1, t2):
+            result = Reenactor(db).reenact(xid)
+            assert result.tables["overdraft"].rows == []
+
+    def test_reenactments_are_equivalent(self, story):
+        db, _, _ = story
+        reports = check_history_equivalence(db)
+        assert all(r.ok for r in reports.values())
+
+    def test_debug_panel_renders_the_discovery(self, story):
+        db, _, t2 = story
+        inspector = TransactionInspector(db, t2, show_unaffected=True)
+        text = render_debug_panel(inspector)
+        # the outdated 50 and the transaction's own -10 are both visible
+        assert "50" in text and "-10" in text
+
+    def test_timeline_shows_the_interleaving(self, story):
+        db, t1, t2 = story
+        timeline = TransactionTimeline.from_database(db)
+        row1, row2 = timeline.row(t1), timeline.row(t2)
+        # concurrent: T2 begins before T1 commits, T2 commits last
+        assert row2.begin_ts < row1.end_ts
+        assert row2.end_ts > row1.end_ts
+        assert f"T{t1}" in render_timeline(timeline)
+
+
+class TestSection2WhatIf:
+    def test_promotion_would_abort_t2(self, story):
+        db, t1, t2 = story
+        scenario = WhatIfScenario(db, t1)
+        scenario.insert_statement(
+            0, "UPDATE account SET bal = bal WHERE cust = :name",
+            {"name": "Alice"})
+        result = scenario.run()
+        assert any(c.other_xid == t2 for c in result.conflicts)
+
+    def test_serializable_history_would_catch_overdraft(self, story):
+        """What-if on data: give T2 the post-T1 state (as a serial
+        execution would) and the overdraft IS reported."""
+        db, _, t2 = story
+        scenario = WhatIfScenario(db, t2)
+        scenario.edit_table("account", [("Alice", "Checking", -20),
+                                        ("Alice", "Savings", 30)])
+        result = scenario.run()
+        added = result.diffs["overdraft"].added
+        assert ("Alice", -30) in added
+
+
+class TestExample3SQL:
+    def test_reenactment_sql_reproduces_example3(self, story):
+        db, t1, _ = story
+        sql = Reenactor(db).reenactment_sql(
+            t1, "account", ReenactmentOptions(upto=1))
+        assert "CASE WHEN" in sql and "AS OF" in sql
+        rows = sorted(db.execute(sql).rows)
+        assert rows == [("Alice", "Checking", -20),
+                        ("Alice", "Savings", 30)]

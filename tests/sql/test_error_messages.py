@@ -1,0 +1,56 @@
+"""Syntax-error quality: malformed SQL fails with positioned errors,
+never silently misparses."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.parser import parse_statement
+
+BAD_STATEMENTS = [
+    "SELECT FROM t",
+    "SELECT a FROM",
+    "SELECT a FROM t WHERE",
+    "SELECT a, FROM t",
+    "INSERT INTO",
+    "INSERT INTO t VALUES",
+    "INSERT INTO t VALUES (1",
+    "UPDATE t",
+    "UPDATE t SET",
+    "UPDATE t SET a",
+    "UPDATE t SET a = ",
+    "DELETE t WHERE a = 1",
+    "CREATE TABLE t",
+    "CREATE TABLE t ()",
+    "CREATE TABLE t (a)",
+    "DROP t",
+    "SELECT a FROM t GROUP a",
+    "SELECT a FROM t ORDER a",
+    "SELECT CASE END FROM t",
+    "SELECT a FROM t t2 t3 t4",
+    "SELECT (SELECT a FROM t",
+    "SELECT a FROM t WHERE a IN ()",
+    "PROVENANCE OF SELECT a FROM t",
+    "PROVENANCE OF TRANSACTION abc",
+    "REENACT TRANSACTION",
+    "SELECT a FROM t LIMIT",
+    "BEGIN ISOLATION READ COMMITTED",
+    "SELECT a b c FROM t",
+]
+
+
+@pytest.mark.parametrize("sql", BAD_STATEMENTS)
+def test_malformed_sql_raises_syntax_error(sql):
+    with pytest.raises(SQLSyntaxError):
+        parse_statement(sql)
+
+
+def test_error_carries_position():
+    with pytest.raises(SQLSyntaxError) as info:
+        parse_statement("SELECT a\nFROM t WHERE )")
+    assert info.value.line == 2
+    assert info.value.column > 0
+
+
+def test_error_mentions_found_token():
+    with pytest.raises(SQLSyntaxError, match="found"):
+        parse_statement("SELECT a FROM t WHERE ORDER")

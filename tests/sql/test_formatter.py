@@ -1,0 +1,98 @@
+"""Formatter tests: canonical output and the parse∘format fixpoint."""
+
+import pytest
+
+from repro.sql.formatter import format_statement
+from repro.sql.parser import parse_expression, parse_statement
+
+STATEMENTS = [
+    "SELECT a, b FROM t WHERE a > 1",
+    "SELECT DISTINCT a AS x FROM t ORDER BY x DESC LIMIT 3",
+    "SELECT t.a, u.b FROM t JOIN u ON t.id = u.id",
+    "SELECT a FROM t LEFT JOIN u ON t.x = u.x CROSS JOIN v",
+    "SELECT cust, SUM(bal) AS total FROM account GROUP BY cust "
+    "HAVING SUM(bal) > 0",
+    "SELECT a FROM t UNION ALL SELECT b FROM u",
+    "(SELECT a FROM t INTERSECT SELECT b FROM u) EXCEPT SELECT c FROM v",
+    "SELECT * FROM account AS OF 17 a1",
+    "SELECT x FROM (SELECT a AS x FROM t) AS sub",
+    "SELECT CASE WHEN a > 0 THEN 'p' ELSE 'n' END AS sign FROM t",
+    "SELECT a FROM t WHERE b IN (1, 2, 3) AND c IS NOT NULL",
+    "SELECT a FROM t WHERE b BETWEEN 1 AND 10 OR c LIKE 'A%'",
+    "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.x = t.x)",
+    "SELECT a FROM t WHERE b = (SELECT MAX(b) FROM t)",
+    "INSERT INTO t VALUES (1, 'x'), (2, NULL)",
+    "INSERT INTO t (a, b) VALUES (:p, 2)",
+    "INSERT INTO overdraft (SELECT cust, bal FROM account WHERE "
+    "bal < 0)",
+    "UPDATE account SET bal = bal - :amount WHERE cust = :name "
+    "AND typ = :type",
+    "UPDATE t SET a = 1, b = CASE WHEN c THEN 1 ELSE 0 END",
+    "DELETE FROM t WHERE a % 2 = 0",
+    "CREATE TABLE x (id INT PRIMARY KEY, name TEXT NOT NULL, v FLOAT)",
+    "DROP TABLE x",
+    "BEGIN ISOLATION LEVEL READ COMMITTED",
+    "COMMIT",
+    "ROLLBACK",
+    "PROVENANCE OF (SELECT a FROM t)",
+    "PROVENANCE OF TRANSACTION 7 UPTO 2 ON TABLE account",
+    "REENACT TRANSACTION 3 WITH PROVENANCE",
+    "SELECT -a, NOT b, a - -1 FROM t",
+    "SELECT a || b || 'x' FROM t",
+    "SELECT COUNT(DISTINCT a), CAST(b AS INT) FROM t",
+]
+
+
+@pytest.mark.parametrize("sql", STATEMENTS)
+def test_format_is_reparsable_fixpoint(sql):
+    """format(parse(sql)) must itself parse, and formatting again must
+    yield the identical string (canonical form is a fixpoint)."""
+    once = format_statement(parse_statement(sql))
+    twice = format_statement(parse_statement(once))
+    assert once == twice
+
+
+class TestExpressionFormatting:
+    def test_parentheses_only_where_needed(self):
+        expr = parse_expression("(a + b) * c")
+        assert str(expr) == "(a + b) * c"
+        expr = parse_expression("a + b * c")
+        assert str(expr) == "a + b * c"
+
+    def test_boolean_parens(self):
+        expr = parse_expression("(a OR b) AND c")
+        assert str(expr) == "(a OR b) AND c"
+
+    def test_not_formatting(self):
+        expr = parse_expression("NOT (a AND b)")
+        assert str(expr) == "NOT (a AND b)"
+
+    def test_string_escaping_roundtrip(self):
+        expr = parse_expression("'it''s'")
+        assert str(expr) == "'it''s'"
+        assert parse_expression(str(expr)) == expr
+
+    def test_case_formatting(self):
+        text = str(parse_expression(
+            "CASE WHEN a THEN 1 WHEN b THEN 2 ELSE 3 END"))
+        assert text == "CASE WHEN a THEN 1 WHEN b THEN 2 ELSE 3 END"
+
+    def test_neq_normalized(self):
+        assert str(parse_expression("a != b")) == "a <> b"
+
+    def test_cast_formatting(self):
+        assert str(parse_expression("CAST(a AS INT)")) == \
+            "CAST(a AS INT)"
+
+
+class TestStatementFormatting:
+    def test_update_canonical(self):
+        text = format_statement(parse_statement(
+            "update account set bal=bal-70 where cust='Alice'"))
+        assert text == ("UPDATE account SET bal = bal - 70 "
+                        "WHERE cust = 'Alice'")
+
+    def test_insert_paper_form_preserved(self):
+        text = format_statement(parse_statement(
+            "INSERT INTO overdraft (SELECT cust, bal FROM account)"))
+        assert text.startswith("INSERT INTO overdraft (SELECT")

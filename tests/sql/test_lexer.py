@@ -1,0 +1,90 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.lexer import TokenKind, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)[:-1]]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_idents_and_keywords_are_idents(self):
+        assert kinds("SELECT foo") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 0.125")
+        assert [t.value for t in tokens[:-1]] == ["1", "2.5", "0.125"]
+        assert all(t.kind is TokenKind.NUMBER for t in tokens[:-1])
+
+    def test_number_then_dot_ident(self):
+        # "1.e" should not swallow the dot into the number
+        assert values("SELECT 1.5, a.b") == \
+            ["SELECT", "1.5", ",", "a", ".", "b"]
+
+    def test_string_literal(self):
+        token = tokenize("'hello world'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "hello world"
+
+    def test_string_escape_doubled_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated string"):
+            tokenize("'oops")
+
+    def test_params(self):
+        tokens = tokenize(":name = :value_2")
+        assert tokens[0].kind is TokenKind.PARAM
+        assert tokens[0].value == "name"
+        assert tokens[2].value == "value_2"
+
+    def test_bad_param(self):
+        with pytest.raises(SQLSyntaxError, match="parameter name"):
+            tokenize(": 5")
+
+    def test_quoted_identifier(self):
+        token = tokenize('"weird name"')[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.value == "weird name"
+
+
+class TestOperators:
+    def test_multichar_operators(self):
+        assert values("a <= b >= c <> d != e || f") == \
+            ["a", "<=", "b", ">=", "c", "<>", "d", "<>", "e", "||", "f"]
+
+    def test_single_operators(self):
+        assert values("(a + b) * c / d % e;") == \
+            ["(", "a", "+", "b", ")", "*", "c", "/", "d", "%", "e", ";"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError, match="unexpected character"):
+            tokenize("a ~ b")
+
+
+class TestCommentsAndPositions:
+    def test_line_comment(self):
+        assert values("a -- comment here\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SQLSyntaxError, match="block comment"):
+            tokenize("a /* never ends")
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF

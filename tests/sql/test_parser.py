@@ -1,0 +1,297 @@
+"""Parser tests."""
+
+import pytest
+
+from repro.algebra.expressions import (Between, BinaryOp, Case, Column,
+                                       FuncCall, InList, IsNull, Like,
+                                       Literal, Param, Star, SubqueryExpr,
+                                       UnaryOp)
+from repro.errors import SQLSyntaxError
+from repro.sql import ast
+from repro.sql.parser import parse, parse_expression, parse_statement
+
+
+class TestExpressions:
+    def test_precedence_arith(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_precedence_bool(self):
+        expr = parse_expression("a OR b AND c")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_parens_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_comparison_chain(self):
+        expr = parse_expression("a + 1 >= b - 2")
+        assert expr.op == ">="
+
+    def test_unary_minus_folds_literal(self):
+        assert parse_expression("-5") == Literal(-5)
+        expr = parse_expression("-a")
+        assert isinstance(expr, UnaryOp) and expr.op == "-"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, UnaryOp) and expr.op == "NOT"
+
+    def test_null_true_false(self):
+        assert parse_expression("NULL") == Literal(None)
+        assert parse_expression("TRUE") == Literal(True)
+        assert parse_expression("FALSE") == Literal(False)
+
+    def test_is_null_and_negation(self):
+        assert parse_expression("a IS NULL") == \
+            IsNull(Column(name="a"))
+        assert parse_expression("a IS NOT NULL") == \
+            IsNull(Column(name="a"), negated=True)
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, InList) and len(expr.items) == 3
+        neg = parse_expression("a NOT IN (1)")
+        assert neg.negated
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 10")
+        assert isinstance(expr, Between)
+        neg = parse_expression("a NOT BETWEEN 1 AND 10")
+        assert neg.negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'A%'")
+        assert isinstance(expr, Like)
+
+    def test_searched_case(self):
+        expr = parse_expression(
+            "CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END")
+        assert isinstance(expr, Case)
+        assert len(expr.whens) == 1
+        assert expr.default == Literal("neg")
+
+    def test_simple_case_normalized(self):
+        expr = parse_expression("CASE a WHEN 1 THEN 'one' END")
+        cond = expr.whens[0][0]
+        assert isinstance(cond, BinaryOp) and cond.op == "="
+
+    def test_case_requires_when(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_function_call(self):
+        expr = parse_expression("COALESCE(a, 0)")
+        assert isinstance(expr, FuncCall) and expr.name == "COALESCE"
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert expr.name == "COUNT"
+        assert isinstance(expr.args[0], Star)
+
+    def test_count_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT a)")
+        assert expr.distinct
+
+    def test_cast(self):
+        expr = parse_expression("CAST(a AS INT)")
+        assert expr.name == "CAST_INT"
+
+    def test_qualified_column(self):
+        expr = parse_expression("t1.bal")
+        assert expr == Column(name="bal", table="t1")
+
+    def test_param(self):
+        assert parse_expression(":amount") == Param("amount")
+
+    def test_concat(self):
+        expr = parse_expression("a || 'x'")
+        assert expr.op == "||"
+
+    def test_exists_subquery(self):
+        expr = parse_expression("EXISTS (SELECT a FROM t)")
+        assert isinstance(expr, SubqueryExpr) and expr.kind == "EXISTS"
+
+    def test_in_subquery(self):
+        expr = parse_expression("a IN (SELECT b FROM t)")
+        assert isinstance(expr, SubqueryExpr) and expr.kind == "IN"
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("(SELECT MAX(a) FROM t)")
+        assert isinstance(expr, SubqueryExpr) and expr.kind == "SCALAR"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="trailing"):
+            parse_expression("1 + 2 banana oops")
+
+
+class TestSelect:
+    def test_simple(self):
+        stmt = parse_statement("SELECT a, b FROM t WHERE a > 1")
+        assert isinstance(stmt, ast.Select)
+        assert len(stmt.items) == 2
+        assert isinstance(stmt.sources[0], ast.TableRef)
+
+    def test_star_and_qualified_star(self):
+        stmt = parse_statement("SELECT *, t.* FROM t")
+        assert isinstance(stmt.items[0].expr, Star)
+        assert stmt.items[1].expr.table == "t"
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t z")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.sources[0].alias == "z"
+
+    def test_implicit_join_comma(self):
+        stmt = parse_statement("SELECT 1 FROM a, b c, d")
+        assert len(stmt.sources) == 3
+
+    def test_explicit_joins(self):
+        stmt = parse_statement(
+            "SELECT 1 FROM a JOIN b ON a.x = b.x "
+            "LEFT JOIN c ON b.y = c.y CROSS JOIN d")
+        join = stmt.sources[0]
+        assert isinstance(join, ast.JoinSource) and join.kind == "CROSS"
+        assert join.left.kind == "LEFT"
+        assert join.left.left.kind == "INNER"
+
+    def test_group_by_having(self):
+        stmt = parse_statement(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_limit(self):
+        stmt = parse_statement(
+            "SELECT a FROM t ORDER BY a DESC, b LIMIT 5")
+        assert not stmt.order_by[0].ascending
+        assert stmt.order_by[1].ascending
+        assert stmt.limit == Literal(5)
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_subquery_source(self):
+        stmt = parse_statement(
+            "SELECT x FROM (SELECT a AS x FROM t) AS sub")
+        assert isinstance(stmt.sources[0], ast.SubquerySource)
+        assert stmt.sources[0].alias == "sub"
+
+    def test_as_of(self):
+        stmt = parse_statement("SELECT * FROM t AS OF 42 x")
+        ref = stmt.sources[0]
+        assert ref.as_of == Literal(42)
+        assert ref.alias == "x"
+
+    def test_as_alias_vs_as_of(self):
+        stmt = parse_statement("SELECT * FROM t AS x")
+        assert stmt.sources[0].alias == "x"
+        assert stmt.sources[0].as_of is None
+
+    def test_set_operations(self):
+        stmt = parse_statement(
+            "SELECT a FROM t UNION ALL SELECT b FROM u "
+            "EXCEPT SELECT c FROM v")
+        assert isinstance(stmt, ast.SetOpQuery)
+        assert stmt.op == "EXCEPT"
+        assert stmt.left.op == "UNION" and stmt.left.all
+
+    def test_select_without_from(self):
+        stmt = parse_statement("SELECT 1 + 1")
+        assert stmt.sources == []
+
+
+class TestDML:
+    def test_insert_values(self):
+        stmt = parse_statement(
+            "INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt.source, ast.ValuesClause)
+        assert len(stmt.source.rows) == 2
+
+    def test_insert_column_list(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ["a", "b"]
+
+    def test_insert_query_paper_style(self):
+        # the paper writes INSERT INTO overdraft (SELECT ...)
+        stmt = parse_statement(
+            "INSERT INTO overdraft (SELECT cust, bal FROM account)")
+        assert isinstance(stmt.source, ast.Select)
+        assert stmt.columns is None
+
+    def test_insert_query_standard(self):
+        stmt = parse_statement(
+            "INSERT INTO t SELECT a, b FROM u")
+        assert isinstance(stmt.source, ast.Select)
+
+    def test_update(self):
+        stmt = parse_statement(
+            "UPDATE account SET bal = bal - :amount "
+            "WHERE cust = :name AND typ = :type")
+        assert isinstance(stmt, ast.Update)
+        assert stmt.assignments[0].column == "bal"
+        assert stmt.where is not None
+
+    def test_update_multi_assign(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = 2")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_delete_all(self):
+        assert parse_statement("DELETE FROM t").where is None
+
+
+class TestOtherStatements:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE x (id INT PRIMARY KEY, name TEXT NOT NULL, "
+            "v FLOAT)")
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null
+        assert not stmt.columns[2].not_null
+
+    def test_drop_table(self):
+        assert parse_statement("DROP TABLE x").name == "x"
+
+    def test_begin_variants(self):
+        assert parse_statement("BEGIN").isolation is None
+        stmt = parse_statement(
+            "BEGIN ISOLATION LEVEL READ COMMITTED")
+        assert stmt.isolation.upper() == "READ COMMITTED"
+
+    def test_commit_rollback(self):
+        assert isinstance(parse_statement("COMMIT"), ast.Commit)
+        assert isinstance(parse_statement("ROLLBACK"), ast.Rollback)
+        assert isinstance(parse_statement("ABORT"), ast.Rollback)
+
+    def test_provenance_of_query(self):
+        stmt = parse_statement("PROVENANCE OF (SELECT a FROM t)")
+        assert isinstance(stmt, ast.ProvenanceOfQuery)
+
+    def test_provenance_of_transaction(self):
+        stmt = parse_statement(
+            "PROVENANCE OF TRANSACTION 7 UPTO 2 ON TABLE account")
+        assert stmt.xid == 7 and stmt.upto == 2
+        assert stmt.table == "account"
+
+    def test_reenact(self):
+        stmt = parse_statement(
+            "REENACT TRANSACTION 3 WITH PROVENANCE")
+        assert stmt.xid == 3 and stmt.with_provenance
+
+    def test_script_parsing(self):
+        stmts = parse("SELECT 1; SELECT 2;; SELECT 3")
+        assert len(stmts) == 3
+
+    def test_error_position_reported(self):
+        with pytest.raises(SQLSyntaxError) as info:
+            parse_statement("SELECT FROM")
+        assert "line 1" in str(info.value)

@@ -1,0 +1,78 @@
+"""Interleaving-simulator tests."""
+
+import pytest
+
+from repro import Database
+from repro.errors import ReproError
+from repro.workloads import HistorySimulator, TxnOp, TxnScript
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (k INT, v INT)")
+    database.execute("INSERT INTO t VALUES (1, 0), (2, 0)")
+    return database
+
+
+class TestScheduling:
+    def test_round_robin_default(self, db):
+        scripts = [
+            TxnScript("A", ["UPDATE t SET v = v + 1 WHERE k = 1"]),
+            TxnScript("B", ["UPDATE t SET v = v + 1 WHERE k = 2"]),
+        ]
+        outcomes = HistorySimulator(db).run(scripts)
+        assert all(o.committed for o in outcomes.values())
+        assert sorted(db.execute("SELECT v FROM t").rows) == [(1,), (1,)]
+
+    def test_explicit_schedule_controls_commit_order(self, db):
+        scripts = [
+            TxnScript("A", ["UPDATE t SET v = 1 WHERE k = 1"]),
+            TxnScript("B", ["UPDATE t SET v = 2 WHERE k = 2"]),
+        ]
+        # B begins and commits entirely before A finishes
+        outcomes = HistorySimulator(db).run(
+            scripts, ["A", "B", "B", "A"])
+        assert outcomes["B"].commit_ts < outcomes["A"].commit_ts
+
+    def test_conflicting_schedules_abort_later_writer(self, db):
+        scripts = [
+            TxnScript("A", ["UPDATE t SET v = 1 WHERE k = 1"]),
+            TxnScript("B", ["UPDATE t SET v = 2 WHERE k = 1"]),
+        ]
+        outcomes = HistorySimulator(db).run(
+            scripts, ["A", "B", "A", "B"])
+        assert outcomes["A"].committed
+        assert outcomes["B"].aborted
+        assert "locked" in outcomes["B"].error
+
+    def test_unfinished_transactions_commit_at_end(self, db):
+        scripts = [TxnScript("A", ["UPDATE t SET v = 5 WHERE k = 1"])]
+        outcomes = HistorySimulator(db).run(scripts, ["A"])
+        assert outcomes["A"].committed
+
+    def test_results_collected(self, db):
+        scripts = [TxnScript("A", [
+            TxnOp("SELECT v FROM t WHERE k = :k", {"k": 1}),
+            "UPDATE t SET v = 9 WHERE k = 1",
+        ])]
+        outcomes = HistorySimulator(db).run(scripts)
+        assert outcomes["A"].results[0].rows == [(0,)]
+        assert outcomes["A"].results[1].rowcount == 1
+
+    def test_isolation_level_applied(self, db):
+        scripts = [TxnScript("A", ["UPDATE t SET v = 1 WHERE k = 1"],
+                             isolation="READ COMMITTED")]
+        outcomes = HistorySimulator(db).run(scripts)
+        from repro.db.transaction import IsolationLevel
+        record = db.audit_log.transaction_record(outcomes["A"].xid)
+        assert record.isolation is IsolationLevel.READ_COMMITTED
+
+    def test_duplicate_names_rejected(self, db):
+        scripts = [TxnScript("A", []), TxnScript("A", [])]
+        with pytest.raises(ReproError, match="unique"):
+            HistorySimulator(db).run(scripts)
+
+    def test_unknown_schedule_name(self, db):
+        with pytest.raises(ReproError, match="unknown"):
+            HistorySimulator(db).run([TxnScript("A", [])], ["Z"])

@@ -28,11 +28,14 @@ Quickstart::
 """
 
 from repro.db import Database, DatabaseConfig, IsolationLevel, Session
+from repro.backends import (ExecutionBackend, InMemoryBackend,
+                            SQLiteBackend, resolve_backend)
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Database", "DatabaseConfig", "IsolationLevel", "Session",
-    "ReproError", "__version__",
+    "ExecutionBackend", "InMemoryBackend", "SQLiteBackend",
+    "resolve_backend", "ReproError", "__version__",
 ]

@@ -28,6 +28,7 @@ ANNOT_XID = "xid"        # xid of the transaction that created the version
 ROWID_SUFFIX = "__rowid__"
 XID_SUFFIX = "__xid__"
 UPD_FLAG = "__upd__"     # updated-by-reenacted-transaction flag
+DEL_FLAG = "__del__"     # deleted-by-reenacted-transaction flag
 
 
 class Operator:

@@ -12,9 +12,17 @@ the dialect (every table scan exposes them), so even reenactment plans
 with row-identity bookkeeping are expressible.  The one exception is
 :class:`~repro.algebra.operators.AnnotateRowId` over a *dynamic* input
 (reenacted ``INSERT ... SELECT``): synthesizing row identities for an
-unknown number of rows needs ROW_NUMBER-style machinery the dialect does
-not have, so :func:`generate_sql` raises and callers fall back to direct
-plan evaluation (documented in DESIGN.md §4.5).
+unknown number of rows needs ROW_NUMBER-style machinery the native
+dialect does not have, so :func:`generate_sql` raises and callers fall
+back to direct plan evaluation (documented in DESIGN.md §4.5).  Target
+dialects that do have window functions can render it by overriding
+:meth:`Dialect.gen_annotate_rowid`.
+
+Generation is parameterized by a :class:`Dialect`: execution backends
+(:mod:`repro.backends`) override its hooks to print the same plans for a
+real external engine — e.g. mapping time-traveled scans onto
+materialized snapshot tables and avoiding syntax the target does not
+accept (SQLite rejects parenthesized compound-SELECT operands).
 """
 
 from __future__ import annotations
@@ -27,13 +35,84 @@ from repro.errors import ReenactmentError, ReproError
 from repro.sql.formatter import format_expr
 
 
+class Dialect:
+    """Rendering hooks for one target SQL dialect.
+
+    The base class prints the repo's native dialect — time-travel
+    ``AS OF`` scans, parenthesized compound queries — whose output
+    re-parses and re-evaluates on the engine (a tested fixpoint).
+    Subclasses adjust only the places dialects actually differ; the
+    structural SQL generation is shared.
+    """
+
+    name = "native"
+
+    #: hoist derived tables into a WITH clause.  Deep reenactment chains
+    #: (READ COMMITTED re-basing in particular) nest subqueries hundreds
+    #: of levels deep; engines with a bounded parser stack (SQLite)
+    #: need the flat CTE form.  The native dialect keeps inline nesting
+    #: so generated SQL stays a re-parseable fixpoint.
+    use_ctes = False
+
+    def quote(self, ident: str) -> str:
+        """Quote an identifier where the target requires it (the native
+        dialect has no quoting and no reserved-word collisions with the
+        names the generator emits)."""
+        return ident
+
+    def scan_source(self, scan: op.TableScan) -> str:
+        """FROM-clause source text for a base-table scan."""
+        source = self.quote(scan.table)
+        if scan.as_of is not None:
+            source += f" AS OF {format_expr(scan.as_of)}"
+        return source
+
+    def compound(self, left_body: str, right_body: str,
+                 word: str) -> str:
+        """Combine two simple SELECT bodies with a set operation."""
+        return f"({left_body}) {word} ({right_body})"
+
+    def cte_item(self, name: str, body: str) -> str:
+        """One ``name AS (body)`` item of a WITH clause (only reached
+        when :attr:`use_ctes` is set)."""
+        return f"{self.quote(name)} AS ({body})"
+
+    def gen_annotate_rowid(self, gen: "_Generator",
+                           node: op.AnnotateRowId
+                           ) -> Tuple[str, Dict[str, str]]:
+        """Render synthetic row-id annotation, or raise if the dialect
+        cannot express it."""
+        raise ReenactmentError(
+            "plan contains synthetic row-id annotation over a dynamic "
+            "input (reenacted INSERT ... SELECT); it cannot be printed "
+            "as SQL — evaluate the plan directly instead")
+
+
 class _Generator:
-    def __init__(self):
+    def __init__(self, dialect: Optional[Dialect] = None):
         self._counter = 0
+        self.dialect = dialect or Dialect()
+        #: hoisted (name, body) common table expressions, in dependency
+        #: order (a body only references CTEs appended before it).
+        self.ctes: List[Tuple[str, str]] = []
+        #: >0 while rendering an expression-level subquery.  Such
+        #: bodies may carry correlated references to outer flat names
+        #: (remapped by :func:`_remap_plan`) and therefore must stay
+        #: inline — a CTE cannot see the enclosing query's columns.
+        self._subquery_depth = 0
 
     def fresh(self, prefix: str = "c") -> str:
         self._counter += 1
         return f"{prefix}{self._counter}"
+
+    def derived(self, body: str) -> str:
+        """A derived table for a FROM clause: inline ``(body)`` or, for
+        CTE dialects outside subquery context, a hoisted CTE name."""
+        if self.dialect.use_ctes and self._subquery_depth == 0:
+            name = self.fresh("q")
+            self.ctes.append((name, body))
+            return self.dialect.quote(name)
+        return f"({body})"
 
     # Each _gen returns (sql_text, colmap) where colmap maps the plan's
     # attribute keys to the flat column names used in the SQL text.
@@ -54,7 +133,8 @@ class _Generator:
         if isinstance(plan, op.Distinct):
             sql, colmap = self.gen(plan.child)
             alias = self.fresh("t")
-            return (f"SELECT DISTINCT * FROM ({sql}) AS {alias}", colmap)
+            return (f"SELECT DISTINCT * FROM {self.derived(sql)} AS {alias}",
+                    colmap)
         if isinstance(plan, op.SetOp):
             return self._gen_setop(plan)
         if isinstance(plan, op.OrderBy):
@@ -63,13 +143,10 @@ class _Generator:
             sql, colmap = self.gen(plan.child)
             alias = self.fresh("t")
             count = format_expr(plan.count)
-            return (f"SELECT * FROM ({sql}) AS {alias} LIMIT {count}",
-                    colmap)
+            return (f"SELECT * FROM {self.derived(sql)} AS {alias} "
+                    f"LIMIT {count}", colmap)
         if isinstance(plan, op.AnnotateRowId):
-            raise ReenactmentError(
-                "plan contains synthetic row-id annotation over a dynamic "
-                "input (reenacted INSERT ... SELECT); it cannot be printed "
-                "as SQL — evaluate the plan directly instead")
+            return self.dialect.gen_annotate_rowid(self, plan)
         raise ReproError(f"cannot generate SQL for {plan!r}")
 
     # -- leaves -------------------------------------------------------------
@@ -81,10 +158,8 @@ class _Generator:
             short = attr.rsplit(".", 1)[-1]
             flat = self.fresh("c")
             colmap[attr] = flat
-            pieces.append(f"{short} AS {flat}")
-        from_clause = scan.table
-        if scan.as_of is not None:
-            from_clause += f" AS OF {format_expr(scan.as_of)}"
+            pieces.append(f"{self.dialect.quote(short)} AS {flat}")
+        from_clause = self.dialect.scan_source(scan)
         alias = self.fresh("t")
         sql = (f"SELECT {', '.join(pieces)} FROM {from_clause} {alias}")
         return sql, colmap
@@ -115,8 +190,8 @@ class _Generator:
         sql, colmap = self.gen(node.child)
         alias = self.fresh("t")
         condition = format_expr(_remap(node.condition, colmap, self))
-        return (f"SELECT * FROM ({sql}) AS {alias} WHERE {condition}",
-                colmap)
+        return (f"SELECT * FROM {self.derived(sql)} AS {alias} "
+                f"WHERE {condition}", colmap)
 
     def _gen_projection(self, node: op.Projection):
         sql, child_map = self.gen(node.child)
@@ -128,8 +203,8 @@ class _Generator:
             colmap[name] = flat
             pieces.append(f"{format_expr(_remap(expr, child_map, self))} "
                           f"AS {flat}")
-        return (f"SELECT {', '.join(pieces)} FROM ({sql}) AS {alias}",
-                colmap)
+        return (f"SELECT {', '.join(pieces)} FROM {self.derived(sql)} "
+                f"AS {alias}", colmap)
 
     # -- binary ----------------------------------------------------------------
 
@@ -145,24 +220,31 @@ class _Generator:
             condition = format_expr(_remap(node.condition, combined, self)) \
                 if node.condition is not None else "TRUE"
             word = "EXISTS" if node.kind == "semi" else "NOT EXISTS"
+            # the EXISTS wrapper is correlated (its WHERE references the
+            # left side) and stays inline; the right body itself is
+            # self-contained and may be hoisted.
             return (
-                f"SELECT * FROM ({left_sql}) AS {left_alias} WHERE {word} "
-                f"(SELECT 1 FROM ({right_sql}) AS {right_alias} "
-                f"WHERE {condition})", left_map)
+                f"SELECT * FROM {self.derived(left_sql)} AS {left_alias} "
+                f"WHERE {word} "
+                f"(SELECT 1 FROM {self.derived(right_sql)} "
+                f"AS {right_alias} WHERE {condition})", left_map)
 
         select_list = ", ".join(
             list(left_map.values()) + list(right_map.values())) or "*"
         if node.kind == "cross":
             return (
-                f"SELECT {select_list} FROM ({left_sql}) AS {left_alias} "
-                f"CROSS JOIN ({right_sql}) AS {right_alias}", combined)
+                f"SELECT {select_list} "
+                f"FROM {self.derived(left_sql)} AS {left_alias} "
+                f"CROSS JOIN {self.derived(right_sql)} AS {right_alias}",
+                combined)
         condition = format_expr(_remap(node.condition, combined, self)) \
             if node.condition is not None else "TRUE"
         word = "LEFT JOIN" if node.kind == "left" else "JOIN"
         return (
-            f"SELECT {select_list} FROM ({left_sql}) AS {left_alias} "
-            f"{word} ({right_sql}) AS {right_alias} ON {condition}",
-            combined)
+            f"SELECT {select_list} "
+            f"FROM {self.derived(left_sql)} AS {left_alias} "
+            f"{word} {self.derived(right_sql)} AS {right_alias} "
+            f"ON {condition}", combined)
 
     def _gen_setop(self, node: op.SetOp):
         left_sql, left_map = self.gen(node.left)
@@ -173,14 +255,14 @@ class _Generator:
         left_cols = [left_map[a] for a in node.left.attrs]
         right_cols = [right_map[a] for a in node.right.attrs]
         # re-select both sides so positional union lines up
-        left_body = (f"SELECT {', '.join(left_cols)} FROM ({left_sql}) "
-                     f"AS {left_alias}")
+        left_body = (f"SELECT {', '.join(left_cols)} "
+                     f"FROM {self.derived(left_sql)} AS {left_alias}")
         right_body = (f"SELECT "
                       f"{', '.join(f'{r} AS {l}' for l, r in zip(left_cols, right_cols))} "
-                      f"FROM ({right_sql}) AS {right_alias}")
+                      f"FROM {self.derived(right_sql)} AS {right_alias}")
         word = node.kind.upper() + (" ALL" if node.all else "")
         colmap = {attr: left_map[attr] for attr in node.left.attrs}
-        return f"({left_body}) {word} ({right_body})", colmap
+        return self.dialect.compound(left_body, right_body, word), colmap
 
     def _gen_aggregation(self, node: op.Aggregation):
         sql, child_map = self.gen(node.child)
@@ -204,7 +286,8 @@ class _Generator:
                 distinct = "DISTINCT " if spec.distinct else ""
                 call = f"{spec.func}({distinct}{arg})"
             pieces.append(f"{call} AS {flat}")
-        sql_text = (f"SELECT {', '.join(pieces)} FROM ({sql}) AS {alias}")
+        sql_text = (f"SELECT {', '.join(pieces)} "
+                    f"FROM {self.derived(sql)} AS {alias}")
         if group_texts:
             sql_text += f" GROUP BY {', '.join(group_texts)}"
         return sql_text, colmap
@@ -214,11 +297,11 @@ class _Generator:
         alias = self.fresh("t")
         pieces = []
         for expr, ascending in node.items:
-            text = format_expr(_remap(expr, colmap))
+            text = format_expr(_remap(expr, colmap, self))
             if not ascending:
                 text += " DESC"
             pieces.append(text)
-        return (f"SELECT * FROM ({sql}) AS {alias} "
+        return (f"SELECT * FROM {self.derived(sql)} AS {alias} "
                 f"ORDER BY {', '.join(pieces)}", colmap)
 
 
@@ -255,10 +338,16 @@ def _remap(expr: Expr, colmap: Dict[str, str],
 def _render_subquery(node, plan: op.Operator, colmap: Dict[str, str],
                      gen: "_Generator") -> Expr:
     from repro.algebra.expressions import RawSQL
-    body, submap = gen.gen(plan)
-    alias = gen.fresh("t")
-    columns = ", ".join(submap[a] for a in plan.attrs)
-    sub_sql = f"SELECT {columns} FROM ({body}) AS {alias}"
+    # the body may contain correlated references to outer flat names;
+    # suppress CTE hoisting for everything rendered inside it.
+    gen._subquery_depth += 1
+    try:
+        body, submap = gen.gen(plan)
+        alias = gen.fresh("t")
+        columns = ", ".join(submap[a] for a in plan.attrs)
+        sub_sql = f"SELECT {columns} FROM ({body}) AS {alias}"
+    finally:
+        gen._subquery_depth -= 1
     if node.kind == "EXISTS":
         word = "NOT EXISTS" if node.negated else "EXISTS"
         return RawSQL(f"{word} ({sub_sql})")
@@ -306,10 +395,12 @@ def _remap_plan(plan: op.Operator, colmap: Dict[str, str]) -> op.Operator:
     return plan
 
 
-def generate_sql(plan: op.Operator) -> str:
+def generate_sql(plan: op.Operator,
+                 dialect: Optional[Dialect] = None) -> str:
     """Print a plan as a single SQL query whose output columns are the
-    plan's attributes (short names, in order)."""
-    generator = _Generator()
+    plan's attributes (short names, in order).  ``dialect`` selects the
+    target syntax; the default is the repo's native dialect."""
+    generator = _Generator(dialect)
     body, colmap = generator.gen(plan)
     outer_alias = generator.fresh("t")
     pieces = []
@@ -321,8 +412,15 @@ def generate_sql(plan: op.Operator) -> str:
             short = f"{short}_{seen[short]}"
         else:
             seen[short] = 0
-        pieces.append(f"{colmap[attr]} AS {short}")
-    return f"SELECT {', '.join(pieces)} FROM ({body}) AS {outer_alias}"
+        pieces.append(f"{colmap[attr]} AS "
+                      f"{generator.dialect.quote(short)}")
+    text = f"SELECT {', '.join(pieces)} FROM ({body}) AS {outer_alias}"
+    if generator.ctes:
+        with_clause = ", ".join(
+            generator.dialect.cte_item(name, cte_body)
+            for name, cte_body in generator.ctes)
+        text = f"WITH {with_clause} {text}"
+    return text
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,24 @@
+"""Pluggable reenactment execution backends.
+
+``resolve_backend(None | "memory" | "sqlite" | instance)`` is the one
+entry point the rest of the system uses; the reenactor, the what-if
+engine and the equivalence checker all accept a ``backend=`` in that
+form.  See :mod:`repro.backends.base` for the contract and
+``tests/backends/`` for the differential harness that enforces it.
+"""
+
+from repro.backends.base import (BackendSpec, ExecutionBackend,
+                                 available_backends, register_backend,
+                                 resolve_backend)
+from repro.backends.memory import InMemoryBackend
+from repro.backends.sqlite import SQLiteBackend, SQLiteDialect
+
+register_backend("memory", InMemoryBackend)
+register_backend("in-memory", InMemoryBackend)
+register_backend("sqlite", SQLiteBackend)
+
+__all__ = [
+    "BackendSpec", "ExecutionBackend", "InMemoryBackend",
+    "SQLiteBackend", "SQLiteDialect", "available_backends",
+    "register_backend", "resolve_backend",
+]

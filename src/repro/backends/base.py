@@ -1,0 +1,89 @@
+"""Pluggable execution backends for reenactment plans.
+
+The paper's central systems claim is that reenactment is *ordinary SQL*
+— a reenactment query runs on a stock DBMS over time-traveled snapshots
+with no engine modification.  An :class:`ExecutionBackend` is where that
+claim becomes testable: it takes a finished algebra plan plus the
+evaluation context (time travel, what-if overrides, bind parameters)
+and produces a :class:`~repro.algebra.evaluator.Relation`, by whatever
+means the backend chooses — interpreting the plan directly
+(:class:`~repro.backends.memory.InMemoryBackend`) or printing it as SQL
+and shipping it to a real engine
+(:class:`~repro.backends.sqlite.SQLiteBackend`).
+
+Backends are interchangeable by construction; the differential-testing
+harness (``tests/backends/``) holds them to that by reenacting seeded
+random histories on every backend and requiring multiset-identical
+results.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.algebra import operators as op
+from repro.algebra.evaluator import EvalContext, Relation
+from repro.errors import ReproError
+
+
+class ExecutionBackend(abc.ABC):
+    """One way of executing a relational algebra plan.
+
+    Implementations must be pure with respect to the database: executing
+    a plan never mutates engine state, so the same plan can be run on
+    several backends and the results compared.
+    """
+
+    #: registry key / display name.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def execute_plan(self, plan: op.Operator,
+                     ctx: EvalContext) -> Relation:
+        """Evaluate ``plan`` against the snapshots/overrides/params that
+        ``ctx`` resolves and return the materialized result."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+#: Anything :func:`resolve_backend` accepts.
+BackendSpec = Union[None, str, ExecutionBackend]
+
+_REGISTRY: Dict[str, Callable[[], ExecutionBackend]] = {}
+
+
+def register_backend(name: str,
+                     factory: Callable[[], ExecutionBackend]) -> None:
+    """Register a backend factory under ``name`` (case-insensitive).
+    Re-registering a name replaces the previous factory."""
+    _REGISTRY[name.lower()] = factory
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def resolve_backend(spec: BackendSpec = None) -> ExecutionBackend:
+    """Turn a backend spec into an instance.
+
+    ``None`` resolves to the in-memory interpreter (the default
+    everywhere), a string is looked up in the registry, and an existing
+    backend instance passes through unchanged.
+    """
+    if spec is None:
+        spec = "memory"
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if isinstance(spec, str):
+        factory = _REGISTRY.get(spec.lower())
+        if factory is None:
+            raise ReproError(
+                f"unknown execution backend {spec!r}; available: "
+                f"{', '.join(available_backends())}")
+        return factory()
+    raise ReproError(
+        f"backend must be a name, an ExecutionBackend instance or "
+        f"None, got {spec!r}")

@@ -1,0 +1,24 @@
+"""The in-memory execution backend: the algebra interpreter, wrapped.
+
+This is the evaluator the reproduction has always used, extracted behind
+the :class:`~repro.backends.base.ExecutionBackend` interface so it is
+one backend among several rather than the only execution path.  It is
+the reference implementation the differential harness judges every
+other backend against.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import operators as op
+from repro.algebra.evaluator import EvalContext, Evaluator, Relation
+from repro.backends.base import ExecutionBackend
+
+
+class InMemoryBackend(ExecutionBackend):
+    """Interpret the plan directly with the pull-based evaluator."""
+
+    name = "memory"
+
+    def execute_plan(self, plan: op.Operator,
+                     ctx: EvalContext) -> Relation:
+        return Evaluator(ctx).evaluate(plan)

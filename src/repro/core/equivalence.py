@@ -59,10 +59,14 @@ class EquivalenceReport:
 
 
 def check_transaction_equivalence(db: Database, xid: int,
-                                  optimize: bool = True
-                                  ) -> EquivalenceReport:
-    """Reenact transaction ``xid`` and compare against ground truth."""
-    reenactor = Reenactor(db)
+                                  optimize: bool = True,
+                                  backend=None) -> EquivalenceReport:
+    """Reenact transaction ``xid`` (on the given execution backend) and
+    compare against ground truth.  The ground-truth side always reads
+    storage directly, so the check is equally meaningful for every
+    backend — the same history must be judged equivalent regardless of
+    which engine executed the reenactment query."""
+    reenactor = Reenactor(db, backend=backend)
     record = reenactor.transaction_record(xid)
     if not record.committed:
         raise ValueError(f"transaction {xid} did not commit; only "
@@ -150,10 +154,11 @@ def _check_table(db: Database, xid: int, table_name: str, relation,
 
 def check_history_equivalence(db: Database,
                               xids: Optional[List[int]] = None,
-                              optimize: bool = True
+                              optimize: bool = True,
+                              backend=None
                               ) -> Dict[int, EquivalenceReport]:
     """Check every committed transaction of a history (default: all
-    transactions in the audit log)."""
+    transactions in the audit log) on the given execution backend."""
     if xids is None:
         xids = []
         for xid in db.audit_log.transaction_ids():
@@ -161,5 +166,6 @@ def check_history_equivalence(db: Database,
             if record.committed and record.statements:
                 xids.append(xid)
     return {xid: check_transaction_equivalence(db, xid,
-                                               optimize=optimize)
+                                               optimize=optimize,
+                                               backend=backend)
             for xid in xids}

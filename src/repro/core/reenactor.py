@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.algebra import operators as op
 from repro.algebra.evaluator import Evaluator, Relation
+from repro.backends import BackendSpec, resolve_backend
 from repro.algebra.expressions import (BinaryOp, Case, Column, Expr,
                                        Literal, SubqueryExpr, UnaryOp,
                                        transform, walk)
@@ -87,6 +88,10 @@ class ReenactmentOptions:
     include_deleted: bool = False
     #: run the provenance-aware optimizer over the plans ([5], E6).
     optimize: bool = True
+    #: execution backend for evaluating the plans: a registered name
+    #: ("memory", "sqlite"), an ExecutionBackend instance, or ``None``
+    #: to use the reenactor's default backend.
+    backend: BackendSpec = None
 
 
 @dataclass
@@ -123,15 +128,19 @@ class Reenactor:
     """Builds and evaluates reenactment queries for past transactions."""
 
     def __init__(self, db: Database, audit_log=None,
-                 snapshot_provider=None):
+                 snapshot_provider=None, backend: BackendSpec = None):
         """``audit_log`` and ``snapshot_provider`` default to the
         engine's native audit log and time travel; pass the adapters of
         :class:`repro.core.trigger_history.TriggerHistory` to reenact on
-        a database without native support (§3 footnote 3)."""
+        a database without native support (§3 footnote 3).  ``backend``
+        selects how finished plans are executed (see
+        :mod:`repro.backends`); per-request
+        :attr:`ReenactmentOptions.backend` overrides it."""
         self.db = db
         self.audit_log = audit_log if audit_log is not None \
             else db.audit_log
         self.snapshot_provider = snapshot_provider
+        self.backend = backend
         self._translator = Translator(db.catalog)
 
     # -- audit-log access ---------------------------------------------------
@@ -171,18 +180,23 @@ class Reenactor:
         """Reenact from an explicit record/statement list — the hook the
         what-if engine uses to replay *modified* transactions (§2)."""
         options = options or ReenactmentOptions()
+        backend = resolve_backend(options.backend
+                                  if options.backend is not None
+                                  else self.backend)
         plans = self.build_plans(record, options, statements=statements)
         result = ReenactmentResult(xid=record.xid, plans=plans)
         ctx = self.db.context(params={}, overrides=overrides,
                       snapshot_provider=self.snapshot_provider)
         for table, plan in plans.items():
-            result.tables[table] = Evaluator(ctx).evaluate(plan)
+            result.tables[table] = backend.execute_plan(plan, ctx)
         return result
 
     def reenactment_sql(self, xid: int, table: Optional[str] = None,
-                        options: Optional[ReenactmentOptions] = None
-                        ) -> str:
-        """The reenactment query as SQL text (Example 3)."""
+                        options: Optional[ReenactmentOptions] = None,
+                        dialect=None) -> str:
+        """The reenactment query as SQL text (Example 3), in the native
+        dialect by default (``dialect`` selects another — see
+        :class:`repro.algebra.sqlgen.Dialect`)."""
         from repro.algebra.sqlgen import generate_sql
         options = options or ReenactmentOptions()
         if table is not None:
@@ -197,7 +211,7 @@ class Reenactor:
         if table not in plans:
             raise ReenactmentError(
                 f"transaction {xid} does not update table {table!r}")
-        return generate_sql(plans[table])
+        return generate_sql(plans[table], dialect=dialect)
 
     # -- plan construction --------------------------------------------------------
 

@@ -85,12 +85,17 @@ class WhatIfResult:
 
 
 class WhatIfScenario:
-    """A mutable what-if scenario over one past transaction."""
+    """A mutable what-if scenario over one past transaction.
 
-    def __init__(self, db: Database, xid: int):
+    ``backend`` selects the execution backend used for both the original
+    and the modified reenactment (see :mod:`repro.backends`) — diffs are
+    only meaningful when both sides ran on the same backend.
+    """
+
+    def __init__(self, db: Database, xid: int, backend=None):
         self.db = db
         self.xid = xid
-        self.reenactor = Reenactor(db)
+        self.reenactor = Reenactor(db, backend=backend)
         self.record = self.reenactor.transaction_record(xid)
         self._statements = self.reenactor.parsed_statements(self.record)
         self._modified = [copy.deepcopy(s) for s in self._statements]

@@ -1,0 +1,112 @@
+"""Differential-testing harness: every backend must agree.
+
+This is the permanent cross-validation oracle for the execution
+backends (and, transitively, for every future optimization of either
+path): seeded random concurrent histories from the workload generator
+are reenacted on the in-memory interpreter *and* on SQLite, and the
+results must be multiset-identical — including annotation columns and
+tombstones — and what-if scenarios must produce identical
+``TableDiff``s.
+
+Comparison is type-strict (see ``conftest.typed_rows``): ``True == 1``
+in Python, so a sloppy comparison would hide boolean-coercion bugs.
+
+The ``smoke`` subset (first few seeds) is what CI runs inside its
+30-second budget; the full sweep covers 50+ histories across both
+isolation levels.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.reenactor import ReenactmentOptions, Reenactor
+from repro.core.whatif import WhatIfScenario
+
+from conftest import (assert_relations_match, build_history,
+                      committed_xids)
+
+SMOKE_SEEDS = list(range(3))
+FULL_SEEDS = list(range(25))
+ISOLATION_LEVELS = ["SERIALIZABLE", "READ COMMITTED"]
+
+STRICT_OPTIONS = ReenactmentOptions(annotations=True,
+                                    include_deleted=True)
+
+
+def check_history_differential(seed, isolation):
+    """Reenact every committed transaction of one seeded history on
+    both backends and compare; returns the number of transactions
+    checked (the harness is vacuous on a history that commits
+    nothing, so callers assert on the count)."""
+    db = build_history(seed, isolation)
+    reenactor = Reenactor(db)
+    checked = 0
+    for xid in committed_xids(db):
+        mem = reenactor.reenact(xid, STRICT_OPTIONS)
+        sq = reenactor.reenact(
+            xid, dataclasses.replace(STRICT_OPTIONS, backend="sqlite"))
+        assert set(mem.tables) == set(sq.tables)
+        for table in mem.tables:
+            assert_relations_match(
+                mem.tables[table], sq.tables[table],
+                context=f"seed={seed} isolation={isolation} "
+                        f"xid={xid} table={table}")
+        checked += 1
+    return db, checked
+
+
+def check_whatif_differential(db, seed, isolation):
+    """The same modification applied on both backends must yield
+    identical diffs.  Picks the first committed multi-statement
+    transaction and drops its first statement; falls back to appending
+    an update when every transaction is single-statement."""
+    target = None
+    for xid in committed_xids(db):
+        record = db.audit_log.transaction_record(xid)
+        if len(record.statements) >= 2:
+            target = xid
+            break
+    if target is None:
+        target = committed_xids(db)[0]
+    diffs = {}
+    for backend in ("memory", "sqlite"):
+        scenario = WhatIfScenario(db, target, backend=backend)
+        if len(scenario.statements) >= 2:
+            scenario.delete_statement(0)
+        else:
+            scenario.insert_statement(
+                len(scenario.statements),
+                "UPDATE bench_account SET bal = bal + 17 WHERE id <= 3")
+        result = scenario.run()
+        diffs[backend] = {
+            table: (sorted(diff.added), sorted(diff.removed))
+            for table, diff in result.diffs.items()}
+    assert diffs["memory"] == diffs["sqlite"], \
+        f"what-if diff mismatch seed={seed} isolation={isolation}"
+
+
+@pytest.mark.parametrize("isolation", ISOLATION_LEVELS)
+@pytest.mark.parametrize("seed", SMOKE_SEEDS)
+def test_differential_smoke(seed, isolation):
+    """Quick slice for CI: a few seeds, full checks."""
+    db, checked = check_history_differential(seed, isolation)
+    assert checked > 0
+    check_whatif_differential(db, seed, isolation)
+
+
+@pytest.mark.parametrize("isolation", ISOLATION_LEVELS)
+@pytest.mark.parametrize("seed",
+                         [s for s in FULL_SEEDS if s not in SMOKE_SEEDS])
+def test_differential_full(seed, isolation):
+    """Full sweep: together with the smoke slice this covers
+    len(FULL_SEEDS) × 2 isolation levels = 50 seeded histories."""
+    db, checked = check_history_differential(seed, isolation)
+    assert checked > 0
+    check_whatif_differential(db, seed, isolation)
+
+
+def test_sweep_covers_fifty_histories():
+    """Acceptance guard: the parametrized sweep must span ≥ 50
+    distinct seeded histories."""
+    assert len(FULL_SEEDS) * len(ISOLATION_LEVELS) >= 50

@@ -2,18 +2,83 @@
 
 Run with::
 
-    pytest benchmarks/ --benchmark-only
+    pytest benchmarks/bench_*.py
+
+(the ``bench_`` prefix keeps these out of default test collection, so
+the files must be named explicitly; ``--benchmark-only`` skips the
+assertions and keeps just the timing loops)
 
 Each benchmark module regenerates one figure or evaluation claim of the
 paper (see DESIGN.md §3 and EXPERIMENTS.md).  Measured facts that matter
 for the paper-vs-measured comparison are attached to
 ``benchmark.extra_info`` and printed (visible with ``-s``).
+
+Every ``bench_<name>.py`` module additionally emits its measurements as
+machine-readable JSON to ``BENCH_<name>.json`` at the repository root,
+so the performance trajectory is trackable across commits: an autouse
+fixture records each benchmark's timing stats and ``extra_info`` after
+the test runs, and modules call :func:`record_result` directly for
+curated numbers (speedups, sweep tables) that don't fit one test's
+stats.  Files are rewritten per process run — stale results never mix
+with fresh ones.
 """
+
+import json
+import os
 
 import pytest
 
 from repro import Database
 from repro.workloads import run_write_skew_history, setup_bank
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: bench name -> {result key -> payload}, accumulated per process so
+#: each test rewrites its module's JSON file with everything so far.
+_ACCUMULATED = {}
+
+
+def record_result(bench, key, **payload):
+    """Record one measured datum under ``BENCH_<bench>.json``.
+
+    ``payload`` must be JSON-serializable (non-serializable values are
+    stringified).  Calling repeatedly within one run accumulates;
+    recording a key twice overwrites it.
+    """
+    results = _ACCUMULATED.setdefault(bench, {})
+    results[key] = payload
+    path = os.path.join(REPO_ROOT, f"BENCH_{bench}.json")
+    with open(path, "w") as fh:
+        json.dump({"bench": bench, "results": results}, fh,
+                  indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+
+
+def _bench_name(request) -> str:
+    module = request.node.module.__name__
+    return module[len("bench_"):] if module.startswith("bench_") \
+        else module
+
+
+@pytest.fixture(autouse=True)
+def bench_json(request):
+    """After every test that used the ``benchmark`` fixture, persist
+    its timing stats and ``extra_info`` to the module's JSON file."""
+    # grab the fixture object up front — at teardown time it is no
+    # longer retrievable, but its stats remain readable
+    bench = request.getfixturevalue("benchmark") \
+        if "benchmark" in request.fixturenames else None
+    yield
+    if bench is None:
+        return
+    payload = dict(getattr(bench, "extra_info", {}) or {})
+    stats = getattr(bench, "stats", None)
+    if stats is not None:
+        timing = stats.stats
+        payload.update(
+            mean_s=timing.mean, min_s=timing.min, max_s=timing.max,
+            rounds=timing.rounds)
+    record_result(_bench_name(request), request.node.name, **payload)
 
 
 @pytest.fixture(scope="module")

@@ -28,14 +28,16 @@ Quickstart::
 """
 
 from repro.db import Database, DatabaseConfig, IsolationLevel, Session
-from repro.backends import (ExecutionBackend, InMemoryBackend,
-                            SQLiteBackend, resolve_backend)
+from repro.backends import (BackendSession, ExecutionBackend,
+                            InMemoryBackend, SQLiteBackend,
+                            available_backends, resolve_backend)
 from repro.errors import ReproError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Database", "DatabaseConfig", "IsolationLevel", "Session",
-    "ExecutionBackend", "InMemoryBackend", "SQLiteBackend",
-    "resolve_backend", "ReproError", "__version__",
+    "BackendSession", "ExecutionBackend", "InMemoryBackend",
+    "SQLiteBackend", "available_backends", "resolve_backend",
+    "ReproError", "__version__",
 ]

@@ -30,11 +30,12 @@ from repro.errors import ExecutionError, TimeTravelError
 class Relation:
     """Materialized result: attribute names + list of row tuples."""
 
-    __slots__ = ("attrs", "rows")
+    __slots__ = ("attrs", "rows", "_multiset")
 
     def __init__(self, attrs: Sequence[str], rows: List[tuple]):
         self.attrs = list(attrs)
         self.rows = rows
+        self._multiset: Optional[Counter] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -62,7 +63,13 @@ class Relation:
         return [dict(zip(self.attrs, row)) for row in self.rows]
 
     def as_multiset(self) -> Counter:
-        return Counter(self.rows)
+        """Row multiset, computed once and cached — a shared result
+        (e.g. the fleet's single original reenactment) is diffed
+        against many variants without recounting its rows each time.
+        Callers must not mutate ``rows`` after the first call."""
+        if self._multiset is None:
+            self._multiset = Counter(self.rows)
+        return self._multiset
 
     def project(self, names: Sequence[str]) -> "Relation":
         indexes = [self.column_index(n) for n in names]

@@ -7,18 +7,21 @@ form.  See :mod:`repro.backends.base` for the contract and
 ``tests/backends/`` for the differential harness that enforces it.
 """
 
-from repro.backends.base import (BackendSpec, ExecutionBackend,
+from repro.backends.base import (BackendSession, BackendSpec,
+                                 ExecutionBackend, SessionStats,
                                  available_backends, register_backend,
                                  resolve_backend)
 from repro.backends.memory import InMemoryBackend
-from repro.backends.sqlite import SQLiteBackend, SQLiteDialect
+from repro.backends.sqlite import (SnapshotCache, SQLiteBackend,
+                                   SQLiteDialect, SQLiteSession)
 
 register_backend("memory", InMemoryBackend)
 register_backend("in-memory", InMemoryBackend)
 register_backend("sqlite", SQLiteBackend)
 
 __all__ = [
-    "BackendSpec", "ExecutionBackend", "InMemoryBackend",
-    "SQLiteBackend", "SQLiteDialect", "available_backends",
-    "register_backend", "resolve_backend",
+    "BackendSession", "BackendSpec", "ExecutionBackend",
+    "InMemoryBackend", "SessionStats", "SnapshotCache",
+    "SQLiteBackend", "SQLiteDialect", "SQLiteSession",
+    "available_backends", "register_backend", "resolve_backend",
 ]

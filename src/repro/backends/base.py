@@ -15,16 +15,95 @@ Backends are interchangeable by construction; the differential-testing
 harness (``tests/backends/``) holds them to that by reenacting seeded
 random histories on every backend and requiring multiset-identical
 results.
+
+Execution comes in two granularities:
+
+* :meth:`ExecutionBackend.execute_plan` — one-shot convenience: open
+  whatever resources the backend needs, run one plan, tear down;
+* :meth:`ExecutionBackend.open_session` — a :class:`BackendSession`
+  (context manager) that keeps backend resources alive across a *batch*
+  of plan executions.  The SQLite session holds one connection for its
+  lifetime and memoizes snapshot materialization per ``(table, ts)``
+  key, so a fleet of plans over the same transaction (what-if fleets,
+  debugger prefix columns, whole-history equivalence sweeps)
+  materializes each AS-OF snapshot exactly once.
+
+The explicit snapshot key a session caches on is the architectural seam
+later incremental-delta and server backends plug into.
 """
 
 from __future__ import annotations
 
 import abc
+from collections import Counter
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.algebra import operators as op
 from repro.algebra.evaluator import EvalContext, Relation
-from repro.errors import ReproError
+from repro.errors import ExecutionError, ReproError
+
+
+@dataclass
+class SessionStats:
+    """Observable work a :class:`BackendSession` performed.
+
+    ``materializations`` counts CREATE-and-fill events per snapshot key
+    — the session-reuse tests assert every key stays at exactly 1 no
+    matter how many plans scanned it."""
+
+    plans_executed: int = 0
+    snapshots_materialized: int = 0
+    snapshots_reused: int = 0
+    #: snapshot key -> number of times it was (re)materialized.
+    materializations: Counter = field(default_factory=Counter)
+
+
+class BackendSession(abc.ABC):
+    """One execution session: backend resources shared across plans.
+
+    Sessions are context managers; the one-shot
+    :meth:`ExecutionBackend.execute_plan` is defined in terms of a
+    throwaway session.  A session is single-threaded and must not be
+    used after :meth:`close`.
+    """
+
+    def __init__(self, backend: "ExecutionBackend"):
+        self.backend = backend
+        self.stats = SessionStats()
+        self._closed = False
+
+    @abc.abstractmethod
+    def execute_plan(self, plan: op.Operator,
+                     ctx: EvalContext) -> Relation:
+        """Evaluate ``plan`` under ``ctx``, reusing session resources."""
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._teardown()
+
+    def _teardown(self) -> None:
+        """Release backend resources (connection, temp tables)."""
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutionError(
+                f"backend session for {self.backend.name!r} is closed")
+
+    def __enter__(self) -> "BackendSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else "open"
+        return f"<{type(self).__name__} {self.backend.name!r} {state}>"
 
 
 class ExecutionBackend(abc.ABC):
@@ -38,14 +117,36 @@ class ExecutionBackend(abc.ABC):
     #: registry key / display name.
     name: str = "abstract"
 
-    @abc.abstractmethod
+    def open_session(self) -> BackendSession:
+        """A session over this backend.  The default delegates each plan
+        to :meth:`execute_plan`; stateful backends override this to
+        share resources (see :class:`repro.backends.sqlite.SQLiteSession`)."""
+        return _DelegatingSession(self)
+
     def execute_plan(self, plan: op.Operator,
                      ctx: EvalContext) -> Relation:
-        """Evaluate ``plan`` against the snapshots/overrides/params that
-        ``ctx`` resolves and return the materialized result."""
+        """One-shot convenience: evaluate ``plan`` against the
+        snapshots/overrides/params that ``ctx`` resolves on a throwaway
+        session and return the materialized result."""
+        with self.open_session() as session:
+            return session.execute_plan(plan, ctx)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+class _DelegatingSession(BackendSession):
+    """Default session for stateless backends: per-plan delegation."""
+
+    def execute_plan(self, plan: op.Operator,
+                     ctx: EvalContext) -> Relation:
+        self._check_open()
+        if type(self.backend).execute_plan is ExecutionBackend.execute_plan:
+            raise ExecutionError(
+                f"backend {self.backend.name!r} implements neither "
+                f"execute_plan nor open_session")
+        self.stats.plans_executed += 1
+        return self.backend.execute_plan(plan, ctx)
 
 
 #: Anything :func:`resolve_backend` accepts.

@@ -15,7 +15,14 @@ from repro.backends.base import ExecutionBackend
 
 
 class InMemoryBackend(ExecutionBackend):
-    """Interpret the plan directly with the pull-based evaluator."""
+    """Interpret the plan directly with the pull-based evaluator.
+
+    The interpreter is stateless — it scans storage afresh on every
+    evaluation — so the inherited delegating session is the right
+    session implementation: callers get the uniform
+    ``open_session()`` / ``SessionStats`` surface (the what-if fleet
+    and the differential harness's session mode run unmodified on this
+    backend) without this backend pretending to cache anything."""
 
     name = "memory"
 

@@ -48,7 +48,8 @@ from repro.algebra.expressions import EvalState, eval_expr
 from repro.algebra.operators import (DEL_FLAG, ROWID_SUFFIX, UPD_FLAG,
                                      XID_SUFFIX)
 from repro.algebra.sqlgen import Dialect, generate_sql
-from repro.backends.base import ExecutionBackend
+from repro.backends.base import (BackendSession, ExecutionBackend,
+                                 SessionStats)
 from repro.db.types import DataType
 from repro.errors import ExecutionError, TimeTravelError
 
@@ -56,6 +57,60 @@ from repro.errors import ExecutionError, TimeTravelError
 def quote_ident(ident: str) -> str:
     """Standard SQL double-quote identifier quoting."""
     return '"' + ident.replace('"', '""') + '"'
+
+
+#: What a materialized snapshot is keyed on: ``(table, ts)`` for plain
+#: committed AS-OF state; what-if overrides and trigger-history snapshot
+#: providers change what a scan returns, so their identity is folded in.
+SnapshotKey = Tuple
+
+
+class SnapshotCache:
+    """Session-lifetime memo of materialized snapshot temp tables.
+
+    The cache owns temp-table *naming* (a monotone counter, so names
+    never collide across the plans of one connection) and records one
+    entry per snapshot once it has actually been created and filled —
+    a fleet of plans over the same transaction materializes each
+    ``(table, ts)`` exactly once.
+
+    Entries are namespaced by a *realm*: the identity of the database
+    the evaluation context reads from.  Two `Database` instances share
+    table names and logical timestamps (every clock starts at the same
+    epoch), so without the realm a session reused across databases
+    would serve one database's snapshot to the other.  Pinned objects
+    (the realm's database, override relations, snapshot providers)
+    keep every ``id()`` a key embeds unambiguous for the session's
+    lifetime.  ``stats.materializations`` stays keyed by the plain
+    snapshot key — the human-readable ``(table, ts)`` contract the
+    reuse tests assert on.
+    """
+
+    def __init__(self, stats: Optional[SessionStats] = None):
+        self.stats = stats if stats is not None else SessionStats()
+        self._names: Dict[Tuple[int, SnapshotKey], str] = {}
+        self._pins: List[object] = []
+        self._counter = 0
+
+    def lookup(self, realm: int, key: SnapshotKey) -> Optional[str]:
+        name = self._names.get((realm, key))
+        if name is not None:
+            self.stats.snapshots_reused += 1
+        return name
+
+    def allocate(self) -> str:
+        self._counter += 1
+        return f"__snap_{self._counter}__"
+
+    def commit(self, realm: int, key: SnapshotKey, name: str,
+               pins: Tuple[object, ...] = ()) -> None:
+        self._names[(realm, key)] = name
+        self._pins.extend(pin for pin in pins if pin is not None)
+        self.stats.snapshots_materialized += 1
+        self.stats.materializations[key] += 1
+
+    def __len__(self) -> int:
+        return len(self._names)
 
 
 class SnapshotBinder:
@@ -68,15 +123,45 @@ class SnapshotBinder:
     Snapshot resolution defers to the evaluation context, so what-if
     overrides, trigger-history snapshot providers and plain time travel
     all compose exactly as they do for the in-memory evaluator.
+
+    With a session :class:`SnapshotCache`, binds are first served from
+    the snapshots earlier plans already materialized; only cache misses
+    become fresh temp tables, and those are published to the cache after
+    they exist (a plan that fails before :meth:`materialize` leaves the
+    cache untouched, never pointing at absent tables).
     """
 
-    def __init__(self, ctx: EvalContext):
+    def __init__(self, ctx: EvalContext,
+                 cache: Optional[SnapshotCache] = None):
         self.ctx = ctx
         self._state = EvalState(params=ctx.params)
-        #: (table, as_of_ts_or_None) -> temp table name
-        self._entries: Dict[Tuple[str, Optional[int]], str] = {}
+        self.cache = cache
+        #: the database this context reads from — the cache realm.  A
+        #: context without one (StaticContext) is its own realm, so
+        #: snapshots never leak between unrelated contexts.
+        self._source = getattr(ctx, "db", None)
+        self._realm = id(self._source if self._source is not None
+                         else ctx)
+        #: snapshot key -> temp table name, fresh for *this* plan.
+        self._entries: Dict[SnapshotKey, str] = {}
+        #: snapshot key -> (table, ts, pinned source object).
+        self._meta: Dict[SnapshotKey, Tuple[str, Optional[int],
+                                            Optional[object]]] = {}
         #: base tables touched (for result-type coercion).
         self.tables_used: Set[str] = set()
+
+    def snapshot_key(self, table: str, ts: Optional[int]
+                     ) -> Tuple[SnapshotKey, Optional[object]]:
+        """The cache key for a scan of ``table`` at ``ts``, plus the
+        object (if any) whose identity the key depends on."""
+        override = self.ctx.overrides.get(table)
+        if override is not None:
+            # an override replaces the table regardless of ts
+            return (table, ("override", id(override))), override
+        provider = getattr(self.ctx, "snapshot_provider", None)
+        if provider is not None and ts is not None:
+            return (table, ts, ("provider", id(provider))), provider
+        return (table, ts), None
 
     def bind(self, scan: op.TableScan) -> str:
         ts: Optional[int] = None
@@ -86,16 +171,23 @@ class SnapshotBinder:
                 raise TimeTravelError(
                     f"AS OF timestamp for {scan.table!r} is NULL")
             ts = int(value)
-        key = (scan.table, ts)
+        key, pin = self.snapshot_key(scan.table, ts)
+        self.tables_used.add(scan.table)
+        if self.cache is not None:
+            name = self.cache.lookup(self._realm, key)
+            if name is not None:
+                return name
         name = self._entries.get(key)
         if name is None:
-            name = f"__snap_{len(self._entries) + 1}__"
+            name = self.cache.allocate() if self.cache is not None \
+                else f"__snap_{len(self._entries) + 1}__"
             self._entries[key] = name
-            self.tables_used.add(scan.table)
+            self._meta[key] = (scan.table, ts, pin)
         return name
 
     def materialize(self, conn: sqlite3.Connection) -> None:
-        for (table, ts), name in self._entries.items():
+        for key, name in self._entries.items():
+            table, ts, pin = self._meta[key]
             columns = list(self.ctx.table_columns(table))
             columns += [ROWID_SUFFIX, XID_SUFFIX]
             column_list = ", ".join(quote_ident(c) for c in columns)
@@ -107,6 +199,9 @@ class SnapshotBinder:
                 f"INSERT INTO {quote_ident(name)} VALUES ({placeholders})",
                 [tuple(values) + (rowid, xid)
                  for rowid, values, xid in triples])
+            if self.cache is not None:
+                self.cache.commit(self._realm, key, name,
+                                  pins=(self._source, pin))
 
 
 class SQLiteDialect(Dialect):
@@ -161,47 +256,78 @@ class SQLiteDialect(Dialect):
                 f"AS {flat} FROM {gen.derived(sql)} AS {alias}", out)
 
 
+class SQLiteSession(BackendSession):
+    """One SQLite connection plus a snapshot cache, shared by every
+    plan executed in the session.
+
+    Temp tables live per connection, so a snapshot materialized for one
+    plan is directly scannable by the next — the cache turns a fleet of
+    reenactments over the same transaction (N what-if variants, the
+    debugger's prefix columns, a whole-history equivalence sweep) into
+    one materialization per ``(table, ts)`` plus N cheap queries.
+    """
+
+    def __init__(self, backend: "SQLiteBackend"):
+        super().__init__(backend)
+        self.conn = sqlite3.connect(backend.database)
+        self.conn.execute("PRAGMA case_sensitive_like = ON")
+        self.cache = SnapshotCache(self.stats)
+
+    def execute_plan(self, plan: op.Operator,
+                     ctx: EvalContext) -> Relation:
+        self._check_open()
+        binder = SnapshotBinder(ctx, cache=self.cache)
+        sql = generate_sql(plan, dialect=SQLiteDialect(binder))
+        binder.materialize(self.conn)
+        try:
+            cursor = self.conn.execute(sql, ctx.params or {})
+        except sqlite3.Error as exc:
+            raise ExecutionError(
+                f"SQLite rejected generated reenactment SQL: {exc}"
+                f"\n{sql}") from exc
+        rows = cursor.fetchall()
+        self.stats.plans_executed += 1
+        bool_positions = SQLiteBackend._bool_positions(
+            plan.attrs, ctx, binder.tables_used)
+        return _coerce_result(plan.attrs, rows, bool_positions)
+
+    def _teardown(self) -> None:
+        self.conn.close()
+
+
+def _coerce_result(attrs: List[str], rows: List[tuple],
+                   bool_positions: List[int]) -> Relation:
+    """Coerce SQLite's 0/1 back to booleans at the given positions."""
+    out: List[tuple] = []
+    for row in rows:
+        if bool_positions:
+            values = list(row)
+            for index in bool_positions:
+                value = values[index]
+                # only genuine flag values; anything else means the
+                # name heuristic misfired and the value is data
+                if value == 0 or value == 1:
+                    values[index] = bool(value)
+            out.append(tuple(values))
+        else:
+            out.append(tuple(row))
+    return Relation(attrs, out)
+
+
 class SQLiteBackend(ExecutionBackend):
-    """Materialize snapshots into SQLite and run the plan as SQL."""
+    """Materialize snapshots into SQLite and run the plan as SQL.
+
+    One-shot ``execute_plan`` (inherited) runs each plan on a throwaway
+    :class:`SQLiteSession`; batch callers hold a session open so the
+    connection and every materialized snapshot are shared."""
 
     name = "sqlite"
 
     def __init__(self, database: str = ":memory:"):
         self.database = database
 
-    def execute_plan(self, plan: op.Operator,
-                     ctx: EvalContext) -> Relation:
-        binder = SnapshotBinder(ctx)
-        sql = generate_sql(plan, dialect=SQLiteDialect(binder))
-        conn = sqlite3.connect(self.database)
-        try:
-            conn.execute("PRAGMA case_sensitive_like = ON")
-            binder.materialize(conn)
-            try:
-                cursor = conn.execute(sql, ctx.params or {})
-            except sqlite3.Error as exc:
-                raise ExecutionError(
-                    f"SQLite rejected generated reenactment SQL: {exc}"
-                    f"\n{sql}") from exc
-            rows = cursor.fetchall()
-        finally:
-            conn.close()
-        bool_positions = self._bool_positions(plan.attrs, ctx,
-                                              binder.tables_used)
-        out: List[tuple] = []
-        for row in rows:
-            if bool_positions:
-                values = list(row)
-                for index in bool_positions:
-                    value = values[index]
-                    # only genuine flag values; anything else means the
-                    # name heuristic misfired and the value is data
-                    if value == 0 or value == 1:
-                        values[index] = bool(value)
-                out.append(tuple(values))
-            else:
-                out.append(tuple(row))
-        return Relation(plan.attrs, out)
+    def open_session(self) -> SQLiteSession:
+        return SQLiteSession(self)
 
     @staticmethod
     def _bool_positions(attrs: List[str], ctx: EvalContext,

@@ -60,12 +60,15 @@ class EquivalenceReport:
 
 def check_transaction_equivalence(db: Database, xid: int,
                                   optimize: bool = True,
-                                  backend=None) -> EquivalenceReport:
+                                  backend=None,
+                                  session=None) -> EquivalenceReport:
     """Reenact transaction ``xid`` (on the given execution backend) and
     compare against ground truth.  The ground-truth side always reads
     storage directly, so the check is equally meaningful for every
     backend — the same history must be judged equivalent regardless of
-    which engine executed the reenactment query."""
+    which engine executed the reenactment query.  ``session`` shares
+    backend resources with other checks in a sweep (see
+    :func:`check_history_equivalence`)."""
     reenactor = Reenactor(db, backend=backend)
     record = reenactor.transaction_record(xid)
     if not record.committed:
@@ -73,7 +76,8 @@ def check_transaction_equivalence(db: Database, xid: int,
                          f"committed transactions have effects to check")
     options = ReenactmentOptions(annotations=True, include_deleted=True,
                                  optimize=optimize)
-    result = reenactor.reenact(xid, options)
+    compiled = reenactor.compile(record, options)
+    result = reenactor.execute(compiled, session=session)
     report = EquivalenceReport(xid=xid)
 
     if record.isolation is IsolationLevel.READ_COMMITTED \
@@ -158,14 +162,23 @@ def check_history_equivalence(db: Database,
                               backend=None
                               ) -> Dict[int, EquivalenceReport]:
     """Check every committed transaction of a history (default: all
-    transactions in the audit log) on the given execution backend."""
+    transactions in the audit log) on the given execution backend.
+
+    The whole sweep runs on one backend session: transactions of a
+    history overlap in the snapshots they read, so on SQLite each
+    ``(table, ts)`` state is materialized once for the sweep rather
+    than once per transaction."""
+    from repro.backends import resolve_backend
     if xids is None:
         xids = []
         for xid in db.audit_log.transaction_ids():
             record = db.audit_log.transaction_record(xid)
             if record.committed and record.statements:
                 xids.append(xid)
-    return {xid: check_transaction_equivalence(db, xid,
-                                               optimize=optimize,
-                                               backend=backend)
-            for xid in xids}
+    resolved = resolve_backend(backend)
+    with resolved.open_session() as session:
+        return {xid: check_transaction_equivalence(db, xid,
+                                                   optimize=optimize,
+                                                   backend=resolved,
+                                                   session=session)
+                for xid in xids}

@@ -124,6 +124,65 @@ class ReenactmentResult:
                 f"{self.xid}") from None
 
 
+@dataclass
+class CompiledReenactment:
+    """The compile half of a reenactment: optimized per-table plans plus
+    everything an executor needs to run them — without touching storage.
+
+    Compiling once and executing many times is the what-if fleet's hot
+    path: plan construction and optimization are pure functions of the
+    audit log, and the ``snapshots`` set names exactly the ``(table,
+    ts)`` AS-OF states the plans scan, which is the key a backend
+    session's snapshot cache memoizes on (and the seam incremental-delta
+    materialization will plug into).
+    """
+
+    xid: int
+    record: TransactionRecord
+    options: ReenactmentOptions
+    plans: Dict[str, op.Operator]
+    #: distinct ``(table, as_of_ts)`` snapshot states the plans scan,
+    #: including scans inside redirected subquery plans.
+    snapshots: List[Tuple[str, Optional[int]]]
+    #: aggregated optimizer rule applications across all table plans.
+    optimizer_stats: Dict[str, int] = field(default_factory=dict)
+    #: what-if table replacements to evaluate under (R -> R', §2).
+    overrides: Optional[Dict[str, Relation]] = None
+
+    @property
+    def tables(self) -> List[str]:
+        return list(self.plans)
+
+
+def plan_snapshots(plans: Dict[str, op.Operator]
+                   ) -> List[Tuple[str, Optional[int]]]:
+    """Distinct ``(table, as_of_ts)`` states scanned by a plan set, in
+    first-scan order.  Descends into expression subquery plans (the
+    printer renders those scans too, so they hit the snapshot cache)."""
+    from repro.algebra.translator import operator_expressions
+    out: List[Tuple[str, Optional[int]]] = []
+    seen = set()
+
+    def visit(node: op.Operator) -> None:
+        if isinstance(node, op.TableScan):
+            ts = node.as_of.value if isinstance(node.as_of, Literal) \
+                else None
+            key = (node.table, ts)
+            if key not in seen:
+                seen.add(key)
+                out.append(key)
+        for expr in operator_expressions(node):
+            for sub in walk(expr):
+                if isinstance(sub, SubqueryExpr) and sub.plan is not None:
+                    visit(sub.plan)
+        for child in node.children():
+            visit(child)
+
+    for plan in plans.values():
+        visit(plan)
+    return out
+
+
 class Reenactor:
     """Builds and evaluates reenactment queries for past transactions."""
 
@@ -164,31 +223,69 @@ class Reenactor:
     # -- public API -------------------------------------------------------------
 
     def reenact(self, xid: int,
-                options: Optional[ReenactmentOptions] = None
-                ) -> ReenactmentResult:
+                options: Optional[ReenactmentOptions] = None,
+                session=None) -> ReenactmentResult:
         """Reenact transaction ``xid`` and evaluate the resulting plans
-        over time-traveled snapshots."""
+        over time-traveled snapshots.  ``session`` (a
+        :class:`~repro.backends.base.BackendSession`) shares backend
+        resources — connection, materialized snapshots — with other
+        reenactments in the same batch."""
         options = options or ReenactmentOptions()
         record = self.transaction_record(xid)
-        return self.reenact_record(record, options)
+        return self.reenact_record(record, options, session=session)
 
     def reenact_record(self, record: TransactionRecord,
                        options: Optional[ReenactmentOptions] = None,
                        statements: Optional[List[ParsedStatement]] = None,
-                       overrides: Optional[Dict[str, Relation]] = None
-                       ) -> ReenactmentResult:
+                       overrides: Optional[Dict[str, Relation]] = None,
+                       session=None) -> ReenactmentResult:
         """Reenact from an explicit record/statement list — the hook the
         what-if engine uses to replay *modified* transactions (§2)."""
+        compiled = self.compile(record, options, statements=statements,
+                                overrides=overrides)
+        return self.execute(compiled, session=session)
+
+    def compile(self, record: TransactionRecord,
+                options: Optional[ReenactmentOptions] = None,
+                statements: Optional[List[ParsedStatement]] = None,
+                overrides: Optional[Dict[str, Relation]] = None
+                ) -> CompiledReenactment:
+        """The compile phase: build and optimize the reenactment plans
+        for ``record`` without executing anything.
+
+        The result is inert — it can be executed any number of times,
+        on any backend or session, via :meth:`execute`."""
         options = options or ReenactmentOptions()
-        backend = resolve_backend(options.backend
-                                  if options.backend is not None
-                                  else self.backend)
-        plans = self.build_plans(record, options, statements=statements)
-        result = ReenactmentResult(xid=record.xid, plans=plans)
-        ctx = self.db.context(params={}, overrides=overrides,
+        optimizer_stats: Dict[str, int] = {}
+        plans = self.build_plans(record, options, statements=statements,
+                                 optimizer_stats=optimizer_stats)
+        return CompiledReenactment(
+            xid=record.xid, record=record, options=options, plans=plans,
+            snapshots=plan_snapshots(plans),
+            optimizer_stats=optimizer_stats, overrides=overrides)
+
+    def execute(self, compiled: CompiledReenactment,
+                session=None) -> ReenactmentResult:
+        """The execute phase: run a compiled reenactment's plans.
+
+        With ``session`` the plans run on the caller's open
+        :class:`~repro.backends.base.BackendSession` (snapshots shared
+        with everything else the session ran); without one, a throwaway
+        session on the resolved backend is used, so even a one-shot
+        multi-table reenactment materializes each snapshot once."""
+        result = ReenactmentResult(xid=compiled.xid, plans=compiled.plans)
+        ctx = self.db.context(params={}, overrides=compiled.overrides,
                       snapshot_provider=self.snapshot_provider)
-        for table, plan in plans.items():
-            result.tables[table] = backend.execute_plan(plan, ctx)
+        if session is not None:
+            for table, plan in compiled.plans.items():
+                result.tables[table] = session.execute_plan(plan, ctx)
+            return result
+        backend = resolve_backend(compiled.options.backend
+                                  if compiled.options.backend is not None
+                                  else self.backend)
+        with backend.open_session() as scoped:
+            for table, plan in compiled.plans.items():
+                result.tables[table] = scoped.execute_plan(plan, ctx)
         return result
 
     def reenactment_sql(self, xid: int, table: Optional[str] = None,
@@ -217,7 +314,8 @@ class Reenactor:
 
     def build_plans(self, record: TransactionRecord,
                     options: ReenactmentOptions,
-                    statements: Optional[List[ParsedStatement]] = None
+                    statements: Optional[List[ParsedStatement]] = None,
+                    optimizer_stats: Optional[Dict[str, int]] = None
                     ) -> Dict[str, op.Operator]:
         if statements is None:
             statements = self.parsed_statements(record)
@@ -232,7 +330,8 @@ class Reenactor:
         for table, chain in chains.items():
             if options.table is not None and table != options.table:
                 continue
-            out[table] = self._finalize(table, chain, record, options)
+            out[table] = self._finalize(table, chain, record, options,
+                                        optimizer_stats=optimizer_stats)
         return out
 
     def build_chains(self, record: TransactionRecord,
@@ -601,7 +700,9 @@ class Reenactor:
 
     def _finalize(self, table: str, chain: op.Operator,
                   record: TransactionRecord,
-                  options: ReenactmentOptions) -> op.Operator:
+                  options: ReenactmentOptions,
+                  optimizer_stats: Optional[Dict[str, int]] = None
+                  ) -> op.Operator:
         plan: op.Operator = copy.deepcopy(chain)
         if options.include_deleted:
             if not options.annotations:
@@ -633,7 +734,12 @@ class Reenactor:
             plan = self._attach_provenance(table, plan, record, options)
         if options.optimize:
             from repro.core.optimizer import ProvenanceOptimizer
-            plan = ProvenanceOptimizer().optimize(plan)
+            optimizer = ProvenanceOptimizer()
+            plan = optimizer.optimize(plan)
+            if optimizer_stats is not None:
+                for rule, count in optimizer.rule_applications.items():
+                    optimizer_stats[rule] = \
+                        optimizer_stats.get(rule, 0) + count
         return plan
 
     def _attach_provenance(self, table: str, plan: op.Operator,

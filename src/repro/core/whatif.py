@@ -15,15 +15,23 @@ modified transaction's writes would have collided with a concurrent
 transaction's writes — detecting, e.g., that adding the *promotion*
 update (``UPDATE account SET bal = bal WHERE cust = :name``) to Bob's
 transaction "would force T2 to abort" under first-updater-wins.
+
+The intended workload is exploratory: a user probing *many* variants of
+one suspect transaction.  :class:`WhatIfFleet` batches that — the
+unmodified original is compiled and reenacted exactly once, and every
+scenario variant executes against one shared backend session, so AS-OF
+snapshots are materialized once for the whole fleet instead of once per
+probe.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.algebra.evaluator import Relation
+from repro.backends import BackendSpec, resolve_backend
 from repro.core.reenactor import (ROWID, ParsedStatement,
                                   ReenactmentOptions, ReenactmentResult,
                                   Reenactor)
@@ -92,10 +100,12 @@ class WhatIfScenario:
     only meaningful when both sides ran on the same backend.
     """
 
-    def __init__(self, db: Database, xid: int, backend=None):
+    def __init__(self, db: Database, xid: int, backend=None,
+                 reenactor: Optional[Reenactor] = None):
         self.db = db
         self.xid = xid
-        self.reenactor = Reenactor(db, backend=backend)
+        self.reenactor = reenactor if reenactor is not None \
+            else Reenactor(db, backend=backend)
         self.record = self.reenactor.transaction_record(xid)
         self._statements = self.reenactor.parsed_statements(self.record)
         self._modified = [copy.deepcopy(s) for s in self._statements]
@@ -152,14 +162,41 @@ class WhatIfScenario:
 
     # -- execution ------------------------------------------------------------
 
-    def run(self, options: Optional[ReenactmentOptions] = None
+    def run(self, options: Optional[ReenactmentOptions] = None,
+            session=None,
+            original: Optional[ReenactmentResult] = None,
+            other_writes_cache: Optional[Dict[int, Dict[str, set]]] = None
             ) -> WhatIfResult:
+        """Reenact original and modified transaction and diff them.
+
+        ``session`` shares backend resources (one connection, memoized
+        snapshots) across both reenactments — and, via
+        :class:`WhatIfFleet`, across a whole batch of scenarios.
+        ``original`` short-circuits the unmodified reenactment with one
+        computed earlier *under the same options*;
+        ``other_writes_cache`` memoizes concurrent transactions' write
+        sets for conflict analysis.  Both are the fleet's levers and
+        default to the standalone behavior."""
         options = options or ReenactmentOptions()
-        original = self.reenactor.reenact_record(
-            self.record, options, statements=self._statements)
+        if original is None:
+            original = self.reenactor.reenact_record(
+                self.record, options, statements=self._statements,
+                session=session)
         modified = self.reenactor.reenact_record(
             self.record, options, statements=self._modified,
-            overrides=self._overrides or None)
+            overrides=self._overrides or None, session=session)
+        diffs = self.diff_results(original, modified)
+        result = WhatIfResult(original=original, modified=modified,
+                              diffs=diffs)
+        result.conflicts = self.conflict_analysis(
+            session=session, other_writes_cache=other_writes_cache)
+        return result
+
+    @staticmethod
+    def diff_results(original: ReenactmentResult,
+                     modified: ReenactmentResult
+                     ) -> Dict[str, TableDiff]:
+        """Per-table multiset diff between two reenactment results."""
         diffs: Dict[str, TableDiff] = {}
         for table in sorted(set(original.tables) | set(modified.tables)):
             before = original.tables.get(table)
@@ -174,20 +211,20 @@ class WhatIfScenario:
                                  - _counter(after_counts))).items():
                 diff.removed.extend([row] * count)
             diffs[table] = diff
-        result = WhatIfResult(original=original, modified=modified,
-                              diffs=diffs)
-        result.conflicts = self.conflict_analysis()
-        return result
+        return diffs
 
     # -- conflict analysis --------------------------------------------------------
 
-    def conflict_analysis(self) -> List[ConflictFinding]:
+    def conflict_analysis(self, session=None,
+                          other_writes_cache: Optional[
+                              Dict[int, Dict[str, set]]] = None
+                          ) -> List[ConflictFinding]:
         """Would the modified transaction's writes collide with a
         concurrent transaction?  Under first-updater-wins, two
         transactions with overlapping execution windows writing the same
         row cannot both commit — the later writer aborts (the promotion
         trick relies on this, §2)."""
-        written = self._written_rowids()
+        written = self._written_rowids(session=session)
         if not written:
             return []
         my_begin = self.record.begin_ts
@@ -200,7 +237,8 @@ class WhatIfScenario:
             other_end = other.end_ts or self.db.clock.now()
             if other.begin_ts > my_end or other_end < my_begin:
                 continue  # not concurrent
-            other_written = self._rowids_written_by(other.xid)
+            other_written = self._rowids_written_by(
+                other.xid, session=session, cache=other_writes_cache)
             for table, rowids in written.items():
                 overlap = rowids & other_written.get(table, set())
                 for rowid in sorted(overlap):
@@ -215,27 +253,33 @@ class WhatIfScenario:
                             f"would abort")))
         return findings
 
-    def _written_rowids(self) -> Dict[str, set]:
+    def _written_rowids(self, session=None) -> Dict[str, set]:
         options = ReenactmentOptions(annotations=True,
                                      include_deleted=True,
                                      only_affected=True)
         result = self.reenactor.reenact_record(
             self.record, options, statements=self._modified,
-            overrides=self._overrides or None)
-        out: Dict[str, set] = {}
-        for table, relation in result.tables.items():
-            rowid_idx = relation.column_index(ROWID)
-            ids = {row[rowid_idx] for row in relation.rows
-                   if row[rowid_idx] > 0}  # synthetic inserts conflict-free
-            if ids:
-                out[table] = ids
-        return out
+            overrides=self._overrides or None, session=session)
+        return _physical_writes(result)
 
-    def _rowids_written_by(self, xid: int) -> Dict[str, set]:
+    def _rowids_written_by(self, xid: int, session=None,
+                           cache: Optional[
+                               Dict[int, Dict[str, set]]] = None
+                           ) -> Dict[str, set]:
         """Rows a transaction wrote, from the audit log via
         reenactment (aborted transactions have no committed effects but
         their *attempted* writes still conflict; we approximate with
-        their reenacted writes)."""
+        their reenacted writes).  Scenario edits never change what
+        *other* transactions wrote, so a fleet shares one ``cache``."""
+        if cache is not None and xid in cache:
+            return cache[xid]
+        out = self._compute_rowids_written_by(xid, session)
+        if cache is not None:
+            cache[xid] = out
+        return out
+
+    def _compute_rowids_written_by(self, xid: int,
+                                   session=None) -> Dict[str, set]:
         record = self.db.audit_log.transaction_record(xid)
         if not record.statements:
             return {}
@@ -243,17 +287,11 @@ class WhatIfScenario:
             options = ReenactmentOptions(annotations=True,
                                          include_deleted=True,
                                          only_affected=True)
-            result = self.reenactor.reenact(xid, options)
+            result = self.reenactor.reenact(xid, options,
+                                            session=session)
         except Exception:
             return {}
-        out: Dict[str, set] = {}
-        for table, relation in result.tables.items():
-            rowid_idx = relation.column_index(ROWID)
-            ids = {row[rowid_idx] for row in relation.rows
-                   if row[rowid_idx] > 0}
-            if ids:
-                out[table] = ids
-        return out
+        return _physical_writes(result)
 
     # -- helpers ----------------------------------------------------------------------
 
@@ -281,6 +319,111 @@ class WhatIfScenario:
             from repro.sql.bind import bind_statement
             stmt = bind_statement(stmt, params)
         return stmt
+
+
+class WhatIfFleet:
+    """A batch of what-if scenarios over one past transaction, executed
+    on one shared backend session.
+
+    The naive loop pays full price per probe: each ``scenario.run()``
+    reenacts the unmodified original again and (on SQLite) re-opens a
+    connection and re-materializes every AS-OF snapshot.  The fleet
+    compiles and reenacts the original exactly once, memoizes concurrent
+    transactions' write sets for conflict analysis, and runs every
+    variant against one session — so each ``(table, ts)`` snapshot is
+    materialized exactly once no matter how many scenarios scan it.
+
+    Usage::
+
+        fleet = WhatIfFleet(db, xid, backend="sqlite")
+        fleet.scenario("promo").insert_statement(0, "UPDATE ...")
+        fleet.scenario("no-withdrawal").delete_statement(0)
+        for name, result in fleet.run().items():
+            print(name, result.summary())
+    """
+
+    def __init__(self, db: Database, xid: int,
+                 backend: BackendSpec = None):
+        self.db = db
+        self.xid = xid
+        self.backend = resolve_backend(backend)
+        self.reenactor = Reenactor(db, backend=self.backend)
+        self.record = self.reenactor.transaction_record(xid)
+        self._scenarios: List[Tuple[str, WhatIfScenario]] = []
+        #: session statistics of the most recent :meth:`run` — the
+        #: observable proof of snapshot reuse (tests assert on it).
+        self.last_stats = None
+
+    # -- building the fleet -------------------------------------------------
+
+    def scenario(self, name: Optional[str] = None) -> WhatIfScenario:
+        """A fresh scenario sharing this fleet's reenactor (audit-log
+        record and parsed statements are reused, not re-parsed)."""
+        scenario = WhatIfScenario(self.db, self.xid,
+                                  reenactor=self.reenactor)
+        self.add(scenario, name=name)
+        return scenario
+
+    def add(self, scenario: WhatIfScenario,
+            name: Optional[str] = None) -> "WhatIfFleet":
+        """Adopt an externally built scenario into the fleet."""
+        if scenario.xid != self.xid:
+            raise WhatIfError(
+                f"fleet reenacts transaction {self.xid}, scenario "
+                f"modifies {scenario.xid}")
+        if name is None:
+            name = f"scenario-{len(self._scenarios) + 1}"
+        if any(existing == name for existing, _ in self._scenarios):
+            raise WhatIfError(f"duplicate scenario name {name!r}")
+        self._scenarios.append((name, scenario))
+        return self
+
+    @property
+    def scenarios(self) -> List[WhatIfScenario]:
+        return [scenario for _, scenario in self._scenarios]
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, options: Optional[ReenactmentOptions] = None
+            ) -> Dict[str, WhatIfResult]:
+        """Run every scenario; returns name -> :class:`WhatIfResult`
+        (insertion-ordered, so iteration follows fleet construction).
+
+        Compile/execute split in action: the original transaction is
+        compiled once and executed once on the shared session; each
+        scenario then compiles only its *modified* statement list and
+        executes on the same session, where every snapshot the original
+        already materialized is a cache hit."""
+        if not self._scenarios:
+            raise WhatIfError("fleet has no scenarios; add some first")
+        options = options or ReenactmentOptions()
+        results: Dict[str, WhatIfResult] = {}
+        other_writes: Dict[int, Dict[str, set]] = {}
+        with self.backend.open_session() as session:
+            compiled = self.reenactor.compile(self.record, options)
+            original = self.reenactor.execute(compiled, session=session)
+            for name, scenario in self._scenarios:
+                results[name] = scenario.run(
+                    options, session=session, original=original,
+                    other_writes_cache=other_writes)
+            self.last_stats = session.stats
+        return results
+
+
+def _physical_writes(result: ReenactmentResult) -> Dict[str, set]:
+    """Physical rowids a reenacted transaction wrote, per table
+    (synthetic negative insert ids are conflict-free and excluded)."""
+    out: Dict[str, Set[int]] = {}
+    for table, relation in result.tables.items():
+        rowid_idx = relation.column_index(ROWID)
+        ids = {row[rowid_idx] for row in relation.rows
+               if row[rowid_idx] > 0}
+        if ids:
+            out[table] = ids
+    return out
 
 
 def _counter(counts):

@@ -14,6 +14,11 @@ default filters to rows affected by at least one statement
 ("Show/Hide Unaffected Rows", marker 7); the set of displayed tables is
 selectable (marker 8); clicking a tuple version yields its provenance
 graph (marker 6).
+
+All prefix probes of one panel scan the same begin-time snapshots, so
+the panel computes its columns on a single backend session: on SQLite
+each ``(table, ts)`` state is materialized once for the whole panel
+instead of once per column.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from repro.algebra.evaluator import Evaluator
+from repro.backends import BackendSpec, resolve_backend
 from repro.core.provenance.graph import ProvenanceGraphBuilder
 from repro.core.reenactor import (DEL, ROWID, UPD, XID,
                                   ReenactmentOptions, Reenactor)
@@ -74,11 +79,13 @@ class TransactionInspector:
 
     def __init__(self, db: Database, xid: int,
                  tables: Optional[Sequence[str]] = None,
-                 show_unaffected: bool = False):
+                 show_unaffected: bool = False,
+                 backend: BackendSpec = None):
         self.db = db
         self.xid = xid
         self.show_unaffected = show_unaffected
-        self.reenactor = Reenactor(db)
+        self.backend = resolve_backend(backend)
+        self.reenactor = Reenactor(db, backend=self.backend)
         self.record = self.reenactor.transaction_record(xid)
         self.statements = self.reenactor.parsed_statements(self.record)
         touched = []
@@ -96,10 +103,14 @@ class TransactionInspector:
     # -- panel content --------------------------------------------------------
 
     def columns(self) -> List[DebugColumn]:
-        """All panel columns, computed lazily and cached."""
+        """All panel columns, computed lazily and cached — on one
+        backend session, so the shared begin-time snapshots are
+        materialized once for the whole panel."""
         if self._columns is None:
-            self._columns = [self._column(k)
-                             for k in range(-1, len(self.statements))]
+            with self.backend.open_session() as session:
+                self._columns = [self._column(k, session)
+                                 for k in range(-1,
+                                                len(self.statements))]
         return self._columns
 
     def column(self, index: int) -> DebugColumn:
@@ -139,7 +150,7 @@ class TransactionInspector:
 
     # -- internals ---------------------------------------------------------------------
 
-    def _column(self, k: int) -> DebugColumn:
+    def _column(self, k: int, session) -> DebugColumn:
         if k < 0:
             column = DebugColumn(index=-1, sql=None, target=None)
         else:
@@ -147,16 +158,19 @@ class TransactionInspector:
             column = DebugColumn(index=k, sql=str(parsed.stmt),
                                  target=parsed.target)
         for table in self.selected_tables:
-            column.states[table] = self._table_state(table, k + 1)
+            column.states[table] = self._table_state(table, k + 1,
+                                                     session)
         return column
 
-    def _table_state(self, table: str, upto: int) -> TableState:
+    def _table_state(self, table: str, upto: int,
+                     session) -> TableState:
         options = ReenactmentOptions(upto=upto, table=table,
                                      annotations=True,
                                      include_deleted=True)
-        plans = self.reenactor.build_plans(self.record, options,
-                                           statements=self.statements)
-        relation = Evaluator(self.db.context()).evaluate(plans[table])
+        compiled = self.reenactor.compile(self.record, options,
+                                          statements=self.statements)
+        relation = self.reenactor.execute(compiled,
+                                          session=session).table(table)
         ncols = len(self.db.catalog.get(table).columns)
         rowid_idx = relation.column_index(ROWID)
         xid_idx = relation.column_index(XID)

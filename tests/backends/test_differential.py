@@ -11,15 +11,23 @@ tombstones — and what-if scenarios must produce identical
 Comparison is type-strict (see ``conftest.typed_rows``): ``True == 1``
 in Python, so a sloppy comparison would hide boolean-coercion bugs.
 
+Both execution granularities are swept: ``oneshot`` reenacts each
+transaction in isolation (throwaway session per call), ``session``
+reenacts the whole history through one long-lived session per backend
+— so the SQLite snapshot cache is validated against exactly the
+histories that stress it (many transactions sharing AS-OF states).
+
 The ``smoke`` subset (first few seeds) is what CI runs inside its
 30-second budget; the full sweep covers 50+ histories across both
-isolation levels.
+isolation levels and both modes.
 """
 
+import contextlib
 import dataclasses
 
 import pytest
 
+from repro.backends import resolve_backend
 from repro.core.reenactor import ReenactmentOptions, Reenactor
 from repro.core.whatif import WhatIfScenario
 
@@ -29,30 +37,51 @@ from conftest import (assert_relations_match, build_history,
 SMOKE_SEEDS = list(range(3))
 FULL_SEEDS = list(range(25))
 ISOLATION_LEVELS = ["SERIALIZABLE", "READ COMMITTED"]
+MODES = ["oneshot", "session"]
 
 STRICT_OPTIONS = ReenactmentOptions(annotations=True,
                                     include_deleted=True)
 
 
-def check_history_differential(seed, isolation):
+def check_history_differential(seed, isolation, mode="oneshot"):
     """Reenact every committed transaction of one seeded history on
     both backends and compare; returns the number of transactions
     checked (the harness is vacuous on a history that commits
-    nothing, so callers assert on the count)."""
+    nothing, so callers assert on the count).
+
+    ``mode="session"`` runs each backend's whole sweep through one
+    open session, so snapshots memoized for earlier transactions are
+    reused (and must not leak into) later ones."""
     db = build_history(seed, isolation)
     reenactor = Reenactor(db)
-    checked = 0
-    for xid in committed_xids(db):
-        mem = reenactor.reenact(xid, STRICT_OPTIONS)
-        sq = reenactor.reenact(
-            xid, dataclasses.replace(STRICT_OPTIONS, backend="sqlite"))
-        assert set(mem.tables) == set(sq.tables)
-        for table in mem.tables:
-            assert_relations_match(
-                mem.tables[table], sq.tables[table],
-                context=f"seed={seed} isolation={isolation} "
-                        f"xid={xid} table={table}")
-        checked += 1
+    with contextlib.ExitStack() as stack:
+        sessions = {"memory": None, "sqlite": None}
+        if mode == "session":
+            sessions = {
+                name: stack.enter_context(
+                    resolve_backend(name).open_session())
+                for name in sessions}
+        checked = 0
+        for xid in committed_xids(db):
+            mem = reenactor.reenact(xid, STRICT_OPTIONS,
+                                    session=sessions["memory"])
+            sq = reenactor.reenact(
+                xid,
+                dataclasses.replace(STRICT_OPTIONS, backend="sqlite"),
+                session=sessions["sqlite"])
+            assert set(mem.tables) == set(sq.tables)
+            for table in mem.tables:
+                assert_relations_match(
+                    mem.tables[table], sq.tables[table],
+                    context=f"seed={seed} isolation={isolation} "
+                            f"mode={mode} xid={xid} table={table}")
+            checked += 1
+        if mode == "session" and checked:
+            stats = sessions["sqlite"].stats
+            assert all(count == 1
+                       for count in stats.materializations.values()), \
+                f"snapshot re-materialized: seed={seed} " \
+                f"isolation={isolation}"
     return db, checked
 
 
@@ -86,27 +115,31 @@ def check_whatif_differential(db, seed, isolation):
         f"what-if diff mismatch seed={seed} isolation={isolation}"
 
 
+@pytest.mark.parametrize("mode", MODES)
 @pytest.mark.parametrize("isolation", ISOLATION_LEVELS)
 @pytest.mark.parametrize("seed", SMOKE_SEEDS)
-def test_differential_smoke(seed, isolation):
-    """Quick slice for CI: a few seeds, full checks."""
-    db, checked = check_history_differential(seed, isolation)
+def test_differential_smoke(seed, isolation, mode):
+    """Quick slice for CI: a few seeds, full checks, both modes."""
+    db, checked = check_history_differential(seed, isolation, mode)
     assert checked > 0
     check_whatif_differential(db, seed, isolation)
 
 
+@pytest.mark.parametrize("mode", MODES)
 @pytest.mark.parametrize("isolation", ISOLATION_LEVELS)
 @pytest.mark.parametrize("seed",
                          [s for s in FULL_SEEDS if s not in SMOKE_SEEDS])
-def test_differential_full(seed, isolation):
+def test_differential_full(seed, isolation, mode):
     """Full sweep: together with the smoke slice this covers
-    len(FULL_SEEDS) × 2 isolation levels = 50 seeded histories."""
-    db, checked = check_history_differential(seed, isolation)
+    len(FULL_SEEDS) × 2 isolation levels = 50 seeded histories, each
+    reenacted one-shot *and* through long-lived sessions."""
+    db, checked = check_history_differential(seed, isolation, mode)
     assert checked > 0
     check_whatif_differential(db, seed, isolation)
 
 
 def test_sweep_covers_fifty_histories():
     """Acceptance guard: the parametrized sweep must span ≥ 50
-    distinct seeded histories."""
+    distinct seeded histories, each in every execution mode."""
     assert len(FULL_SEEDS) * len(ISOLATION_LEVELS) >= 50
+    assert set(MODES) == {"oneshot", "session"}

@@ -1,0 +1,147 @@
+"""Incremental (delta) snapshot materialization vs full rebuilds.
+
+The paper's time-travel formulation prices reenactment by the write
+set, but full AS-OF materialization prices every probe by *table
+cardinality* (`BENCH_scaling_reenactment.json` scales with
+``table_rows``).  This benchmark measures the fix on the workload that
+exposes it — many probes at distinct timestamps over one large table,
+through one backend session:
+
+* **timeline scan** — materialize the snapshot at each of a history's
+  commit timestamps (the debugger's timeline / equivalence-sweep access
+  pattern), isolating pure materialization cost;
+* **reenactment sweep** — reenact every probe transaction end to end
+  (materialization + SQL execution).
+
+Each runs with ``delta="off"`` (per-probe full rebuild: storage scan +
+executemany of every row) and ``delta="auto"`` (first snapshot full,
+every later one cloned from its cached neighbor and patched with the
+version-history delta).  The acceptance bar asserted here and re-checked
+by CI's benchmark-smoke step from ``BENCH_delta_materialization.json``:
+**≥3x** at the largest table size.
+"""
+
+import time
+
+import pytest
+from conftest import (bench_rounds, delta_probe_history,
+                      delta_session_sweep, record_result, report)
+
+from repro import SQLiteBackend
+
+TABLE_SIZES = [2000, 10000, 40000]
+N_PROBES = 12
+MODES = ["off", "auto"]
+
+#: the asserted speedup bar at the largest size (CI re-checks the
+#: recorded JSON against the same constant).
+MIN_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def probe_dbs():
+    return {n_rows: delta_probe_history(n_rows, N_PROBES)
+            for n_rows in TABLE_SIZES}
+
+
+def timeline_scan(db, timestamps, mode):
+    """Materialize the table snapshot at every probe timestamp on one
+    session; returns (elapsed seconds, SessionStats)."""
+    backend = SQLiteBackend(delta=mode)
+    ctx = db.context(params={})
+    with backend.open_session() as session:
+        started = time.perf_counter()
+        for ts in timestamps:
+            session.prime_snapshots([("bench_account", ts)], ctx)
+        elapsed = time.perf_counter() - started
+    return elapsed, session.stats
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("n_rows", TABLE_SIZES)
+def test_timeline_probe_latency(benchmark, probe_dbs, n_rows, mode):
+    """Per-mode timing points for the probe workload (JSON-tracked)."""
+    db, _, timestamps = probe_dbs[n_rows]
+    _, stats = benchmark.pedantic(
+        lambda: timeline_scan(db, timestamps, mode),
+        rounds=1, iterations=1)
+    assert stats.snapshots_materialized >= len(timestamps)
+    if mode == "auto":
+        assert stats.delta_materializations == len(timestamps) - 1
+    benchmark.extra_info["table_rows"] = n_rows
+    benchmark.extra_info["probes"] = len(timestamps)
+    benchmark.extra_info["mode"] = mode
+
+
+def test_delta_speedup_summary(benchmark, probe_dbs, request):
+    """The acceptance sweep: timeline scans and reenactment sweeps in
+    both modes at every size; asserts the ≥3x bar at the largest size
+    and records the ratios CI re-checks."""
+    rounds = bench_rounds(request, default=2)
+
+    def sweep():
+        results = {}
+        for n_rows in TABLE_SIZES:
+            db, xids, timestamps = probe_dbs[n_rows]
+            for mode in MODES:
+                scan_s, scan_stats = timeline_scan(db, timestamps, mode)
+                sweep_s, _, _ = delta_session_sweep(db, xids, mode)
+                results[(n_rows, mode)] = (scan_s, sweep_s)
+                if mode == "auto":
+                    # the incremental path must actually carry the scan
+                    assert scan_stats.full_materializations == 1
+                    assert scan_stats.delta_materializations \
+                        == len(timestamps) - 1
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=rounds, iterations=1)
+    lines, per_size = [], {}
+    for n_rows in TABLE_SIZES:
+        scan_full, sweep_full = results[(n_rows, "off")]
+        scan_delta, sweep_delta = results[(n_rows, "auto")]
+        scan_x = scan_full / max(scan_delta, 1e-9)
+        sweep_x = sweep_full / max(sweep_delta, 1e-9)
+        per_size[n_rows] = {
+            "timeline_full_ms": round(scan_full * 1000, 1),
+            "timeline_delta_ms": round(scan_delta * 1000, 1),
+            "timeline_speedup_x": round(scan_x, 1),
+            "reenact_full_ms": round(sweep_full * 1000, 1),
+            "reenact_delta_ms": round(sweep_delta * 1000, 1),
+            "reenact_speedup_x": round(sweep_x, 1),
+        }
+        lines.append(
+            f"{n_rows:>6} rows x {N_PROBES} probes: timeline "
+            f"{scan_full * 1000:7.1f} -> {scan_delta * 1000:6.1f} ms "
+            f"({scan_x:5.1f}x)   reenact {sweep_full * 1000:7.1f} -> "
+            f"{sweep_delta * 1000:6.1f} ms ({sweep_x:4.1f}x)")
+    report("Delta materialization: full-per-probe vs incremental "
+           "(one session, probes at distinct timestamps)", lines)
+
+    largest = TABLE_SIZES[-1]
+    largest_speedup = per_size[largest]["timeline_speedup_x"]
+    record_result("delta_materialization", "probe_speedup",
+                  largest_rows=largest, probes=N_PROBES,
+                  largest_speedup_x=largest_speedup,
+                  largest_reenact_speedup_x=per_size[largest][
+                      "reenact_speedup_x"],
+                  min_required_x=MIN_SPEEDUP, per_size=per_size)
+    for key, value in per_size[largest].items():
+        benchmark.extra_info[key] = value
+    # the acceptance bar: delta materialization must beat per-probe
+    # full rebuilds by >=3x where it matters most
+    assert largest_speedup >= MIN_SPEEDUP, \
+        f"delta speedup {largest_speedup}x < {MIN_SPEEDUP}x at " \
+        f"{largest} rows"
+    # marginal shape: once the first (full) snapshot is paid for, each
+    # additional probe must cost a small fraction of a full rebuild —
+    # the per-probe price tracks the write set, not table cardinality.
+    # (Derived from single-shot timings, so the bound is deliberately
+    # loose — locally it measures ~1/6; the hard gate is the ratio
+    # above.)
+    scan_full, _ = results[(largest, "off")]
+    scan_delta, _ = results[(largest, "auto")]
+    full_each = scan_full / N_PROBES
+    marginal_patch = (scan_delta - full_each) / (N_PROBES - 1)
+    benchmark.extra_info["marginal_patch_ms"] = \
+        round(marginal_patch * 1000, 2)
+    assert marginal_patch < full_each / 2

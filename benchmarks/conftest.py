@@ -33,6 +33,25 @@ from repro.workloads import run_write_skew_history, setup_bank
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+
+def pytest_addoption(parser):
+    # CI's benchmark-smoke step runs with `--rounds 1` to stay inside
+    # its budget; locally the per-module defaults apply.  (Registered
+    # here, so the option exists whenever benchmarks/ is on the
+    # command line; BENCH_ROUNDS is the env-var equivalent.)
+    parser.addoption(
+        "--rounds", action="store", type=int, default=None,
+        help="override measurement rounds for benchmark sweeps")
+
+
+def bench_rounds(request, default):
+    """Measurement rounds for a sweep: --rounds, else $BENCH_ROUNDS,
+    else the module's default."""
+    rounds = request.config.getoption("--rounds", default=None)
+    if rounds is None:
+        rounds = os.environ.get("BENCH_ROUNDS")
+    return int(rounds) if rounds else default
+
 #: bench name -> {result key -> payload}, accumulated per process so
 #: each test rewrites its module's JSON file with everything so far.
 _ACCUMULATED = {}
@@ -79,6 +98,43 @@ def bench_json(request):
             mean_s=timing.mean, min_s=timing.min, max_s=timing.max,
             rounds=timing.rounds)
     record_result(_bench_name(request), request.node.name, **payload)
+
+
+def delta_probe_history(n_rows, n_probes, seed=4, stmts_per_probe=2,
+                        spread=20):
+    """A populated ``bench_account`` table plus ``n_probes`` small
+    committed transactions — the multi-timestamp probe workload the
+    delta-materialization benchmarks share.  Returns
+    ``(db, probe_xids, commit_timestamps)``."""
+    from repro.workloads import populate_accounts, uN_transaction
+    db = Database()
+    db.execute("CREATE TABLE bench_account "
+               "(id INT, owner TEXT, branch INT, bal INT)")
+    populate_accounts(db, n_rows, seed=seed)
+    xids, timestamps = [], []
+    for _ in range(n_probes):
+        xids.append(uN_transaction(db, stmts_per_probe, spread=spread))
+        timestamps.append(db.clock.now())
+    return db, xids, timestamps
+
+
+def delta_session_sweep(db, xids, mode):
+    """Reenact every probe transaction through one SQLite session with
+    the given delta mode; returns ``(elapsed_s, SessionStats,
+    results)`` — the shared protocol both the delta benchmark and the
+    ablation's delta axis measure."""
+    import time
+
+    from repro import SQLiteBackend
+    from repro.core.reenactor import Reenactor
+    backend = SQLiteBackend(delta=mode)
+    reenactor = Reenactor(db, backend=backend)
+    with backend.open_session() as session:
+        started = time.perf_counter()
+        results = [reenactor.reenact(xid, session=session)
+                   for xid in xids]
+        elapsed = time.perf_counter() - started
+    return elapsed, session.stats, results
 
 
 @pytest.fixture(scope="module")

@@ -50,13 +50,27 @@ class SessionStats:
 
     ``materializations`` counts CREATE-and-fill events per snapshot key
     — the session-reuse tests assert every key stays at exactly 1 no
-    matter how many plans scanned it."""
+    matter how many plans scanned it.  ``snapshots_materialized`` is the
+    total of both materialization strategies:
+    ``full_materializations`` (rebuilt from a storage scan) plus
+    ``delta_materializations`` (cloned from a nearby cached snapshot and
+    patched with the version-history delta; ``delta_rows_applied`` sums
+    the patch sizes).  ``snapshots_evicted`` counts cache entries
+    dropped to honor the snapshot cache's capacity bound."""
 
     plans_executed: int = 0
     snapshots_materialized: int = 0
     snapshots_reused: int = 0
     #: snapshot key -> number of times it was (re)materialized.
     materializations: Counter = field(default_factory=Counter)
+    #: snapshots built by scanning storage (the pre-delta baseline).
+    full_materializations: int = 0
+    #: snapshots built by cloning a cached neighbor + applying a delta.
+    delta_materializations: int = 0
+    #: total delta rows applied across all delta materializations.
+    delta_rows_applied: int = 0
+    #: cache entries dropped to enforce the capacity bound.
+    snapshots_evicted: int = 0
 
 
 class BackendSession(abc.ABC):
@@ -77,6 +91,15 @@ class BackendSession(abc.ABC):
     def execute_plan(self, plan: op.Operator,
                      ctx: EvalContext) -> Relation:
         """Evaluate ``plan`` under ``ctx``, reusing session resources."""
+
+    def prime_snapshots(self, snapshots, ctx: EvalContext) -> None:
+        """Hint: the caller is about to execute plans scanning the given
+        ``(table, ts)`` snapshot states (a
+        :attr:`~repro.core.reenactor.CompiledReenactment.snapshots`
+        set).  Stateful backends materialize them *in the caller's
+        order* — sorted by ``(table, ts)``, each snapshot is one small
+        delta hop from its predecessor instead of an unordered full
+        rebuild.  Stateless backends ignore the hint (default no-op)."""
 
     @property
     def closed(self) -> bool:

@@ -20,9 +20,11 @@ class InMemoryBackend(ExecutionBackend):
     The interpreter is stateless — it scans storage afresh on every
     evaluation — so the inherited delegating session is the right
     session implementation: callers get the uniform
-    ``open_session()`` / ``SessionStats`` surface (the what-if fleet
-    and the differential harness's session mode run unmodified on this
-    backend) without this backend pretending to cache anything."""
+    ``open_session()`` / ``SessionStats`` / ``prime_snapshots`` surface
+    (the what-if fleet and the differential harness's session modes run
+    unmodified on this backend) without this backend pretending to
+    cache anything — snapshot priming is the base class's no-op, since
+    there is no materialized state to build incrementally."""
 
     name = "memory"
 

@@ -40,7 +40,9 @@ with the evaluator's case-sensitive semantics.
 from __future__ import annotations
 
 import sqlite3
-from typing import Dict, List, Optional, Set, Tuple
+from collections import OrderedDict
+from typing import (Callable, Dict, Iterable, List, Optional, Set,
+                    Tuple)
 
 from repro.algebra import operators as op
 from repro.algebra.evaluator import EvalContext, Relation
@@ -64,15 +66,30 @@ def quote_ident(ident: str) -> str:
 #: providers change what a scan returns, so their identity is folded in.
 SnapshotKey = Tuple
 
+#: Default snapshot-cache capacity: generous enough that the workloads
+#: the reuse tests pin down (fleets, debug panels, differential sweeps)
+#: never evict, small enough that a history with hundreds of distinct
+#: timestamps no longer keeps every temp table alive for the session.
+DEFAULT_CACHE_CAPACITY = 64
+
 
 class SnapshotCache:
-    """Session-lifetime memo of materialized snapshot temp tables.
+    """Session-lifetime, size-bounded LRU of materialized snapshot
+    temp tables.
 
     The cache owns temp-table *naming* (a monotone counter, so names
     never collide across the plans of one connection) and records one
     entry per snapshot once it has actually been created and filled —
     a fleet of plans over the same transaction materializes each
-    ``(table, ts)`` exactly once.
+    ``(table, ts)`` exactly once while it stays resident.
+
+    ``capacity`` bounds the number of live entries (``None`` =
+    unbounded).  Recency is updated on every :meth:`lookup` hit;
+    :meth:`enforce_capacity` evicts least-recently-used entries via the
+    ``on_evict`` callback (which drops the temp table), skipping names
+    the in-flight plan still references.  An evicted snapshot that is
+    requested again is simply re-materialized — typically as a delta
+    hop off a surviving neighbor.
 
     Entries are namespaced by a *realm*: the identity of the database
     the evaluation context reads from.  Two `Database` instances share
@@ -80,22 +97,45 @@ class SnapshotCache:
     epoch), so without the realm a session reused across databases
     would serve one database's snapshot to the other.  Pinned objects
     (the realm's database, override relations, snapshot providers)
-    keep every ``id()`` a key embeds unambiguous for the session's
-    lifetime.  ``stats.materializations`` stays keyed by the plain
-    snapshot key — the human-readable ``(table, ts)`` contract the
-    reuse tests assert on.
+    keep every ``id()`` a key embeds unambiguous while any entry
+    embedding it is live; pins are refcounted per entry and released
+    on eviction, so the capacity bound frees override relations along
+    with their temp tables.  ``stats.materializations`` stays keyed by
+    the plain snapshot key — the human-readable ``(table, ts)``
+    contract the reuse tests assert on.
     """
 
-    def __init__(self, stats: Optional[SessionStats] = None):
+    def __init__(self, stats: Optional[SessionStats] = None,
+                 capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
+                 on_evict: Optional[Callable[[str], None]] = None):
+        if capacity is not None and capacity < 1:
+            raise ExecutionError(
+                f"snapshot cache capacity must be >= 1, got {capacity}")
         self.stats = stats if stats is not None else SessionStats()
-        self._names: Dict[Tuple[int, SnapshotKey], str] = {}
-        self._pins: List[object] = []
+        self.capacity = capacity
+        self.on_evict = on_evict
+        self._names: "OrderedDict[Tuple[int, SnapshotKey], str]" = \
+            OrderedDict()
+        #: entry -> the objects its key's ids refer to; one object may
+        #: pin several entries, so liveness is the refcount below.
+        self._entry_pins: Dict[Tuple[int, SnapshotKey],
+                               Tuple[object, ...]] = {}
+        #: id(pin) -> [pin, number of live entries embedding it].
+        self._pin_refs: Dict[int, List] = {}
         self._counter = 0
 
-    def lookup(self, realm: int, key: SnapshotKey) -> Optional[str]:
+    def lookup(self, realm: int, key: SnapshotKey,
+               count_reuse: bool = True) -> Optional[str]:
+        """Cached temp-table name for a snapshot, refreshing its LRU
+        recency.  ``count_reuse=False`` suppresses the
+        ``snapshots_reused`` statistic — used by session priming, which
+        is bookkeeping ahead of a plan, not a plan actually scanning a
+        snapshot another plan paid for."""
         name = self._names.get((realm, key))
         if name is not None:
-            self.stats.snapshots_reused += 1
+            self._names.move_to_end((realm, key))
+            if count_reuse:
+                self.stats.snapshots_reused += 1
         return name
 
     def allocate(self) -> str:
@@ -104,10 +144,65 @@ class SnapshotCache:
 
     def commit(self, realm: int, key: SnapshotKey, name: str,
                pins: Tuple[object, ...] = ()) -> None:
-        self._names[(realm, key)] = name
-        self._pins.extend(pin for pin in pins if pin is not None)
+        entry = (realm, key)
+        if entry in self._names:
+            # defensive: re-commit of a live key displaces its old
+            # temp table — release its pins and drop the table
+            self._release_pins(entry)
+            old_name = self._names[entry]
+            if old_name != name and self.on_evict is not None:
+                self.on_evict(old_name)
+        self._names[entry] = name
+        live = tuple(pin for pin in pins if pin is not None)
+        self._entry_pins[entry] = live
+        for pin in live:
+            ref = self._pin_refs.setdefault(id(pin), [pin, 0])
+            ref[1] += 1
         self.stats.snapshots_materialized += 1
         self.stats.materializations[key] += 1
+
+    def _release_pins(self, entry: Tuple[int, SnapshotKey]) -> None:
+        for pin in self._entry_pins.pop(entry, ()):
+            ref = self._pin_refs.get(id(pin))
+            if ref is None:
+                continue
+            ref[1] -= 1
+            if ref[1] <= 0:
+                del self._pin_refs[id(pin)]
+
+    def plain_snapshots(self, realm: int,
+                        table: str) -> List[Tuple[int, str]]:
+        """Cached committed AS-OF states of ``table`` in ``realm``, as
+        ``(ts, temp_table_name)`` pairs — the delta-patching candidates.
+        Override/provider entries are never candidates (their contents
+        are not a function of the version history)."""
+        out: List[Tuple[int, str]] = []
+        for (entry_realm, key), name in self._names.items():
+            if entry_realm != realm:
+                continue
+            if len(key) == 2 and key[0] == table \
+                    and isinstance(key[1], int):
+                out.append((key[1], name))
+        return out
+
+    def enforce_capacity(self, protected: Iterable[str] = ()) -> None:
+        """Evict least-recently-used entries until within ``capacity``,
+        never touching temp tables in ``protected`` (names the current
+        plan's already-generated SQL still references)."""
+        if self.capacity is None or len(self._names) <= self.capacity:
+            return
+        protected = set(protected)
+        for entry in list(self._names):
+            if len(self._names) <= self.capacity:
+                break
+            name = self._names[entry]
+            if name in protected:
+                continue
+            del self._names[entry]
+            self._release_pins(entry)
+            self.stats.snapshots_evicted += 1
+            if self.on_evict is not None:
+                self.on_evict(name)
 
     def __len__(self) -> int:
         return len(self._names)
@@ -129,13 +224,44 @@ class SnapshotBinder:
     become fresh temp tables, and those are published to the cache after
     they exist (a plan that fails before :meth:`materialize` leaves the
     cache untouched, never pointing at absent tables).
+
+    Materialization itself is **incremental** when it can be: a plain
+    committed ``(table, ts)`` snapshot whose neighbor at another
+    timestamp is already cached is built as a *filtered clone* of the
+    cached temp table — one C-speed ``CREATE TABLE … AS SELECT …
+    WHERE __rowid__ NOT IN (delta rowids)`` that clones and deletes in
+    a single pass — followed by an ``executemany INSERT`` of the
+    delta's new row states.  Cost is proportional to the write set
+    between the snapshots, not to table cardinality.
+    A cost model (``delta`` mode ``"auto"``) falls back to the full
+    storage-scan rebuild when the estimated delta is a large fraction
+    of the table; overrides, trigger-history providers and contexts
+    without native time travel always take the full path.
     """
 
     def __init__(self, ctx: EvalContext,
-                 cache: Optional[SnapshotCache] = None):
+                 cache: Optional[SnapshotCache] = None,
+                 delta: str = "auto",
+                 delta_max_ratio: float = 0.5,
+                 count_reuse: bool = True,
+                 reuse_discount: Optional[Set[str]] = None):
         self.ctx = ctx
         self._state = EvalState(params=ctx.params)
         self.cache = cache
+        self._delta_mode = delta
+        self._delta_max_ratio = delta_max_ratio
+        #: False while priming: prime binds are bookkeeping, not reuse.
+        self._count_reuse = count_reuse
+        #: names this session primed but no plan has scanned yet — the
+        #: first plan bind of each is the scan the priming *paid for*,
+        #: not a reuse (keeps `snapshots_reused` meaning "served from a
+        #: snapshot an earlier plan materialized", exactly as before
+        #: priming existed).
+        self._reuse_discount = reuse_discount
+        #: names this binder already discounted: further binds by the
+        #: same plan stay uncounted, mirroring the pre-priming behavior
+        #: where a plan's own fresh snapshots never counted as reuses.
+        self._discounted: Set[str] = set()
         #: the database this context reads from — the cache realm.  A
         #: context without one (StaticContext) is its own realm, so
         #: snapshots never leak between unrelated contexts.
@@ -147,6 +273,10 @@ class SnapshotBinder:
         #: snapshot key -> (table, ts, pinned source object).
         self._meta: Dict[SnapshotKey, Tuple[str, Optional[int],
                                             Optional[object]]] = {}
+        #: every temp-table name this plan references (cache hits and
+        #: fresh entries alike) — protected from eviction until the
+        #: plan has executed.
+        self._used: Set[str] = set()
         #: base tables touched (for result-type coercion).
         self.tables_used: Set[str] = set()
 
@@ -171,37 +301,153 @@ class SnapshotBinder:
                 raise TimeTravelError(
                     f"AS OF timestamp for {scan.table!r} is NULL")
             ts = int(value)
-        key, pin = self.snapshot_key(scan.table, ts)
-        self.tables_used.add(scan.table)
+        return self.bind_key(scan.table, ts)
+
+    def bind_key(self, table: str, ts: Optional[int]) -> str:
+        """Register a scan of ``table`` at ``ts`` and return the temp
+        table it will read — also the entry point for priming a
+        session with a compiled reenactment's snapshot set."""
+        key, pin = self.snapshot_key(table, ts)
+        self.tables_used.add(table)
         if self.cache is not None:
-            name = self.cache.lookup(self._realm, key)
+            name = self.cache.lookup(self._realm, key,
+                                     count_reuse=False)
             if name is not None:
+                if self._count_reuse and name not in self._discounted:
+                    if self._reuse_discount is not None \
+                            and name in self._reuse_discount:
+                        # first scan of a snapshot primed for this
+                        # very reenactment: the materialization this
+                        # plan paid for, not a reuse
+                        self._reuse_discount.discard(name)
+                        self._discounted.add(name)
+                    else:
+                        self.cache.stats.snapshots_reused += 1
+                self._used.add(name)
                 return name
         name = self._entries.get(key)
         if name is None:
             name = self.cache.allocate() if self.cache is not None \
                 else f"__snap_{len(self._entries) + 1}__"
             self._entries[key] = name
-            self._meta[key] = (scan.table, ts, pin)
+            self._meta[key] = (table, ts, pin)
+        self._used.add(name)
         return name
 
+    @property
+    def used_names(self) -> Set[str]:
+        """Temp tables the generated SQL references (for deferred
+        indexing and eviction protection)."""
+        return self._used
+
     def materialize(self, conn: sqlite3.Connection) -> None:
+        stats = self.cache.stats if self.cache is not None else None
         for key, name in self._entries.items():
             table, ts, pin = self._meta[key]
-            columns = list(self.ctx.table_columns(table))
-            columns += [ROWID_SUFFIX, XID_SUFFIX]
-            column_list = ", ".join(quote_ident(c) for c in columns)
-            conn.execute(
-                f"CREATE TEMP TABLE {quote_ident(name)} ({column_list})")
-            triples = self.ctx.scan_table(table, ts)
-            placeholders = ", ".join("?" * (len(columns)))
-            conn.executemany(
-                f"INSERT INTO {quote_ident(name)} VALUES ({placeholders})",
-                [tuple(values) + (rowid, xid)
-                 for rowid, values, xid in triples])
+            source = self._delta_source(table, ts, pin)
+            if source is not None:
+                self._materialize_delta(conn, name, table, ts, *source,
+                                        stats=stats)
+            else:
+                self._materialize_full(conn, name, table, ts,
+                                       stats=stats)
             if self.cache is not None:
                 self.cache.commit(self._realm, key, name,
                                   pins=(self._source, pin))
+        if self.cache is not None:
+            self.cache.enforce_capacity(protected=self._used)
+
+    # .. full rebuild (storage scan) ......................................
+
+    def _materialize_full(self, conn: sqlite3.Connection, name: str,
+                          table: str, ts: Optional[int],
+                          stats: Optional[SessionStats]) -> None:
+        columns = list(self.ctx.table_columns(table))
+        columns += [ROWID_SUFFIX, XID_SUFFIX]
+        column_list = ", ".join(quote_ident(c) for c in columns)
+        conn.execute(
+            f"CREATE TEMP TABLE {quote_ident(name)} ({column_list})")
+        triples = self.ctx.scan_table(table, ts)
+        placeholders = ", ".join("?" * (len(columns)))
+        conn.executemany(
+            f"INSERT INTO {quote_ident(name)} VALUES ({placeholders})",
+            [tuple(values) + (rowid, xid)
+             for rowid, values, xid in triples])
+        if stats is not None:
+            stats.full_materializations += 1
+
+    # .. incremental rebuild (clone + delta patch) ........................
+
+    def _delta_source(self, table: str, ts: Optional[int],
+                      pin: Optional[object]
+                      ) -> Optional[Tuple[int, str]]:
+        """The cached neighbor snapshot to patch from, as ``(ts0,
+        temp_table_name)`` — or ``None`` when this snapshot must be
+        rebuilt in full (delta off, no usable candidate, or the cost
+        model prefers the full scan)."""
+        if self._delta_mode == "off" or self.cache is None \
+                or ts is None or pin is not None:
+            return None
+        db = self._source
+        if db is None \
+                or not getattr(db, "config", None) \
+                or not db.config.timetravel_enabled:
+            return None
+        candidates = self.cache.plain_snapshots(self._realm, table)
+        if not candidates:
+            return None
+        best_ts, best_name = min(
+            candidates,
+            key=lambda c: (db.table_delta_estimate(table, c[0], ts),
+                           abs(c[0] - ts)))
+        if self._delta_mode != "always":
+            estimate = db.table_delta_estimate(table, best_ts, ts)
+            budget = int(db.table_cardinality(table)
+                         * self._delta_max_ratio)
+            if estimate > budget:
+                return None  # pathological history: full scan is cheaper
+        return best_ts, best_name
+
+    def _materialize_delta(self, conn: sqlite3.Connection, name: str,
+                           table: str, ts: int, source_ts: int,
+                           source_name: str,
+                           stats: Optional[SessionStats]) -> None:
+        delta = self._source.table_delta(table, source_ts, ts)
+        if not delta:
+            conn.execute(
+                f"CREATE TEMP TABLE {quote_ident(name)} AS "
+                f"SELECT * FROM {quote_ident(source_name)}")
+        else:
+            # one-pass clone-without-the-changed-rows: the delta rowids
+            # go through a scratch table (not inline literals) so a
+            # pathological forced-delta patch cannot overflow SQLite's
+            # SQL-length limit
+            scratch = f"__delta_ids_{name}"
+            conn.execute(
+                f"CREATE TEMP TABLE {quote_ident(scratch)} "
+                f"({quote_ident(ROWID_SUFFIX)})")
+            conn.executemany(
+                f"INSERT INTO {quote_ident(scratch)} VALUES (?)",
+                [(int(rowid),) for rowid, _, _ in delta])
+            conn.execute(
+                f"CREATE TEMP TABLE {quote_ident(name)} AS "
+                f"SELECT * FROM {quote_ident(source_name)} "
+                f"WHERE {quote_ident(ROWID_SUFFIX)} NOT IN "
+                f"(SELECT {quote_ident(ROWID_SUFFIX)} "
+                f"FROM {quote_ident(scratch)})")
+            conn.execute(f"DROP TABLE {quote_ident(scratch)}")
+        inserts = [tuple(values) + (rowid, xid)
+                   for rowid, values, xid in delta
+                   if values is not None]
+        if inserts:
+            n_columns = len(self.ctx.table_columns(table)) + 2
+            placeholders = ", ".join("?" * n_columns)
+            conn.executemany(
+                f"INSERT INTO {quote_ident(name)} "
+                f"VALUES ({placeholders})", inserts)
+        if stats is not None:
+            stats.delta_materializations += 1
+            stats.delta_rows_applied += len(delta)
 
 
 class SQLiteDialect(Dialect):
@@ -265,20 +511,75 @@ class SQLiteSession(BackendSession):
     reenactments over the same transaction (N what-if variants, the
     debugger's prefix columns, a whole-history equivalence sweep) into
     one materialization per ``(table, ts)`` plus N cheap queries.
+    Follow-up snapshots at nearby timestamps are built incrementally
+    (clone + delta patch, see :class:`SnapshotBinder`), and the cache
+    is LRU-bounded by the backend's ``cache_capacity`` — evicted
+    snapshots drop their temp table and are rebuilt on demand.
     """
 
     def __init__(self, backend: "SQLiteBackend"):
         super().__init__(backend)
         self.conn = sqlite3.connect(backend.database)
         self.conn.execute("PRAGMA case_sensitive_like = ON")
-        self.cache = SnapshotCache(self.stats)
+        self.cache = SnapshotCache(self.stats,
+                                   capacity=backend.cache_capacity,
+                                   on_evict=self._drop_snapshot)
+        #: snapshot temp tables that already carry their __rowid__
+        #: index — built lazily before the first query that scans them,
+        #: so snapshots that only ever serve as delta-clone sources
+        #: (timeline priming) never pay for one.
+        self._indexed: Set[str] = set()
+        #: snapshots primed but not yet scanned by any plan (see
+        #: SnapshotBinder reuse accounting).
+        self._fresh_primed: Set[str] = set()
+
+    def _binder(self, ctx: EvalContext,
+                priming: bool = False) -> SnapshotBinder:
+        return SnapshotBinder(ctx, cache=self.cache,
+                              delta=self.backend.delta,
+                              delta_max_ratio=self.backend.delta_max_ratio,
+                              count_reuse=not priming,
+                              reuse_discount=None if priming
+                              else self._fresh_primed)
+
+    def _drop_snapshot(self, name: str) -> None:
+        self.conn.execute(f"DROP TABLE IF EXISTS {quote_ident(name)}")
+        self._indexed.discard(name)
+        self._fresh_primed.discard(name)
+
+    def _ensure_indexes(self, names: Set[str]) -> None:
+        """Index the row-identity column of every snapshot the next
+        query scans.  ``__rowid__`` is the join key of every
+        reenactment plan that joins at all — the READ COMMITTED rowid
+        anti-join and the provenance left join — and without an index
+        each such access is a full scan of the temp table."""
+        for name in names - self._indexed:
+            self.conn.execute(
+                f"CREATE INDEX {quote_ident('__ix_' + name)} "
+                f"ON {quote_ident(name)} ({quote_ident(ROWID_SUFFIX)})")
+            self._indexed.add(name)
+
+    def prime_snapshots(self, snapshots, ctx: EvalContext) -> None:
+        """Materialize a compiled reenactment's ``(table, ts)`` set in
+        sorted order before its plans run, so every snapshot is one
+        small delta hop from its same-table predecessor."""
+        self._check_open()
+        binder = self._binder(ctx, priming=True)
+        for table, ts in sorted((t, ts) for t, ts in snapshots
+                                if ts is not None):
+            binder.bind_key(table, ts)
+        binder.materialize(self.conn)
+        # only *freshly materialized* snapshots are discounted; prime
+        # hits on earlier plans' snapshots stay genuine future reuses
+        self._fresh_primed.update(binder._entries.values())
 
     def execute_plan(self, plan: op.Operator,
                      ctx: EvalContext) -> Relation:
         self._check_open()
-        binder = SnapshotBinder(ctx, cache=self.cache)
+        binder = self._binder(ctx)
         sql = generate_sql(plan, dialect=SQLiteDialect(binder))
         binder.materialize(self.conn)
+        self._ensure_indexes(binder.used_names)
         try:
             cursor = self.conn.execute(sql, ctx.params or {})
         except sqlite3.Error as exc:
@@ -319,12 +620,32 @@ class SQLiteBackend(ExecutionBackend):
 
     One-shot ``execute_plan`` (inherited) runs each plan on a throwaway
     :class:`SQLiteSession`; batch callers hold a session open so the
-    connection and every materialized snapshot are shared."""
+    connection and every materialized snapshot are shared.
+
+    ``delta`` selects the snapshot materialization strategy:
+    ``"auto"`` (default) patches cached neighbors incrementally when
+    the estimated delta is at most ``delta_max_ratio`` of table
+    cardinality and rebuilds in full otherwise; ``"always"`` patches
+    whenever any neighbor is cached (the differential harness's
+    adversarial mode); ``"off"`` always rebuilds in full (the ablation
+    baseline).  ``cache_capacity`` bounds the session snapshot cache
+    (``None`` = unbounded)."""
 
     name = "sqlite"
 
-    def __init__(self, database: str = ":memory:"):
+    DELTA_MODES = ("off", "auto", "always")
+
+    def __init__(self, database: str = ":memory:", delta: str = "auto",
+                 cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
+                 delta_max_ratio: float = 0.5):
+        if delta not in self.DELTA_MODES:
+            raise ExecutionError(
+                f"delta mode must be one of {self.DELTA_MODES}, "
+                f"got {delta!r}")
         self.database = database
+        self.delta = delta
+        self.cache_capacity = cache_capacity
+        self.delta_max_ratio = delta_max_ratio
 
     def open_session(self) -> SQLiteSession:
         return SQLiteSession(self)

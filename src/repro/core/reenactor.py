@@ -142,7 +142,9 @@ class CompiledReenactment:
     options: ReenactmentOptions
     plans: Dict[str, op.Operator]
     #: distinct ``(table, as_of_ts)`` snapshot states the plans scan,
-    #: including scans inside redirected subquery plans.
+    #: including scans inside redirected subquery plans — sorted by
+    #: ``(table, ts)`` so a delta-materializing session builds each
+    #: snapshot as a small hop from its same-table predecessor.
     snapshots: List[Tuple[str, Optional[int]]]
     #: aggregated optimizer rule applications across all table plans.
     optimizer_stats: Dict[str, int] = field(default_factory=dict)
@@ -156,21 +158,20 @@ class CompiledReenactment:
 
 def plan_snapshots(plans: Dict[str, op.Operator]
                    ) -> List[Tuple[str, Optional[int]]]:
-    """Distinct ``(table, as_of_ts)`` states scanned by a plan set, in
-    first-scan order.  Descends into expression subquery plans (the
-    printer renders those scans too, so they hit the snapshot cache)."""
+    """Distinct ``(table, as_of_ts)`` states scanned by a plan set,
+    sorted by ``(table, ts)`` — adjacent entries are the smallest
+    version-history hops, which is the order a delta-materializing
+    backend wants to build them in.  Descends into expression subquery
+    plans (the printer renders those scans too, so they hit the
+    snapshot cache)."""
     from repro.algebra.translator import operator_expressions
-    out: List[Tuple[str, Optional[int]]] = []
     seen = set()
 
     def visit(node: op.Operator) -> None:
         if isinstance(node, op.TableScan):
             ts = node.as_of.value if isinstance(node.as_of, Literal) \
                 else None
-            key = (node.table, ts)
-            if key not in seen:
-                seen.add(key)
-                out.append(key)
+            seen.add((node.table, ts))
         for expr in operator_expressions(node):
             for sub in walk(expr):
                 if isinstance(sub, SubqueryExpr) and sub.plan is not None:
@@ -180,7 +181,8 @@ def plan_snapshots(plans: Dict[str, op.Operator]
 
     for plan in plans.values():
         visit(plan)
-    return out
+    return sorted(seen, key=lambda key: (key[0], key[1] is not None,
+                                         key[1] or 0))
 
 
 class Reenactor:
@@ -272,11 +274,18 @@ class Reenactor:
         :class:`~repro.backends.base.BackendSession` (snapshots shared
         with everything else the session ran); without one, a throwaway
         session on the resolved backend is used, so even a one-shot
-        multi-table reenactment materializes each snapshot once."""
+        multi-table reenactment materializes each snapshot once.
+
+        Either way the session is first *primed* with the compiled
+        ``(table, ts)`` snapshot set, in its sorted order — a
+        delta-materializing backend builds each snapshot as a small
+        incremental hop instead of meeting the scans in whatever order
+        the generated SQL mentions them."""
         result = ReenactmentResult(xid=compiled.xid, plans=compiled.plans)
         ctx = self.db.context(params={}, overrides=compiled.overrides,
                       snapshot_provider=self.snapshot_provider)
         if session is not None:
+            session.prime_snapshots(compiled.snapshots, ctx)
             for table, plan in compiled.plans.items():
                 result.tables[table] = session.execute_plan(plan, ctx)
             return result
@@ -284,6 +293,7 @@ class Reenactor:
                                   if compiled.options.backend is not None
                                   else self.backend)
         with backend.open_session() as scoped:
+            scoped.prime_snapshots(compiled.snapshots, ctx)
             for table, plan in compiled.plans.items():
                 result.tables[table] = scoped.execute_plan(plan, ctx)
         return result

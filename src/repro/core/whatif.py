@@ -332,6 +332,11 @@ class WhatIfFleet:
     transactions' write sets for conflict analysis, and runs every
     variant against one session — so each ``(table, ts)`` snapshot is
     materialized exactly once no matter how many scenarios scan it.
+    Every reenactment primes the session with its compiled snapshot
+    set in ``(table, ts)`` order, so on a delta-capable backend the
+    snapshots a variant adds (e.g. statement-time states of a
+    timestamp the original never scanned) are built as incremental
+    patches of the fleet's already-cached neighbors, not full rebuilds.
 
     Usage::
 

@@ -112,6 +112,39 @@ class Database:
         return [(rowid, values, version.xid)
                 for rowid, values, version in table.scan_committed(ts)]
 
+    def table_delta(self, name: str, ts_from: int,
+                    ts_to: int) -> List[Tuple[int, Optional[tuple],
+                                              Optional[int]]]:
+        """Rows whose committed state differs between ``ts_from`` and
+        ``ts_to``, as ``(rowid, values, xid)`` triples describing the
+        state *at* ``ts_to`` (``values is None`` = the row is absent
+        there).  Cost scales with the commits inside the interval, not
+        with table size — the incremental counterpart of
+        :meth:`table_snapshot`, and what delta-materializing execution
+        backends patch cached snapshots with."""
+        if not self.config.timetravel_enabled:
+            raise TimeTravelError(
+                "time travel is disabled on this database "
+                "(DatabaseConfig.timetravel_enabled)")
+        out: List[Tuple[int, Optional[tuple], Optional[int]]] = []
+        for delta in self.table(name).scan_delta(ts_from, ts_to):
+            if delta.new is None:
+                out.append((delta.rowid, None, None))
+            else:
+                out.append((delta.rowid, delta.new.values, delta.new.xid))
+        return out
+
+    def table_delta_estimate(self, name: str, ts_from: int,
+                             ts_to: int) -> int:
+        """Cheap upper bound on ``len(table_delta(...))`` (commit-log
+        bisection; no chain walks)."""
+        return self.table(name).delta_size_estimate(ts_from, ts_to)
+
+    def table_cardinality(self, name: str) -> int:
+        """Number of version chains of ``name`` — the cost model's
+        estimate of what a full snapshot materialization costs."""
+        return self.table(name).cardinality()
+
     # -- evaluation contexts ------------------------------------------------------
 
     def context(self, txn: Optional[Transaction] = None,

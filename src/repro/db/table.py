@@ -3,10 +3,21 @@
 :class:`VersionedTable` is pure mechanism — visibility and version-chain
 bookkeeping.  Policy (conflict detection, isolation levels, commit
 protocol) lives in :mod:`repro.db.mvcc`.
+
+Besides full snapshots (:meth:`VersionedTable.scan_committed`), the
+table answers *delta* questions: which rows differ between the
+committed states at two timestamps?  A per-table commit log — an
+append-only, timestamp-ordered list of ``(commit_ts, rowid)`` events —
+makes :meth:`VersionedTable.scan_delta` cost proportional to the number
+of commits inside the interval (two bisections plus a chain walk per
+touched row), never to table cardinality.  Incremental snapshot
+materialization in the execution backends is built on exactly this.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.db.schema import TableSchema
@@ -18,6 +29,22 @@ from repro.errors import ExecutionError
 ScanRow = Tuple[int, tuple, Optional[Version]]
 
 
+@dataclass
+class DeltaRow:
+    """One row whose committed state differs between two timestamps.
+
+    ``old`` is the version visible at ``ts_from``, ``new`` the one
+    visible at ``ts_to`` (either may be ``None``: row absent/deleted at
+    that endpoint).  A row that reverts to its original *values* inside
+    the interval is still reported — the creating transaction
+    (``Version.xid``) changed, and reenactment annotations depend on it.
+    """
+
+    rowid: int
+    old: Optional[Version]
+    new: Optional[Version]
+
+
 class VersionedTable:
     """One multi-version table."""
 
@@ -25,6 +52,12 @@ class VersionedTable:
         self.schema = schema
         self.rows: Dict[int, VersionChain] = {}
         self._next_rowid = 1
+        #: commit log: parallel arrays of (commit_ts, rowid) events in
+        #: timestamp order (commit timestamps are handed out by a
+        #: monotone clock, so appends keep the arrays sorted).  The
+        #: substrate of :meth:`scan_delta` / :meth:`delta_size_estimate`.
+        self._commit_ts_log: List[int] = []
+        self._commit_rowid_log: List[int] = []
 
     # -- rowids ----------------------------------------------------------
 
@@ -66,6 +99,50 @@ class VersionedTable:
                     and version.end_ts is None:
                 yield rowid, version.values, version
 
+    # -- deltas ----------------------------------------------------------
+
+    def delta_size_estimate(self, ts_from: int, ts_to: int) -> int:
+        """Upper bound on the number of rows :meth:`scan_delta` would
+        return for the interval, in O(log commits): the count of commit
+        events between the two timestamps.  Overcounts rows committed
+        several times inside the interval — fine for the cost model
+        choosing between delta patching and a full rebuild."""
+        lo, hi = sorted((ts_from, ts_to))
+        return (bisect_right(self._commit_ts_log, hi)
+                - bisect_right(self._commit_ts_log, lo))
+
+    def scan_delta(self, ts_from: int, ts_to: int) -> List[DeltaRow]:
+        """Rows whose committed state at ``ts_to`` differs from the one
+        at ``ts_from`` (either direction: ``ts_from`` may exceed
+        ``ts_to``), as :class:`DeltaRow` entries in rowid order.
+
+        Cost is proportional to the number of commit events in the
+        interval — the commit log is bisected, and only chains with a
+        commit inside the interval are walked.  Rows that both appear
+        and disappear strictly inside the interval (insert then delete,
+        or writes by transactions that later aborted — aborts never
+        reach the commit log) contribute nothing.
+        """
+        if ts_from == ts_to:
+            return []
+        lo, hi = sorted((ts_from, ts_to))
+        start = bisect_right(self._commit_ts_log, lo)
+        end = bisect_right(self._commit_ts_log, hi)
+        touched = sorted(set(self._commit_rowid_log[start:end]))
+        out: List[DeltaRow] = []
+        for rowid in touched:
+            chain = self.rows.get(rowid)
+            if chain is None:
+                continue  # history pruned after logging
+            old = chain.committed_at(ts_from)
+            new = chain.committed_at(ts_to)
+            if old is None and new is None:
+                continue
+            if old is new:
+                continue  # same version visible at both endpoints
+            out.append(DeltaRow(rowid=rowid, old=old, new=new))
+        return out
+
     # -- writes (mechanism only; callers do conflict checks) -------------
 
     def insert_row(self, xid: int, values: tuple, stmt_ts: int) -> int:
@@ -92,13 +169,17 @@ class VersionedTable:
             chain = self.rows.get(rowid)
             if chain is None:
                 continue
-            chain.commit(xid, commit_ts)
+            published = chain.commit(xid, commit_ts)
             if chain.lock_xid == xid:
                 chain.lock_xid = None
             if not keep_history:
                 chain.prune_history()
                 if not chain.versions:
                     del self.rows[rowid]
+            elif published is not None:
+                # deltas are only meaningful while history is kept
+                self._commit_ts_log.append(commit_ts)
+                self._commit_rowid_log.append(rowid)
 
     def abort_rows(self, xid: int, rowids: List[int]) -> None:
         for rowid in rowids:
@@ -122,6 +203,12 @@ class VersionedTable:
 
     def row_count_committed(self, ts: int) -> int:
         return sum(1 for _ in self.scan_committed(ts))
+
+    def cardinality(self) -> int:
+        """Number of version chains — an O(1) upper bound on the row
+        count of any committed snapshot (the cost model's stand-in for
+        the price of a full materialization)."""
+        return len(self.rows)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"VersionedTable({self.schema.name!r}, "

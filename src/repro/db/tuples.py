@@ -119,15 +119,19 @@ class VersionChain:
         self.versions.append(version)
         return version
 
-    def commit(self, xid: int, commit_ts: int) -> None:
-        """Publish ``xid``'s pending version at ``commit_ts``."""
+    def commit(self, xid: int, commit_ts: int) -> Optional[Version]:
+        """Publish ``xid``'s pending version at ``commit_ts``; returns
+        the published version, or ``None`` when ``xid`` had no pending
+        write on this row (so callers can keep a commit log of rows
+        whose committed state actually changed)."""
         own = self.uncommitted_for(xid)
         if own is None:
-            return
+            return None
         previous = self.latest_committed()
         if previous is not None and previous.end_ts is None:
             previous.end_ts = commit_ts
         own.begin_ts = commit_ts
+        return own
 
     def abort(self, xid: int) -> None:
         """Discard ``xid``'s pending version."""

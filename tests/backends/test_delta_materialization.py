@@ -1,0 +1,281 @@
+"""Incremental snapshot materialization and the bounded snapshot cache.
+
+The contract under test: a SQLite session asked for a ``(table, ts)``
+snapshot near an already-cached one *patches* (clone + version-history
+delta) instead of rebuilding from a full storage scan — without ever
+changing an answer — while the cost model routes pathological histories
+back to full rebuilds and the LRU capacity bound keeps the number of
+live temp tables finite no matter how many distinct timestamps a
+history has.  `SessionStats` (``full_materializations`` /
+``delta_materializations`` / ``snapshots_evicted``) is the observable
+evidence everything here asserts on.
+"""
+
+import pytest
+
+from repro import Database, SQLiteBackend
+from repro.backends.sqlite import SnapshotCache
+from repro.core.reenactor import ReenactmentOptions, Reenactor
+from repro.errors import ExecutionError
+from repro.workloads import populate_accounts, uN_transaction
+
+from conftest import assert_relations_match
+
+N_ROWS = 300
+N_PROBES = 5
+
+STRICT = ReenactmentOptions(annotations=True, include_deleted=True)
+
+
+@pytest.fixture
+def history_db():
+    """A populated table plus a run of small committed transactions —
+    the multi-timestamp probe workload deltas are for."""
+    db = Database()
+    db.execute("CREATE TABLE bench_account "
+               "(id INT, owner TEXT, branch INT, bal INT)")
+    populate_accounts(db, N_ROWS, seed=11)
+    xids = [uN_transaction(db, 2, spread=7) for _ in range(N_PROBES)]
+    return db, xids
+
+
+def sweep(db, xids, backend, options=STRICT):
+    reenactor = Reenactor(db, backend=backend)
+    with backend.open_session() as session:
+        results = [reenactor.reenact(xid, options, session=session)
+                   for xid in xids]
+    return results, session
+
+
+# -- correctness: delta must never change an answer ------------------------
+
+def test_delta_sweep_matches_full_sweep_and_interpreter(history_db):
+    db, xids = history_db
+    delta_results, _ = sweep(db, xids, SQLiteBackend(delta="always"))
+    full_results, _ = sweep(db, xids, SQLiteBackend(delta="off"))
+    memory = Reenactor(db)
+    for xid, via_delta, via_full in zip(xids, delta_results,
+                                        full_results):
+        reference = memory.reenact(xid, STRICT)
+        for table in reference.tables:
+            assert_relations_match(via_delta.table(table),
+                                   reference.table(table),
+                                   context=f"delta xid={xid}")
+            assert_relations_match(via_full.table(table),
+                                   reference.table(table),
+                                   context=f"full xid={xid}")
+
+
+def test_first_snapshot_full_then_delta_hops(history_db):
+    db, xids = history_db
+    _, session = sweep(db, xids, SQLiteBackend(delta="always"))
+    stats = session.stats
+    assert stats.full_materializations == 1
+    assert stats.delta_materializations == len(xids) - 1
+    assert stats.snapshots_materialized == len(xids)
+    assert stats.delta_rows_applied > 0
+    # patches were small: far fewer delta rows than full rebuilds
+    # would have shipped
+    assert stats.delta_rows_applied \
+        < N_ROWS * stats.delta_materializations
+    assert all(count == 1 for count in stats.materializations.values())
+
+
+def test_auto_mode_uses_deltas_for_small_write_sets(history_db):
+    db, xids = history_db
+    _, session = sweep(db, xids, SQLiteBackend(delta="auto"))
+    assert session.stats.delta_materializations == len(xids) - 1
+
+
+# -- cost model fallback ---------------------------------------------------
+
+def test_cost_model_falls_back_on_pathological_history():
+    """A history whose every step rewrites the whole table: the delta
+    between adjacent snapshots is the table itself, so ``auto`` mode
+    must prefer full rebuilds while ``always`` still patches."""
+    db = Database()
+    db.execute("CREATE TABLE bench_account "
+               "(id INT, owner TEXT, branch INT, bal INT)")
+    populate_accounts(db, 50, seed=3)
+    xids = []
+    for k in range(3):
+        session = db.connect()
+        session.begin()
+        session.execute(f"UPDATE bench_account SET bal = bal + {k + 1}")
+        xids.append(session.txn.xid)
+        session.commit()
+
+    _, auto_session = sweep(db, xids, SQLiteBackend(delta="auto"))
+    assert auto_session.stats.delta_materializations == 0
+    assert auto_session.stats.full_materializations == len(xids)
+
+    always_results, always_session = sweep(
+        db, xids, SQLiteBackend(delta="always"))
+    assert always_session.stats.delta_materializations == len(xids) - 1
+    # and the forced-delta answers still match the interpreter
+    reference = Reenactor(db).reenact(xids[-1], STRICT)
+    assert_relations_match(always_results[-1].table("bench_account"),
+                           reference.table("bench_account"))
+
+
+def test_delta_ratio_knob_tightens_the_budget(history_db):
+    """delta_max_ratio=0 starves the cost model: every estimate > 0
+    exceeds the budget, so auto behaves like off — including for the
+    smallest possible hop (a single-commit interval)."""
+    db, xids = history_db
+    xids = xids + [uN_transaction(db, 1, spread=7)]  # 1-commit hop
+    _, session = sweep(db, xids,
+                       SQLiteBackend(delta="auto", delta_max_ratio=0.0))
+    assert session.stats.delta_materializations == 0
+    assert session.stats.full_materializations == len(xids)
+
+
+# -- bounded cache / eviction ----------------------------------------------
+
+def test_capacity_bound_evicts_and_rematerializes(history_db):
+    db, xids = history_db
+    backend = SQLiteBackend(delta="always", cache_capacity=2)
+    reenactor = Reenactor(db, backend=backend)
+    with backend.open_session() as session:
+        for xid in xids:
+            reenactor.reenact(xid, STRICT, session=session)
+        stats = session.stats
+        assert stats.snapshots_evicted >= len(xids) - 2
+        assert len(session.cache) <= 2
+        # the evicted temp tables are actually gone from SQLite
+        live = {row[0] for row in session.conn.execute(
+            "SELECT name FROM sqlite_temp_master WHERE type = 'table' "
+            "AND name LIKE '__snap%'")}
+        assert len(live) <= 2
+        # an evicted snapshot is re-materialized on demand, correctly
+        again = reenactor.reenact(xids[0], STRICT, session=session)
+        assert any(count > 1
+                   for count in stats.materializations.values())
+    reference = Reenactor(db).reenact(xids[0], STRICT)
+    assert_relations_match(again.table("bench_account"),
+                           reference.table("bench_account"))
+
+
+def test_eviction_releases_override_pins():
+    """The capacity bound must free memory, not just temp tables: an
+    override relation pinned only by evicted cache entries is released
+    from the pin registry (its id() may only be reused once no live
+    key embeds it — and conversely must not be held forever)."""
+    from repro.algebra.evaluator import Relation
+
+    db = Database()
+    db.execute("CREATE TABLE t (k INT, v INT)")
+    db.execute("INSERT INTO t VALUES (1, 10)")
+    session = db.connect()
+    session.begin()
+    session.execute("UPDATE t SET v = 11")
+    xid = session.txn.xid
+    session.commit()
+
+    backend = SQLiteBackend(cache_capacity=1)
+    reenactor = Reenactor(db, backend=backend)
+    record = reenactor.transaction_record(xid)
+    override = Relation(["k", "v"], [(7, 70)])
+    with backend.open_session() as backend_session:
+        reenactor.reenact_record(record, overrides={"t": override},
+                                 session=backend_session)
+        cache = backend_session.cache
+        assert id(override) in cache._pin_refs
+        # displace the override entry from the capacity-1 cache
+        reenactor.reenact(xid, session=backend_session)
+        assert backend_session.stats.snapshots_evicted >= 1
+        assert id(override) not in cache._pin_refs, \
+            "evicted override is still pinned"
+        # the surviving entry keeps its own pins live
+        assert len(cache._pin_refs) >= 1
+
+
+def test_default_session_capacity_is_bounded(history_db):
+    db, _ = history_db
+    backend = SQLiteBackend()
+    with backend.open_session() as session:
+        assert session.cache.capacity is not None
+
+
+def test_in_flight_plan_snapshots_survive_eviction(history_db):
+    """A single plan needing more snapshots than the whole cache
+    capacity must still execute — its own temp tables are protected
+    from eviction until the plan ran."""
+    db, xids = history_db
+    backend = SQLiteBackend(delta="always", cache_capacity=1)
+    reenactor = Reenactor(db, backend=backend)
+    with backend.open_session() as session:
+        results = [reenactor.reenact(xid, STRICT, session=session)
+                   for xid in xids]
+    reference = Reenactor(db).reenact(xids[-1], STRICT)
+    assert_relations_match(results[-1].table("bench_account"),
+                           reference.table("bench_account"))
+
+
+# -- temp-table indexes ----------------------------------------------------
+
+def test_materialized_snapshots_are_rowid_indexed(history_db):
+    db, xids = history_db
+    backend = SQLiteBackend()
+    reenactor = Reenactor(db, backend=backend)
+    with backend.open_session() as session:
+        reenactor.reenact(xids[0], STRICT, session=session)
+        tables = {row[0] for row in session.conn.execute(
+            "SELECT name FROM sqlite_temp_master WHERE type = 'table' "
+            "AND name LIKE '__snap%'")}
+        indexed = {row[0] for row in session.conn.execute(
+            "SELECT tbl_name FROM sqlite_temp_master "
+            "WHERE type = 'index'")}
+        assert tables and tables <= indexed
+
+
+# -- snapshot-set ordering / priming ---------------------------------------
+
+def test_compiled_snapshot_set_is_sorted(history_db):
+    db, xids = history_db
+    reenactor = Reenactor(db)
+    compiled = reenactor.compile(reenactor.transaction_record(xids[-1]),
+                                 STRICT)
+    assert compiled.snapshots == sorted(compiled.snapshots)
+
+
+def test_priming_does_not_inflate_reuse_accounting(history_db):
+    """``snapshots_reused`` keeps its pre-priming meaning: a plan bind
+    served by a snapshot an *earlier* plan materialized.  The
+    prime-then-execute handshake of a single reenactment contributes
+    zero; only genuinely shared snapshots count."""
+    db, xids = history_db
+    backend = SQLiteBackend()
+    reenactor = Reenactor(db, backend=backend)
+    with backend.open_session() as session:
+        reenactor.reenact(xids[0], STRICT, session=session)
+        assert session.stats.snapshots_reused == 0
+        reenactor.reenact(xids[0], STRICT, session=session)
+        assert session.stats.snapshots_reused == 1
+
+
+def test_priming_then_executing_adds_no_materializations(history_db):
+    db, xids = history_db
+    backend = SQLiteBackend()
+    reenactor = Reenactor(db, backend=backend)
+    record = reenactor.transaction_record(xids[0])
+    compiled = reenactor.compile(record, STRICT)
+    ctx = db.context(params={})
+    with backend.open_session() as session:
+        session.prime_snapshots(compiled.snapshots, ctx)
+        primed = session.stats.snapshots_materialized
+        assert primed == len(compiled.snapshots)
+        reenactor.execute(compiled, session=session)
+        assert session.stats.snapshots_materialized == primed
+
+
+# -- configuration validation ----------------------------------------------
+
+def test_invalid_delta_mode_rejected():
+    with pytest.raises(ExecutionError, match="delta mode"):
+        SQLiteBackend(delta="sometimes")
+
+
+def test_invalid_cache_capacity_rejected():
+    with pytest.raises(ExecutionError, match="capacity"):
+        SnapshotCache(capacity=0)

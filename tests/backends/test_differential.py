@@ -11,11 +11,16 @@ tombstones — and what-if scenarios must produce identical
 Comparison is type-strict (see ``conftest.typed_rows``): ``True == 1``
 in Python, so a sloppy comparison would hide boolean-coercion bugs.
 
-Both execution granularities are swept: ``oneshot`` reenacts each
+Three execution granularities are swept: ``oneshot`` reenacts each
 transaction in isolation (throwaway session per call), ``session``
 reenacts the whole history through one long-lived session per backend
 — so the SQLite snapshot cache is validated against exactly the
-histories that stress it (many transactions sharing AS-OF states).
+histories that stress it (many transactions sharing AS-OF states) —
+and ``delta`` runs the same long-lived sweep with *forced* incremental
+materialization (``SQLiteBackend(delta="always")``): every snapshot
+after a table's first is built by patching a cached neighbor with the
+version-history delta, and the results must still be identical to the
+interpreter's.
 
 The ``smoke`` subset (first few seeds) is what CI runs inside its
 30-second budget; the full sweep covers 50+ histories across both
@@ -27,7 +32,7 @@ import dataclasses
 
 import pytest
 
-from repro.backends import resolve_backend
+from repro.backends import SQLiteBackend, resolve_backend
 from repro.core.reenactor import ReenactmentOptions, Reenactor
 from repro.core.whatif import WhatIfScenario
 
@@ -37,7 +42,7 @@ from conftest import (assert_relations_match, build_history,
 SMOKE_SEEDS = list(range(3))
 FULL_SEEDS = list(range(25))
 ISOLATION_LEVELS = ["SERIALIZABLE", "READ COMMITTED"]
-MODES = ["oneshot", "session"]
+MODES = ["oneshot", "session", "delta"]
 
 STRICT_OPTIONS = ReenactmentOptions(annotations=True,
                                     include_deleted=True)
@@ -51,16 +56,28 @@ def check_history_differential(seed, isolation, mode="oneshot"):
 
     ``mode="session"`` runs each backend's whole sweep through one
     open session, so snapshots memoized for earlier transactions are
-    reused (and must not leak into) later ones."""
+    reused (and must not leak into) later ones; ``mode="delta"`` is the
+    same sweep with incremental materialization forced on the SQLite
+    side — every snapshot that *can* be a delta patch must be one, and
+    nothing may change."""
     db = build_history(seed, isolation)
     reenactor = Reenactor(db)
     with contextlib.ExitStack() as stack:
         sessions = {"memory": None, "sqlite": None}
-        if mode == "session":
+        if mode in ("session", "delta"):
+            # unbounded cache: these sweeps assert materialization
+            # *identity* invariants (each key exactly once; every
+            # possible delta taken), which eviction would legitimately
+            # break — the eviction policy has its own tests
+            backends = {
+                "memory": resolve_backend("memory"),
+                "sqlite": SQLiteBackend(
+                    delta="always" if mode == "delta" else "auto",
+                    cache_capacity=None),
+            }
             sessions = {
-                name: stack.enter_context(
-                    resolve_backend(name).open_session())
-                for name in sessions}
+                name: stack.enter_context(backend.open_session())
+                for name, backend in backends.items()}
         checked = 0
         for xid in committed_xids(db):
             mem = reenactor.reenact(xid, STRICT_OPTIONS,
@@ -76,11 +93,25 @@ def check_history_differential(seed, isolation, mode="oneshot"):
                     context=f"seed={seed} isolation={isolation} "
                             f"mode={mode} xid={xid} table={table}")
             checked += 1
-        if mode == "session" and checked:
+        if mode in ("session", "delta") and checked:
             stats = sessions["sqlite"].stats
             assert all(count == 1
                        for count in stats.materializations.values()), \
                 f"snapshot re-materialized: seed={seed} " \
+                f"isolation={isolation}"
+        if mode == "delta" and checked:
+            # forced-delta accounting: for every table, the first plain
+            # (table, ts) snapshot is a full build and every later one
+            # a delta patch — the sweep must actually exercise the
+            # incremental path, not silently fall back
+            plain_ts = {}
+            for key in stats.materializations:
+                if len(key) == 2 and isinstance(key[1], int):
+                    plain_ts.setdefault(key[0], set()).add(key[1])
+            expected_deltas = sum(len(ts_set) - 1
+                                  for ts_set in plain_ts.values())
+            assert stats.delta_materializations == expected_deltas, \
+                f"delta sweep fell back to full rebuilds: seed={seed} " \
                 f"isolation={isolation}"
     return db, checked
 
@@ -140,6 +171,7 @@ def test_differential_full(seed, isolation, mode):
 
 def test_sweep_covers_fifty_histories():
     """Acceptance guard: the parametrized sweep must span ≥ 50
-    distinct seeded histories, each in every execution mode."""
+    distinct seeded histories, each in every execution mode —
+    including the forced-delta materialization mode."""
     assert len(FULL_SEEDS) * len(ISOLATION_LEVELS) >= 50
-    assert set(MODES) == {"oneshot", "session"}
+    assert set(MODES) == {"oneshot", "session", "delta"}

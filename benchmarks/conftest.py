@@ -79,10 +79,42 @@ def _bench_name(request) -> str:
         else module
 
 
+@pytest.fixture
+def _session_stats_tracker(monkeypatch):
+    """Collect the :class:`SessionStats` of every backend session a
+    test opens (any backend — all sessions pass through
+    ``BackendSession.__init__``), so per-run session counters can be
+    embedded in the benchmark JSON without each module plumbing them."""
+    from repro.backends.base import BackendSession
+    created = []
+    original = BackendSession.__init__
+
+    def wrapped(self, backend):
+        original(self, backend)
+        created.append(self.stats)
+
+    monkeypatch.setattr(BackendSession, "__init__", wrapped)
+    return created
+
+
+def aggregate_session_stats(stats_list):
+    """Every session's counters folded into one JSON-ready dict (see
+    ``SessionStats.as_dict``), plus how many sessions were opened."""
+    from repro.backends.base import SessionStats
+    total = SessionStats()
+    for stats in stats_list:
+        total.merge(stats)
+    payload = total.as_dict()
+    payload["sessions_opened"] = len(stats_list)
+    return payload
+
+
 @pytest.fixture(autouse=True)
-def bench_json(request):
+def bench_json(request, _session_stats_tracker):
     """After every test that used the ``benchmark`` fixture, persist
-    its timing stats and ``extra_info`` to the module's JSON file."""
+    its timing stats, ``extra_info`` and the aggregated per-run
+    session statistics (full/delta/spilled/rehydrated/evicted
+    counters) to the module's JSON file."""
     # grab the fixture object up front — at teardown time it is no
     # longer retrievable, but its stats remain readable
     bench = request.getfixturevalue("benchmark") \
@@ -97,6 +129,8 @@ def bench_json(request):
         payload.update(
             mean_s=timing.mean, min_s=timing.min, max_s=timing.max,
             rounds=timing.rounds)
+    payload["session_stats"] = \
+        aggregate_session_stats(_session_stats_tracker)
     record_result(_bench_name(request), request.node.name, **payload)
 
 

@@ -32,12 +32,15 @@ from repro.backends import (BackendSession, ExecutionBackend,
                             InMemoryBackend, SQLiteBackend,
                             available_backends, resolve_backend)
 from repro.errors import ReproError
+from repro.service import (ReenactmentService, ResultCache,
+                           SnapshotStore)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Database", "DatabaseConfig", "IsolationLevel", "Session",
     "BackendSession", "ExecutionBackend", "InMemoryBackend",
     "SQLiteBackend", "available_backends", "resolve_backend",
+    "ReenactmentService", "ResultCache", "SnapshotStore",
     "ReproError", "__version__",
 ]

@@ -71,6 +71,44 @@ class SessionStats:
     delta_rows_applied: int = 0
     #: cache entries dropped to enforce the capacity bound.
     snapshots_evicted: int = 0
+    #: evicted snapshots saved to an attached spill store instead of
+    #: being destroyed outright.
+    snapshots_spilled: int = 0
+    #: cache misses answered by rehydrating a spilled snapshot from the
+    #: store (counted *inside* ``snapshots_materialized``, like the
+    #: full/delta strategies).
+    snapshots_rehydrated: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """All scalar counters plus the number of distinct snapshot
+        keys, as a plain JSON-serializable dict — the payload benchmark
+        reports and service stats embed."""
+        return {
+            "plans_executed": self.plans_executed,
+            "snapshots_materialized": self.snapshots_materialized,
+            "snapshots_reused": self.snapshots_reused,
+            "full_materializations": self.full_materializations,
+            "delta_materializations": self.delta_materializations,
+            "delta_rows_applied": self.delta_rows_applied,
+            "snapshots_evicted": self.snapshots_evicted,
+            "snapshots_spilled": self.snapshots_spilled,
+            "snapshots_rehydrated": self.snapshots_rehydrated,
+            "distinct_snapshot_keys": len(self.materializations),
+        }
+
+    def merge(self, other: "SessionStats") -> None:
+        """Fold another session's counters into this one (service-level
+        aggregation across a worker pool)."""
+        self.plans_executed += other.plans_executed
+        self.snapshots_materialized += other.snapshots_materialized
+        self.snapshots_reused += other.snapshots_reused
+        self.materializations.update(other.materializations)
+        self.full_materializations += other.full_materializations
+        self.delta_materializations += other.delta_materializations
+        self.delta_rows_applied += other.delta_rows_applied
+        self.snapshots_evicted += other.snapshots_evicted
+        self.snapshots_spilled += other.snapshots_spilled
+        self.snapshots_rehydrated += other.snapshots_rehydrated
 
 
 class BackendSession(abc.ABC):
@@ -85,12 +123,26 @@ class BackendSession(abc.ABC):
     def __init__(self, backend: "ExecutionBackend"):
         self.backend = backend
         self.stats = SessionStats()
+        #: optional shared spill tier (see :meth:`attach_spill_store`).
+        self.spill_store = None
         self._closed = False
 
     @abc.abstractmethod
     def execute_plan(self, plan: op.Operator,
                      ctx: EvalContext) -> Relation:
         """Evaluate ``plan`` under ``ctx``, reusing session resources."""
+
+    def attach_spill_store(self, store) -> None:
+        """Attach a shared snapshot spill store (see
+        :class:`repro.service.store.SnapshotStore`): snapshots this
+        session evicts are saved there instead of destroyed, and cache
+        misses consult the store before rebuilding from storage.  Only
+        meaningful for backends whose ``capabilities['spill']`` is true;
+        the default refuses, so the service's admission check and the
+        backend contract agree."""
+        raise ExecutionError(
+            f"backend {self.backend.name!r} does not support snapshot "
+            f"spill (capabilities: {self.backend.capabilities})")
 
     def prime_snapshots(self, snapshots, ctx: EvalContext) -> None:
         """Hint: the caller is about to execute plans scanning the given
@@ -140,6 +192,14 @@ class ExecutionBackend(abc.ABC):
     #: registry key / display name.
     name: str = "abstract"
 
+    #: capability flags for admission checks (the reenactment service
+    #: consults these instead of try/except probing):
+    #: ``sessions`` — sessions carry reusable state (snapshot cache);
+    #: ``delta``    — incremental snapshot materialization;
+    #: ``spill``    — evicted snapshots can spill to a shared store.
+    capabilities: Dict[str, bool] = {
+        "sessions": False, "delta": False, "spill": False}
+
     def open_session(self) -> BackendSession:
         """A session over this backend.  The default delegates each plan
         to :meth:`execute_plan`; stateful backends override this to
@@ -185,9 +245,19 @@ def register_backend(name: str,
     _REGISTRY[name.lower()] = factory
 
 
-def available_backends() -> List[str]:
-    """Registered backend names, sorted."""
-    return sorted(_REGISTRY)
+def available_backends(capabilities: bool = False
+                       ) -> Union[List[str], Dict[str, Dict[str, bool]]]:
+    """Registered backend names, sorted.
+
+    With ``capabilities=True``, returns ``{name: capability_flags}``
+    instead — the admission-check view the reenactment service uses to
+    decide up front whether a backend supports stateful sessions,
+    incremental (delta) materialization, and snapshot spill, rather
+    than probing with try/except."""
+    if not capabilities:
+        return sorted(_REGISTRY)
+    return {name: dict(factory().capabilities)
+            for name, factory in sorted(_REGISTRY.items())}
 
 
 def resolve_backend(spec: BackendSpec = None) -> ExecutionBackend:

@@ -28,6 +28,10 @@ class InMemoryBackend(ExecutionBackend):
 
     name = "memory"
 
+    #: stateless: no session cache, no delta patching, nothing to spill
+    #: (the admission-check flags the service reads; see base class).
+    capabilities = {"sessions": False, "delta": False, "spill": False}
+
     def execute_plan(self, plan: op.Operator,
                      ctx: EvalContext) -> Relation:
         return Evaluator(ctx).evaluate(plan)

@@ -66,6 +66,17 @@ def quote_ident(ident: str) -> str:
 #: providers change what a scan returns, so their identity is folded in.
 SnapshotKey = Tuple
 
+def spillable_key(key: SnapshotKey) -> bool:
+    """Whether a snapshot key names a plain committed ``(table, ts)``
+    state.  Only those are spillable/rehydratable: their contents are a
+    pure function of the version history, so a stored copy stays valid
+    for as long as the database object lives.  Override and
+    trigger-history-provider snapshots embed object identities and are
+    never written to a shared store."""
+    return len(key) == 2 and isinstance(key[0], str) \
+        and isinstance(key[1], int)
+
+
 #: Default snapshot-cache capacity: generous enough that the workloads
 #: the reuse tests pin down (fleets, debug panels, differential sweeps)
 #: never evict, small enough that a history with hundreds of distinct
@@ -86,10 +97,12 @@ class SnapshotCache:
     ``capacity`` bounds the number of live entries (``None`` =
     unbounded).  Recency is updated on every :meth:`lookup` hit;
     :meth:`enforce_capacity` evicts least-recently-used entries via the
-    ``on_evict`` callback (which drops the temp table), skipping names
-    the in-flight plan still references.  An evicted snapshot that is
-    requested again is simply re-materialized — typically as a delta
-    hop off a surviving neighbor.
+    ``on_evict(name, entry)`` callback (which drops the temp table —
+    and, with a spill store attached, saves its rows first), skipping
+    names the in-flight plan still references.  An evicted snapshot
+    that is requested again is re-materialized — as a delta hop off a
+    surviving neighbor, by rehydrating it from the spill store, or
+    from a full storage scan.
 
     Entries are namespaced by a *realm*: the identity of the database
     the evaluation context reads from.  Two `Database` instances share
@@ -107,7 +120,9 @@ class SnapshotCache:
 
     def __init__(self, stats: Optional[SessionStats] = None,
                  capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
-                 on_evict: Optional[Callable[[str], None]] = None):
+                 on_evict: Optional[
+                     Callable[[str, Tuple[int, SnapshotKey]],
+                              None]] = None):
         if capacity is not None and capacity < 1:
             raise ExecutionError(
                 f"snapshot cache capacity must be >= 1, got {capacity}")
@@ -151,7 +166,7 @@ class SnapshotCache:
             self._release_pins(entry)
             old_name = self._names[entry]
             if old_name != name and self.on_evict is not None:
-                self.on_evict(old_name)
+                self.on_evict(old_name, entry)
         self._names[entry] = name
         live = tuple(pin for pin in pins if pin is not None)
         self._entry_pins[entry] = live
@@ -202,7 +217,7 @@ class SnapshotCache:
             self._release_pins(entry)
             self.stats.snapshots_evicted += 1
             if self.on_evict is not None:
-                self.on_evict(name)
+                self.on_evict(name, entry)
 
     def __len__(self) -> int:
         return len(self._names)
@@ -244,12 +259,21 @@ class SnapshotBinder:
                  delta: str = "auto",
                  delta_max_ratio: float = 0.5,
                  count_reuse: bool = True,
-                 reuse_discount: Optional[Set[str]] = None):
+                 reuse_discount: Optional[Set[str]] = None,
+                 store=None, publish: str = "full"):
         self.ctx = ctx
         self._state = EvalState(params=ctx.params)
         self.cache = cache
         self._delta_mode = delta
         self._delta_max_ratio = delta_max_ratio
+        #: shared spill tier: cache misses on plain committed snapshots
+        #: are rehydrated from here before falling back to a rebuild.
+        self._store = store
+        #: write-through policy: "full" publishes only full (storage
+        #: scan) materializations; "all" also publishes delta-built
+        #: snapshots, paying a temp-table read per publish — how a
+        #: warm-up pass seeds the store for a whole worker pool.
+        self._publish_mode = publish
         #: False while priming: prime binds are bookkeeping, not reuse.
         self._count_reuse = count_reuse
         #: names this session primed but no plan has scanned yet — the
@@ -348,9 +372,15 @@ class SnapshotBinder:
             if source is not None:
                 self._materialize_delta(conn, name, table, ts, *source,
                                         stats=stats)
-            else:
-                self._materialize_full(conn, name, table, ts,
-                                       stats=stats)
+                if self._publish_mode == "all":
+                    rows = conn.execute(
+                        f"SELECT * FROM {quote_ident(name)}").fetchall()
+                    self._publish(table, ts, key, pin, rows, stats)
+            elif not self._materialize_from_store(conn, name, table, ts,
+                                                  key, pin, stats=stats):
+                rows = self._materialize_full(conn, name, table, ts,
+                                              stats=stats)
+                self._publish(table, ts, key, pin, rows, stats)
             if self.cache is not None:
                 self.cache.commit(self._realm, key, name,
                                   pins=(self._source, pin))
@@ -361,7 +391,7 @@ class SnapshotBinder:
 
     def _materialize_full(self, conn: sqlite3.Connection, name: str,
                           table: str, ts: Optional[int],
-                          stats: Optional[SessionStats]) -> None:
+                          stats: Optional[SessionStats]) -> List[tuple]:
         columns = list(self.ctx.table_columns(table))
         columns += [ROWID_SUFFIX, XID_SUFFIX]
         column_list = ", ".join(quote_ident(c) for c in columns)
@@ -369,12 +399,66 @@ class SnapshotBinder:
             f"CREATE TEMP TABLE {quote_ident(name)} ({column_list})")
         triples = self.ctx.scan_table(table, ts)
         placeholders = ", ".join("?" * (len(columns)))
+        rows = [tuple(values) + (rowid, xid)
+                for rowid, values, xid in triples]
         conn.executemany(
             f"INSERT INTO {quote_ident(name)} VALUES ({placeholders})",
-            [tuple(values) + (rowid, xid)
-             for rowid, values, xid in triples])
+            rows)
         if stats is not None:
             stats.full_materializations += 1
+        return rows
+
+    def _publish(self, table: str, ts: Optional[int], key: SnapshotKey,
+                 pin: Optional[object], rows: List[tuple],
+                 stats: Optional[SessionStats]) -> None:
+        """Write-through: a full materialization already paid the
+        expensive storage scan, so its rows are published to the spill
+        store immediately — other sessions' first touch of this
+        snapshot rehydrates instead of rescanning storage, without
+        waiting for an eviction to warm the store.  Keys another
+        session already published are skipped (same immutable state)."""
+        if self._store is None or pin is not None \
+                or not spillable_key(key):
+            return
+        if (self._realm, table, ts) in self._store:
+            return
+        self._store.put(self._realm, table, ts, rows)
+        if stats is not None:
+            stats.snapshots_spilled += 1
+
+    # .. rehydration (spill-store lookup) .................................
+
+    def _materialize_from_store(self, conn: sqlite3.Connection,
+                                name: str, table: str,
+                                ts: Optional[int], key: SnapshotKey,
+                                pin: Optional[object],
+                                stats: Optional[SessionStats]) -> bool:
+        """Rebuild a plain committed snapshot from the spill store's
+        saved rows, if present.  Returns True when the temp table was
+        created this way.  Slots between the delta path (a C-speed
+        clone of a cached neighbor is cheaper than an ``executemany``
+        of every stored row) and the full storage scan (which also
+        walks every version chain in Python first)."""
+        if self._store is None or pin is not None \
+                or not spillable_key(key):
+            return False
+        rows = self._store.get(self._realm, table, ts)
+        if rows is None:
+            return False
+        columns = list(self.ctx.table_columns(table))
+        columns += [ROWID_SUFFIX, XID_SUFFIX]
+        if rows and len(rows[0]) != len(columns):
+            return False  # schema drift: distrust the stored copy
+        column_list = ", ".join(quote_ident(c) for c in columns)
+        conn.execute(
+            f"CREATE TEMP TABLE {quote_ident(name)} ({column_list})")
+        placeholders = ", ".join("?" * len(columns))
+        conn.executemany(
+            f"INSERT INTO {quote_ident(name)} VALUES ({placeholders})",
+            rows)
+        if stats is not None:
+            stats.snapshots_rehydrated += 1
+        return True
 
     # .. incremental rebuild (clone + delta patch) ........................
 
@@ -524,6 +608,8 @@ class SQLiteSession(BackendSession):
         self.cache = SnapshotCache(self.stats,
                                    capacity=backend.cache_capacity,
                                    on_evict=self._drop_snapshot)
+        if backend.spill_store is not None:
+            self.attach_spill_store(backend.spill_store)
         #: snapshot temp tables that already carry their __rowid__
         #: index — built lazily before the first query that scans them,
         #: so snapshots that only ever serve as delta-clone sources
@@ -540,9 +626,31 @@ class SQLiteSession(BackendSession):
                               delta_max_ratio=self.backend.delta_max_ratio,
                               count_reuse=not priming,
                               reuse_discount=None if priming
-                              else self._fresh_primed)
+                              else self._fresh_primed,
+                              store=self.spill_store,
+                              publish=getattr(self.backend,
+                                              "spill_publish", "full"))
 
-    def _drop_snapshot(self, name: str) -> None:
+    def attach_spill_store(self, store) -> None:
+        """Share a snapshot spill store with this session: evicted
+        plain committed snapshots are saved to it instead of destroyed,
+        and cache misses consult it before rebuilding (see
+        :class:`repro.service.store.SnapshotStore`)."""
+        self._check_open()
+        self.spill_store = store
+
+    def _drop_snapshot(self, name: str, entry=None) -> None:
+        if self.spill_store is not None and entry is not None:
+            realm, key = entry
+            # demote instead of destroy — unless the store already
+            # holds this immutable state (write-through published it,
+            # or another session spilled it first)
+            if spillable_key(key) \
+                    and (realm, key[0], key[1]) not in self.spill_store:
+                rows = self.conn.execute(
+                    f"SELECT * FROM {quote_ident(name)}").fetchall()
+                self.spill_store.put(realm, key[0], key[1], rows)
+                self.stats.snapshots_spilled += 1
         self.conn.execute(f"DROP TABLE IF EXISTS {quote_ident(name)}")
         self._indexed.discard(name)
         self._fresh_primed.discard(name)
@@ -629,23 +737,41 @@ class SQLiteBackend(ExecutionBackend):
     whenever any neighbor is cached (the differential harness's
     adversarial mode); ``"off"`` always rebuilds in full (the ablation
     baseline).  ``cache_capacity`` bounds the session snapshot cache
-    (``None`` = unbounded)."""
+    (``None`` = unbounded).
+
+    ``spill_store`` (a :class:`repro.service.store.SnapshotStore`, or
+    anything with its ``put``/``get`` surface) is attached to every
+    session this backend opens: evicted plain committed snapshots spill
+    there instead of being destroyed, and cache misses rehydrate from
+    it — how the reenactment service shares snapshot work across its
+    worker pool."""
 
     name = "sqlite"
 
+    capabilities = {"sessions": True, "delta": True, "spill": True}
+
     DELTA_MODES = ("off", "auto", "always")
+
+    PUBLISH_MODES = ("full", "all")
 
     def __init__(self, database: str = ":memory:", delta: str = "auto",
                  cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
-                 delta_max_ratio: float = 0.5):
+                 delta_max_ratio: float = 0.5,
+                 spill_store=None, spill_publish: str = "full"):
         if delta not in self.DELTA_MODES:
             raise ExecutionError(
                 f"delta mode must be one of {self.DELTA_MODES}, "
                 f"got {delta!r}")
+        if spill_publish not in self.PUBLISH_MODES:
+            raise ExecutionError(
+                f"spill_publish must be one of {self.PUBLISH_MODES}, "
+                f"got {spill_publish!r}")
         self.database = database
         self.delta = delta
         self.cache_capacity = cache_capacity
         self.delta_max_ratio = delta_max_ratio
+        self.spill_store = spill_store
+        self.spill_publish = spill_publish
 
     def open_session(self) -> SQLiteSession:
         return SQLiteSession(self)

@@ -159,7 +159,8 @@ def _check_table(db: Database, xid: int, table_name: str, relation,
 def check_history_equivalence(db: Database,
                               xids: Optional[List[int]] = None,
                               optimize: bool = True,
-                              backend=None
+                              backend=None,
+                              service=None
                               ) -> Dict[int, EquivalenceReport]:
     """Check every committed transaction of a history (default: all
     transactions in the audit log) on the given execution backend.
@@ -167,8 +168,22 @@ def check_history_equivalence(db: Database,
     The whole sweep runs on one backend session: transactions of a
     history overlap in the snapshots they read, so on SQLite each
     ``(table, ts)`` state is materialized once for the sweep rather
-    than once per transaction."""
+    than once per transaction.
+
+    ``service`` (a :class:`~repro.service.ReenactmentService`) fans the
+    sweep out across the service's worker pool instead — one
+    equivalence job per transaction, executed concurrently on the
+    workers' sessions with snapshot work shared through the spill
+    store.  The service's backend is used; ``backend`` is then
+    ignored."""
     from repro.backends import resolve_backend
+    if service is not None:
+        if service.db is not db:
+            raise ValueError(
+                "service serves a different database than this sweep")
+        handles = service.equivalence_sweep(xids, optimize=optimize)
+        return {xid: handle.result()
+                for xid, handle in handles.items()}
     if xids is None:
         xids = []
         for xid in db.audit_log.transaction_ids():

@@ -226,12 +226,26 @@ class Reenactor:
 
     def reenact(self, xid: int,
                 options: Optional[ReenactmentOptions] = None,
-                session=None) -> ReenactmentResult:
+                session=None, service=None) -> ReenactmentResult:
         """Reenact transaction ``xid`` and evaluate the resulting plans
         over time-traveled snapshots.  ``session`` (a
         :class:`~repro.backends.base.BackendSession`) shares backend
         resources — connection, materialized snapshots — with other
-        reenactments in the same batch."""
+        reenactments in the same batch.  ``service`` (a
+        :class:`~repro.service.ReenactmentService`) instead routes the
+        request through the shared scheduler: the job runs on the
+        service's worker pool (its sessions, spill store and result
+        cache) and this call blocks for the result — identical
+        concurrent or repeated requests are answered once."""
+        if service is not None:
+            if session is not None:
+                raise ReenactmentError(
+                    "pass either session= or service=, not both")
+            if service.db is not self.db:
+                raise ReenactmentError(
+                    "service serves a different database than this "
+                    "reenactor")
+            return service.reenact(xid, options).result()
         options = options or ReenactmentOptions()
         record = self.transaction_record(xid)
         return self.reenact_record(record, options, session=session)

@@ -392,8 +392,8 @@ class WhatIfFleet:
 
     # -- execution ----------------------------------------------------------
 
-    def run(self, options: Optional[ReenactmentOptions] = None
-            ) -> Dict[str, WhatIfResult]:
+    def run(self, options: Optional[ReenactmentOptions] = None,
+            session=None, service=None) -> Dict[str, WhatIfResult]:
         """Run every scenario; returns name -> :class:`WhatIfResult`
         (insertion-ordered, so iteration follows fleet construction).
 
@@ -401,20 +401,45 @@ class WhatIfFleet:
         compiled once and executed once on the shared session; each
         scenario then compiles only its *modified* statement list and
         executes on the same session, where every snapshot the original
-        already materialized is a cache hit."""
+        already materialized is a cache hit.
+
+        ``session`` runs the whole fleet on a caller-held
+        :class:`~repro.backends.base.BackendSession` (left open);
+        ``service`` submits the fleet as one job to a
+        :class:`~repro.service.ReenactmentService` — it executes on a
+        worker's long-lived session, sharing spilled snapshots with
+        every other job the service runs — and blocks for the result."""
+        if service is not None:
+            if session is not None:
+                raise WhatIfError(
+                    "pass either session= or service=, not both")
+            if service.db is not self.db:
+                raise WhatIfError(
+                    "service serves a different database than this "
+                    "fleet")
+            from repro.service.jobs import WhatIfFleetJob
+            return service.submit(
+                WhatIfFleetJob(xid=self.xid, fleet=self,
+                               options=options)).result()
         if not self._scenarios:
             raise WhatIfError("fleet has no scenarios; add some first")
         options = options or ReenactmentOptions()
+        if session is not None:
+            return self._run_on(session, options)
+        with self.backend.open_session() as scoped:
+            return self._run_on(scoped, options)
+
+    def _run_on(self, session,
+                options: ReenactmentOptions) -> Dict[str, WhatIfResult]:
         results: Dict[str, WhatIfResult] = {}
         other_writes: Dict[int, Dict[str, set]] = {}
-        with self.backend.open_session() as session:
-            compiled = self.reenactor.compile(self.record, options)
-            original = self.reenactor.execute(compiled, session=session)
-            for name, scenario in self._scenarios:
-                results[name] = scenario.run(
-                    options, session=session, original=original,
-                    other_writes_cache=other_writes)
-            self.last_stats = session.stats
+        compiled = self.reenactor.compile(self.record, options)
+        original = self.reenactor.execute(compiled, session=session)
+        for name, scenario in self._scenarios:
+            results[name] = scenario.run(
+                options, session=session, original=original,
+                other_writes_cache=other_writes)
+        self.last_stats = session.stats
         return results
 
 

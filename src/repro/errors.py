@@ -82,3 +82,9 @@ class ReenactmentError(ReproError):
 
 class WhatIfError(ReproError):
     """Invalid what-if scenario specification."""
+
+
+class ServiceError(ReproError):
+    """Reenactment-service failure: bad configuration (admission check
+    rejected the backend), submission to a closed service, or a job
+    that cannot be scheduled."""

@@ -1,0 +1,513 @@
+"""The reenactment service: a job scheduler over a worker pool.
+
+This is the serving layer the paper's deployment story implies:
+reenactment-as-a-service over an unmodified DBMS, with *many* analysts
+concurrently issuing provenance, what-if, equivalence and timeline
+queries against the same transaction history.  Per-session machinery
+(compile/execute split, snapshot caching, delta patching) already makes
+one client fast; the service makes a *population* of clients fast by
+sharing work across them:
+
+* a **priority queue** feeds a bounded pool of worker threads, each
+  holding one long-lived backend session — so every job scheduled onto
+  a worker inherits the snapshots all previous jobs on that worker
+  materialized;
+* a shared :class:`~repro.service.store.SnapshotStore` sits behind
+  every worker's snapshot cache — eviction demotes snapshots to disk
+  instead of destroying them, and *any* worker rehydrates them back,
+  so snapshot work crosses worker boundaries;
+* a :class:`~repro.service.cache.ResultCache` plus an in-flight table
+  deduplicate identical jobs: a repeat of a finished job is answered
+  from cache, and two identical jobs in flight at once run once and
+  share one handle.
+
+Admission is checked against the backend's declared capability flags
+(:attr:`~repro.backends.base.ExecutionBackend.capabilities`) at
+construction time — a backend that cannot spill is refused a store up
+front rather than failing on first eviction.
+
+Threading model: Python threads.  The engine's storage is read-only
+during service operation (reenactment never writes; the service is for
+probing a recorded history), and each worker owns its backend session
+and SQLite connection outright, so the shared mutable surfaces are
+exactly the store, the result cache and the scheduler bookkeeping —
+each guarded by its own lock.  The service assumes the database is
+quiescent while serving; results are fingerprinted against the
+history version at submission, so a history that *does* grow simply
+stops matching old cache entries.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.backends import BackendSpec, resolve_backend
+from repro.backends.base import SessionStats
+from repro.core.reenactor import ReenactmentOptions, Reenactor
+from repro.errors import ServiceError
+from repro.service.cache import ResultCache
+from repro.service.jobs import (PRIORITY_HIGH, PRIORITY_NORMAL,
+                                EquivalenceJob, Job, ReenactJob,
+                                TimelineScanJob, WhatIfFleetJob)
+from repro.service.store import SnapshotStore
+
+#: queue sentinel telling a worker to exit; scheduled *after* every
+#: real priority band so queued work drains before shutdown.
+_STOP_PRIORITY = 1 << 31
+
+
+class JobHandle:
+    """A future for one submitted job.
+
+    ``source`` records how the result was produced: ``"executed"`` (a
+    worker ran it), ``"result-cache"`` (answered from the completed-job
+    cache without queueing), or ``"deduplicated"`` (this submission was
+    coalesced onto an identical in-flight job's handle — several
+    submitters then share one handle object and ``dedup_count`` counts
+    the extras).
+    """
+
+    def __init__(self, job: Job, priority: int,
+                 key: Optional[Any] = None):
+        self.job = job
+        self.priority = priority
+        self.key = key
+        self.source = "pending"
+        self.dedup_count = 0
+        self._event = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        #: set once a worker takes the job — duplicate queue entries
+        #: (priority escalation re-enqueues a handle) run it only once.
+        self._claimed = False
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the job finishes and return its result (or
+        re-raise its error).  ``timeout`` in seconds raises
+        :class:`ServiceError` on expiry."""
+        if not self._event.wait(timeout):
+            raise ServiceError(
+                f"timed out waiting for {self.job.describe()}")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self,
+                  timeout: Optional[float] = None
+                  ) -> Optional[BaseException]:
+        if not self._event.wait(timeout):
+            raise ServiceError(
+                f"timed out waiting for {self.job.describe()}")
+        return self._error
+
+    def _resolve(self, value: Any, source: str = "executed") -> None:
+        self._result = value
+        if self.source == "pending":
+            self.source = source
+        self._event.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        if self.source == "pending":
+            self.source = "executed"
+        self._event.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = self.source if self.done() else "pending"
+        return f"<JobHandle {self.job.describe()} {state}>"
+
+
+@dataclass
+class ServiceStats:
+    """Point-in-time snapshot of everything the service observed."""
+
+    workers: int = 0
+    jobs_submitted: int = 0
+    jobs_executed: int = 0
+    jobs_failed: int = 0
+    #: submissions coalesced onto an identical in-flight job.
+    jobs_deduplicated: int = 0
+    #: submissions answered from the completed-result cache.
+    jobs_from_cache: int = 0
+    queue_depth: int = 0
+    result_cache: Dict[str, int] = field(default_factory=dict)
+    #: ``None`` when the service runs without a spill store.
+    store: Optional[Dict[str, int]] = None
+    #: every worker session's counters, merged (see
+    #: :meth:`SessionStats.as_dict`).
+    sessions: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_executed": self.jobs_executed,
+            "jobs_failed": self.jobs_failed,
+            "jobs_deduplicated": self.jobs_deduplicated,
+            "jobs_from_cache": self.jobs_from_cache,
+            "queue_depth": self.queue_depth,
+            "result_cache": dict(self.result_cache),
+            "store": dict(self.store) if self.store else None,
+            "sessions": dict(self.sessions),
+        }
+
+
+class _WorkerContext:
+    """What a job sees while running: the worker's backend resources."""
+
+    def __init__(self, db, backend, session):
+        self.db = db
+        self.backend = backend
+        self.session = session
+        self.reenactor = Reenactor(db, backend=backend)
+
+
+class ReenactmentService:
+    """Concurrent reenactment over one recorded transaction history.
+
+    ::
+
+        with ReenactmentService(db, backend="sqlite", workers=4) as svc:
+            h1 = svc.reenact(xid)
+            h2 = svc.timeline_scan("account", timestamps)
+            reports = svc.equivalence_sweep()        # xid -> handle
+            result = h1.result()
+
+    ``backend`` is anything :func:`repro.backends.resolve_backend`
+    accepts; ``cache_capacity`` / ``delta`` override the backend's
+    snapshot-cache bound and materialization mode when the backend has
+    those knobs.  ``store`` selects the spill tier: ``"auto"``
+    (default) attaches a private on-disk :class:`SnapshotStore` when
+    the backend's capability flags say it can spill, ``True`` requires
+    spill support (:class:`ServiceError` otherwise), a path string
+    creates the store at that path, an existing :class:`SnapshotStore`
+    is shared (and not closed with the service), and ``None``/``False``
+    disables spilling.
+    """
+
+    def __init__(self, db, backend: BackendSpec = "sqlite",
+                 workers: int = 4,
+                 store="auto",
+                 cache_capacity: Optional[int] = None,
+                 delta: Optional[str] = None,
+                 spill_publish: Optional[str] = None,
+                 result_cache_capacity: Optional[int] = 256,
+                 store_capacity: Optional[int] = None):
+        if workers < 1:
+            raise ServiceError(f"need at least 1 worker, got {workers}")
+        self.db = db
+        from repro.backends import ExecutionBackend
+        caller_owned = isinstance(backend, ExecutionBackend)
+        self.backend = resolve_backend(backend)
+        caps = dict(self.backend.capabilities)
+        # backend tuning knobs, applied via admission checks — a
+        # backend that doesn't declare the capability is refused the
+        # knob instead of silently ignoring it.  Knobs only apply to a
+        # backend the service constructed itself: mutating a
+        # caller-owned instance would leak the service's settings into
+        # every session the caller opens directly, beyond the
+        # service's lifetime.
+        if caller_owned and (cache_capacity is not None
+                             or delta is not None
+                             or spill_publish is not None):
+            raise ServiceError(
+                "cache_capacity/delta/spill_publish only apply to a "
+                "backend the service constructs from a name; configure "
+                "your backend instance directly instead")
+        if cache_capacity is not None or delta is not None:
+            if not caps.get("sessions"):
+                raise ServiceError(
+                    f"backend {self.backend.name!r} has no session "
+                    f"snapshot cache to tune (capabilities: {caps})")
+            if cache_capacity is not None:
+                self.backend.cache_capacity = cache_capacity
+            if delta is not None:
+                if not caps.get("delta"):
+                    raise ServiceError(
+                        f"backend {self.backend.name!r} does not "
+                        f"support delta materialization")
+                self.backend.delta = delta
+        if spill_publish is not None:
+            if not caps.get("spill"):
+                raise ServiceError(
+                    f"backend {self.backend.name!r} cannot spill "
+                    f"snapshots; spill_publish is meaningless")
+            self.backend.spill_publish = spill_publish
+        self._store, self._owns_store = self._admit_store(store, caps,
+                                                          store_capacity)
+        self.workers = workers
+        self._queue: "queue.PriorityQueue[Tuple[int, int, Optional[Job], Optional[JobHandle]]]" = \
+            queue.PriorityQueue()
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._inflight: Dict[Any, JobHandle] = {}
+        self._result_cache = ResultCache(capacity=result_cache_capacity)
+        self._stats = ServiceStats(workers=workers)
+        self._session_totals = SessionStats()
+        self._live_sessions: List = []
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker_loop, args=(i,),
+                             name=f"reenact-worker-{i}", daemon=True)
+            for i in range(workers)]
+        for thread in self._threads:
+            thread.start()
+
+    def _admit_store(self, store, caps: Dict[str, bool],
+                     capacity: Optional[int]):
+        """Resolve the ``store`` spec against the backend's spill
+        capability.  Returns ``(store_or_None, service_owns_it)``."""
+        if store in (None, False):
+            return None, False
+        if store == "auto":
+            if not caps.get("spill"):
+                return None, False
+            return SnapshotStore(capacity=capacity), True
+        if not caps.get("spill"):
+            raise ServiceError(
+                f"backend {self.backend.name!r} cannot spill snapshots "
+                f"(capabilities: {caps}); run with store=None")
+        if store is True:
+            return SnapshotStore(capacity=capacity), True
+        if isinstance(store, str):
+            return SnapshotStore(path=store, capacity=capacity), True
+        return store, False  # caller-owned SnapshotStore (or lookalike)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, job: Job,
+               priority: int = PRIORITY_NORMAL) -> JobHandle:
+        """Schedule ``job``; returns a :class:`JobHandle` immediately.
+
+        Identical jobs (same :meth:`~repro.service.jobs.Job.cache_key`)
+        are served from the result cache when already finished, or
+        coalesced onto the in-flight handle when currently running or
+        queued."""
+        key = job.cache_key(self.db)
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is closed")
+            self._stats.jobs_submitted += 1
+            if key is not None:
+                hit, value = self._result_cache.get(key)
+                if hit:
+                    self._stats.jobs_from_cache += 1
+                    handle = JobHandle(job, priority, key=key)
+                    handle._resolve(value, source="result-cache")
+                    return handle
+                existing = self._inflight.get(key)
+                if existing is not None:
+                    self._stats.jobs_deduplicated += 1
+                    existing.dedup_count += 1
+                    if priority < existing.priority \
+                            and not existing._claimed:
+                        # priority escalation: a more urgent duplicate
+                        # must not wait behind the original's queue
+                        # position — re-enqueue the same handle at the
+                        # higher band (the claimed flag makes the
+                        # stale entry a no-op when a worker reaches it)
+                        existing.priority = priority
+                        self._queue.put((priority, next(self._seq),
+                                         existing.job, existing))
+                    return existing
+            handle = JobHandle(job, priority, key=key)
+            if key is not None:
+                self._inflight[key] = handle
+            self._queue.put((priority, next(self._seq), job, handle))
+        return handle
+
+    # convenience entry points, one per job kind ---------------------------
+
+    def reenact(self, xid: int,
+                options: Optional[ReenactmentOptions] = None,
+                priority: int = PRIORITY_NORMAL) -> JobHandle:
+        return self.submit(ReenactJob(xid=xid, options=options),
+                           priority=priority)
+
+    def whatif_fleet(self, xid: int,
+                     variants: Sequence[Tuple[str, Any]] = (),
+                     options: Optional[ReenactmentOptions] = None,
+                     fleet=None,
+                     priority: int = PRIORITY_NORMAL) -> JobHandle:
+        return self.submit(
+            WhatIfFleetJob(xid=xid, variants=variants, options=options,
+                           fleet=fleet),
+            priority=priority)
+
+    def equivalence(self, xid: int, optimize: bool = True,
+                    priority: int = PRIORITY_NORMAL) -> JobHandle:
+        return self.submit(EquivalenceJob(xid=xid, optimize=optimize),
+                           priority=priority)
+
+    def equivalence_sweep(self, xids: Optional[Sequence[int]] = None,
+                          optimize: bool = True,
+                          priority: int = PRIORITY_NORMAL
+                          ) -> Dict[int, JobHandle]:
+        """One :class:`EquivalenceJob` per committed transaction
+        (default: every committed, non-empty transaction in the audit
+        log), fanned out across the worker pool."""
+        if xids is None:
+            xids = []
+            for xid in self.db.audit_log.transaction_ids():
+                record = self.db.audit_log.transaction_record(xid)
+                if record.committed and record.statements:
+                    xids.append(xid)
+        return {xid: self.equivalence(xid, optimize=optimize,
+                                      priority=priority)
+                for xid in xids}
+
+    def timeline_scan(self, table: str, timestamps: Sequence[int],
+                      priority: int = PRIORITY_NORMAL) -> JobHandle:
+        return self.submit(
+            TimelineScanJob(table=table, timestamps=list(timestamps)),
+            priority=priority)
+
+    def warm(self, table: str, timestamps: Sequence[int]) -> JobHandle:
+        """Pre-warm the spill tier: materialize (and, via write-through,
+        publish to the store) the given committed states of ``table``
+        ahead of traffic, so every worker's first touch of them
+        rehydrates from the store instead of rescanning storage.  Runs
+        as one high-priority timeline job on a single worker; call
+        ``.result()`` on the handle to block until the store is warm."""
+        return self.timeline_scan(table, timestamps,
+                                  priority=PRIORITY_HIGH)
+
+    # -- the worker loop ---------------------------------------------------
+
+    def _worker_loop(self, index: int) -> None:
+        try:
+            session = self.backend.open_session()
+            if self._store is not None:
+                session.attach_spill_store(self._store)
+        except BaseException as exc:
+            # a worker that cannot get a session must not vanish
+            # silently — submitted jobs would hang forever.  It stays
+            # on the queue rejecting everything it receives instead.
+            self._reject_loop(ServiceError(
+                f"worker {index} failed to open a backend session: "
+                f"{exc!r}"))
+            return
+        with self._lock:
+            self._live_sessions.append(session)
+        worker = _WorkerContext(self.db, self.backend, session)
+        try:
+            while True:
+                _, _, job, handle = self._queue.get()
+                if job is None:  # stop sentinel
+                    break
+                with self._lock:
+                    if handle._claimed:
+                        continue  # stale duplicate queue entry
+                    handle._claimed = True
+                try:
+                    result = job.run(worker)
+                except BaseException as exc:
+                    # BaseException included: a KeyboardInterrupt in a
+                    # worker must reject the handle, not strand every
+                    # waiter (concurrent.futures does the same)
+                    with self._lock:
+                        self._stats.jobs_failed += 1
+                        if handle.key is not None:
+                            self._inflight.pop(handle.key, None)
+                    handle._reject(exc)
+                else:
+                    with self._lock:
+                        self._stats.jobs_executed += 1
+                        if handle.key is not None:
+                            self._inflight.pop(handle.key, None)
+                            self._result_cache.put(handle.key, result)
+                    handle._resolve(result)
+        finally:
+            with self._lock:
+                if session in self._live_sessions:
+                    self._live_sessions.remove(session)
+                self._session_totals.merge(session.stats)
+            session.close()
+
+    def _reject_loop(self, error: ServiceError) -> None:
+        """Fallback loop for a worker whose session never opened:
+        fail each received job fast instead of letting it hang."""
+        while True:
+            _, _, job, handle = self._queue.get()
+            if job is None:
+                return
+            with self._lock:
+                if handle._claimed:
+                    continue
+                handle._claimed = True
+                self._stats.jobs_failed += 1
+                if handle.key is not None:
+                    self._inflight.pop(handle.key, None)
+            handle._reject(error)
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def store(self) -> Optional[SnapshotStore]:
+        return self._store
+
+    @property
+    def result_cache(self) -> ResultCache:
+        return self._result_cache
+
+    def stats(self) -> ServiceStats:
+        """A merged snapshot: scheduler counters, result-cache and
+        store counters, and every worker session's
+        :class:`SessionStats` (live and retired) folded together."""
+        with self._lock:
+            merged = SessionStats()
+            merged.merge(self._session_totals)
+            for session in self._live_sessions:
+                merged.merge(session.stats)
+            snapshot = ServiceStats(
+                workers=self.workers,
+                jobs_submitted=self._stats.jobs_submitted,
+                jobs_executed=self._stats.jobs_executed,
+                jobs_failed=self._stats.jobs_failed,
+                jobs_deduplicated=self._stats.jobs_deduplicated,
+                jobs_from_cache=self._stats.jobs_from_cache,
+                queue_depth=self._queue.qsize(),
+                result_cache=self._result_cache.stats.as_dict(),
+                store=self._store.stats.as_dict()
+                if self._store is not None else None,
+                sessions=merged.as_dict())
+        return snapshot
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Drain queued jobs, stop the workers, close the sessions and
+        (when owned) the spill store.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for _ in self._threads:
+                self._queue.put((_STOP_PRIORITY, next(self._seq),
+                                 None, None))
+        for thread in self._threads:
+            thread.join()
+        if self._owns_store and self._store is not None:
+            self._store.close()
+
+    def __enter__(self) -> "ReenactmentService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else "open"
+        return (f"<ReenactmentService {self.backend.name!r} "
+                f"workers={self.workers} {state}>")

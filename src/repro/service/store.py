@@ -1,0 +1,228 @@
+"""The shared snapshot store: a disk-spill tier behind session caches.
+
+Per-session :class:`~repro.backends.sqlite.SnapshotCache` instances are
+hot tiers: temp tables on one connection, LRU-bounded, gone when the
+session closes.  Before this store existed, eviction *destroyed* the
+snapshot — the next request for the same ``(table, ts)`` state paid a
+full rebuild (or a delta patch if a neighbor survived).  The
+:class:`SnapshotStore` turns eviction into demotion: the evicted
+snapshot's rows are saved into an on-disk SQLite database keyed by the
+same ``(realm, table, ts)`` identity the session cache uses, and any
+session attached to the store — including a *different* worker's
+session in the reenactment service — rehydrates from it instead of
+rebuilding from storage.
+
+Only plain committed ``(table, ts)`` snapshots are stored (see
+:func:`repro.backends.sqlite.spillable_key`): their contents are a pure
+function of the version history, which MVCC storage never rewrites, so
+a stored copy can never go stale while the database object lives.
+What-if overrides and trigger-history provider snapshots embed Python
+object identities and never enter the store.
+
+The store is **thread-safe** (one connection guarded by a lock — spill
+and rehydrate payloads are single executemany-scale operations, so the
+lock is held for microseconds) and **bounded**: ``capacity`` caps the
+number of stored snapshots, with least-recently-used entries deleted
+first.  Rows are serialized with :mod:`pickle` (the values are the
+engine's own ints/floats/strings/bools/None — fidelity matters more
+than interchange here; the file is private scratch space).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ServiceError
+
+
+@dataclass
+class StoreStats:
+    """Observable work the store performed (aggregate across every
+    session attached to it)."""
+
+    #: snapshots written (evictions demoted into the store).
+    spills: int = 0
+    #: lookups answered (a session rebuilt a temp table from us).
+    rehydrations: int = 0
+    #: lookups that found nothing.
+    misses: int = 0
+    #: stored snapshots deleted to honor the capacity bound.
+    evictions: int = 0
+    #: total rows written across all spills.
+    rows_spilled: int = 0
+    #: total rows served across all rehydrations.
+    rows_rehydrated: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "spills": self.spills,
+            "rehydrations": self.rehydrations,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "rows_spilled": self.rows_spilled,
+            "rows_rehydrated": self.rows_rehydrated,
+        }
+
+
+class SnapshotStore:
+    """On-disk spill tier for evicted snapshot temp tables.
+
+    ``path`` is the SQLite file to use; ``None`` creates a private
+    temporary file that is deleted on :meth:`close`.  ``capacity``
+    bounds the number of stored snapshots (``None`` = unbounded).
+
+    The ``realm`` half of every key is the identity of the `Database`
+    object a snapshot was taken from (the same namespace the session
+    caches use), so one store can safely serve several databases —
+    but it also means the store is scoped to one process and to the
+    lifetime of those database objects.  The reenactment service pins
+    its database for exactly this reason.
+    """
+
+    def __init__(self, path: Optional[str] = None,
+                 capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ServiceError(
+                f"snapshot store capacity must be >= 1, got {capacity}")
+        self._owns_file = path is None
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="repro_spill_",
+                                        suffix=".sqlite")
+            os.close(fd)
+        self.path = path
+        self.capacity = capacity
+        self.stats = StoreStats()
+        self._lock = threading.RLock()
+        self._closed = False
+        #: monotone recency counter — LRU without wall-clock time.
+        self._tick = 0
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS snapshots ("
+            "  skey TEXT PRIMARY KEY,"
+            "  n_rows INTEGER NOT NULL,"
+            "  payload BLOB NOT NULL,"
+            "  last_used INTEGER NOT NULL)")
+        self._conn.commit()
+
+    # -- keying ------------------------------------------------------------
+
+    @staticmethod
+    def _skey(realm: int, table: str, ts: int) -> str:
+        return f"{realm}:{table}:{ts}"
+
+    # -- spill / rehydrate -------------------------------------------------
+
+    def put(self, realm: int, table: str, ts: int,
+            rows: List[Tuple]) -> None:
+        """Save a snapshot's rows (idempotent: re-spilling a key
+        replaces its payload — both copies describe the same immutable
+        committed state, so either is correct).  Serialization happens
+        outside the lock; concurrent writers of the same key are both
+        correct, last one wins."""
+        payload = pickle.dumps([tuple(row) for row in rows],
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._check_open()
+            self._tick += 1
+            self._conn.execute(
+                "INSERT OR REPLACE INTO snapshots VALUES (?, ?, ?, ?)",
+                (self._skey(realm, table, ts), len(rows), payload,
+                 self._tick))
+            self.stats.spills += 1
+            self.stats.rows_spilled += len(rows)
+            self._enforce_capacity()
+            self._conn.commit()
+
+    def get(self, realm: int, table: str,
+            ts: int) -> Optional[List[Tuple]]:
+        """The stored rows for a snapshot, refreshing its LRU recency —
+        or ``None`` when the snapshot was never spilled (or has been
+        evicted from the store).  Deserialization happens outside the
+        lock, like :meth:`put`'s serialization, so concurrent
+        rehydrations of large snapshots don't convoy behind it."""
+        skey = self._skey(realm, table, ts)
+        with self._lock:
+            self._check_open()
+            row = self._conn.execute(
+                "SELECT payload FROM snapshots WHERE skey = ?",
+                (skey,)).fetchone()
+            if row is None:
+                self.stats.misses += 1
+                return None
+            self._tick += 1
+            self._conn.execute(
+                "UPDATE snapshots SET last_used = ? WHERE skey = ?",
+                (self._tick, skey))
+            self._conn.commit()
+        rows = pickle.loads(row[0])
+        with self._lock:
+            self.stats.rehydrations += 1
+            self.stats.rows_rehydrated += len(rows)
+        return rows
+
+    def __contains__(self, key: Tuple[int, str, int]) -> bool:
+        realm, table, ts = key
+        with self._lock:
+            self._check_open()
+            row = self._conn.execute(
+                "SELECT 1 FROM snapshots WHERE skey = ?",
+                (self._skey(realm, table, ts),)).fetchone()
+            return row is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._check_open()
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM snapshots").fetchone()[0]
+
+    def _enforce_capacity(self) -> None:
+        if self.capacity is None:
+            return
+        count = self._conn.execute(
+            "SELECT COUNT(*) FROM snapshots").fetchone()[0]
+        excess = count - self.capacity
+        if excess > 0:
+            self._conn.execute(
+                "DELETE FROM snapshots WHERE skey IN ("
+                "  SELECT skey FROM snapshots"
+                "  ORDER BY last_used ASC LIMIT ?)", (excess,))
+            self.stats.evictions += excess
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("snapshot store is closed")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._conn.close()
+            if self._owns_file:
+                try:
+                    os.unlink(self.path)
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "SnapshotStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else f"{len(self)} snapshot(s)"
+        return f"<SnapshotStore {self.path!r} {state}>"

@@ -116,6 +116,57 @@ def check_history_differential(seed, isolation, mode="oneshot"):
     return db, checked
 
 
+def check_history_service_differential(seed, isolation):
+    """Satellite of the service PR: every committed transaction of a
+    seeded history is submitted *concurrently* to a
+    :class:`ReenactmentService` (SQLite worker pool, capacity-1 session
+    caches, shared spill store, delta off so every refill is a store
+    rehydrate or a full rebuild) and each result must be
+    multiset-identical to the in-memory interpreter's direct
+    ``Reenactor.execute``.  Two rounds are driven — the logical clock
+    moves between them, so round two bypasses the result cache and
+    lands on workers whose tiny caches have long evicted the needed
+    snapshots — forcing spill/rehydrate cycles through the store while
+    the answers must not move."""
+    from repro import ReenactmentService
+    db = build_history(seed, isolation)
+    reenactor = Reenactor(db)
+    xids = committed_xids(db)
+    reference = {xid: reenactor.reenact(xid, STRICT_OPTIONS)
+                 for xid in xids}
+    workers = 3
+    with ReenactmentService(db, backend="sqlite", workers=workers,
+                            cache_capacity=1, delta="off") as service:
+        for round_no in range(2):
+            handles = {xid: service.reenact(xid, STRICT_OPTIONS)
+                       for xid in xids}
+            for xid, handle in handles.items():
+                result = handle.result(timeout=120)
+                assert set(result.tables) == set(reference[xid].tables)
+                for table in result.tables:
+                    assert_relations_match(
+                        result.tables[table],
+                        reference[xid].tables[table],
+                        context=f"seed={seed} isolation={isolation} "
+                                f"mode=service round={round_no} "
+                                f"xid={xid} table={table}")
+            db.clock.tick()
+        stats = service.stats()
+    assert stats.jobs_failed == 0
+    sessions = stats.sessions
+    # pigeonhole: more distinct snapshot keys than workers means some
+    # capacity-1 cache materialized at least two — eviction then spills
+    # rather than destroys
+    if sessions["distinct_snapshot_keys"] > workers:
+        assert sessions["snapshots_spilled"] > 0, \
+            f"no spills despite churn: seed={seed} " \
+            f"isolation={isolation} stats={sessions}"
+        assert sessions["snapshots_rehydrated"] > 0, \
+            f"no rehydrates despite spills: seed={seed} " \
+            f"isolation={isolation} stats={sessions}"
+    return len(xids)
+
+
 def check_whatif_differential(db, seed, isolation):
     """The same modification applied on both backends must yield
     identical diffs.  Picks the first committed multi-statement
@@ -169,9 +220,29 @@ def test_differential_full(seed, isolation, mode):
     check_whatif_differential(db, seed, isolation)
 
 
+@pytest.mark.parametrize("isolation", ISOLATION_LEVELS)
+@pytest.mark.parametrize("seed", SMOKE_SEEDS)
+def test_service_differential_smoke(seed, isolation):
+    """Quick service-scheduler slice for CI (its own step; see
+    ``check_history_service_differential``)."""
+    assert check_history_service_differential(seed, isolation) > 0
+
+
+@pytest.mark.parametrize("isolation", ISOLATION_LEVELS)
+@pytest.mark.parametrize("seed",
+                         [s for s in FULL_SEEDS if s not in SMOKE_SEEDS])
+def test_service_differential_full(seed, isolation):
+    """Full service sweep: together with the smoke slice, all 50
+    seeded histories run through the concurrent scheduler with forced
+    spill/rehydrate cycles."""
+    assert check_history_service_differential(seed, isolation) > 0
+
+
 def test_sweep_covers_fifty_histories():
     """Acceptance guard: the parametrized sweep must span ≥ 50
     distinct seeded histories, each in every execution mode —
-    including the forced-delta materialization mode."""
+    including the forced-delta materialization mode and the concurrent
+    service-scheduler mode."""
     assert len(FULL_SEEDS) * len(ISOLATION_LEVELS) >= 50
     assert set(MODES) == {"oneshot", "session", "delta"}
+    assert check_history_service_differential.__doc__ is not None

@@ -1,0 +1,35 @@
+"""Shared fixtures for the reenactment-service suite (importable
+helpers live in ``service_helpers.py``)."""
+
+import pytest
+
+from repro import Database
+
+from service_helpers import run_txn
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+@pytest.fixture
+def account_db(db):
+    db.execute("CREATE TABLE account (cust TEXT, typ TEXT, bal INT)")
+    db.execute("INSERT INTO account VALUES "
+               "('Alice', 'checking', 100), ('Bob', 'savings', 50), "
+               "('Eve', 'savings', 9)")
+    return db
+
+
+@pytest.fixture
+def history_db(account_db):
+    """A small multi-transaction history: several committed updates at
+    distinct timestamps (distinct ``(table, ts)`` snapshot keys)."""
+    xids = []
+    for k in range(5):
+        xids.append(run_txn(account_db, [
+            f"UPDATE account SET bal = bal + {k + 1} "
+            f"WHERE cust = 'Alice'",
+        ]))
+    return account_db, xids

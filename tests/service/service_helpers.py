@@ -1,0 +1,42 @@
+"""Importable helpers for the service suite.
+
+(These live outside ``conftest.py`` because sibling test directories
+also ship a ``conftest.py`` and ``from conftest import ...`` resolves
+to whichever loaded first when several directories are collected in
+one pytest run — a unique module name sidesteps that.)
+"""
+
+from collections import Counter
+
+
+def typed_rows(relation):
+    """Type-strict multiset of a relation's rows (``True != 1``)."""
+    return Counter(
+        tuple((type(value).__name__, value) for value in row)
+        for row in relation.rows)
+
+
+def assert_relations_match(left, right, context=""):
+    assert left.attrs == right.attrs, \
+        f"attribute mismatch {context}: {left.attrs} != {right.attrs}"
+    assert typed_rows(left) == typed_rows(right), \
+        f"relation mismatch {context}"
+
+
+def run_txn(db, statements, user="app"):
+    session = db.connect(user=user)
+    session.begin()
+    for sql in statements:
+        session.execute(sql)
+    xid = session.txn.xid
+    session.commit()
+    return xid
+
+
+def committed_xids(db):
+    out = []
+    for xid in db.audit_log.transaction_ids():
+        record = db.audit_log.transaction_record(xid)
+        if record.committed and record.statements:
+            out.append(xid)
+    return out

@@ -57,6 +57,37 @@ def main() -> None:
         print("timeline row counts:",
               {ts: len(rel.rows) for ts, rel in sorted(states.items())})
 
+        # -- the snapshot pipeline: the same timeline scan, before and
+        #    after (PR 5) --------------------------------------------
+        # A timeline job walks one table through a run of committed
+        # states.  On the PR-4 path every tick is a clone (or full
+        # rebuild); the pipeline builds the first state once and
+        # *moves* it forward in place — delta-sized work per tick.
+        ticks = [now - 2, now - 1, now]
+        print("\ntimeline-scan pipeline, before/after:")
+        for label, pipeline in (("pr4 (pipeline=off)", "off"),
+                                ("pipeline (auto)", "auto")):
+            with ReenactmentService(db, backend="sqlite", workers=1,
+                                    pipeline=pipeline) as probe:
+                probe.timeline_scan("account", ticks,
+                                    mode="sparkline").result()
+                sessions = probe.stats().sessions
+            print(f"  {label:>18}: "
+                  f"full={sessions['full_materializations']} "
+                  f"clone+delta={sessions['delta_materializations']} "
+                  f"patched_in_place={sessions['patched_in_place']} "
+                  f"batch_rehydrated={sessions['batch_rehydrated']}")
+
+        # the debug panel rides the same pipeline: its prefix columns
+        # all read the begin-time snapshots, which materialize once
+        # and are handed across compiles (primes_shared)
+        from repro.debugger.inspector import TransactionInspector
+        panel = TransactionInspector(db, t1, backend="sqlite")
+        panel.columns()
+        print(f"debug panel: primes_shared="
+              f"{panel.last_stats.primes_shared} across "
+              f"{len(panel.columns())} prefix columns")
+
         # -- core entry points route through the same service ---------
         reports = check_history_equivalence(db, service=service)
         print("equivalence sweep:",

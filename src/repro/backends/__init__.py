@@ -9,11 +9,13 @@ form.  See :mod:`repro.backends.base` for the contract and
 
 from repro.backends.base import (BackendSession, BackendSpec,
                                  ExecutionBackend, SessionStats,
-                                 available_backends, register_backend,
-                                 resolve_backend)
+                                 SnapshotPipeline, SnapshotPlan,
+                                 SnapshotPlanStep, available_backends,
+                                 register_backend, resolve_backend)
 from repro.backends.memory import InMemoryBackend
 from repro.backends.sqlite import (SnapshotCache, SQLiteBackend,
-                                   SQLiteDialect, SQLiteSession)
+                                   SQLiteDialect, SQLitePipeline,
+                                   SQLiteSession)
 
 register_backend("memory", InMemoryBackend)
 register_backend("in-memory", InMemoryBackend)

@@ -78,6 +78,21 @@ class SessionStats:
     #: store (counted *inside* ``snapshots_materialized``, like the
     #: full/delta strategies).
     snapshots_rehydrated: int = 0
+    #: snapshots produced by *moving* a cached snapshot to another
+    #: version (patching its temp table forward in place, no clone) —
+    #: only legal when the pipeline proves nothing reads the source
+    #: version again.  Counted inside ``snapshots_materialized``.
+    patched_in_place: int = 0
+    #: rehydrations served through a planned multi-snapshot store read
+    #: (``SnapshotStore.fetch_many``) instead of one lookup per key.
+    #: Counted inside ``snapshots_rehydrated``.
+    batch_rehydrated: int = 0
+    #: union-primed snapshot requests answered by a snapshot an
+    #: earlier compile in the same pipeline already materialized.
+    primes_shared: int = 0
+    #: write-behind spill-queue flushes this session forced (on close,
+    #: so its in-flight spills land in the store before it goes away).
+    spill_queue_flushes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """All scalar counters plus the number of distinct snapshot
@@ -93,6 +108,10 @@ class SessionStats:
             "snapshots_evicted": self.snapshots_evicted,
             "snapshots_spilled": self.snapshots_spilled,
             "snapshots_rehydrated": self.snapshots_rehydrated,
+            "patched_in_place": self.patched_in_place,
+            "batch_rehydrated": self.batch_rehydrated,
+            "primes_shared": self.primes_shared,
+            "spill_queue_flushes": self.spill_queue_flushes,
             "distinct_snapshot_keys": len(self.materializations),
         }
 
@@ -109,6 +128,57 @@ class SessionStats:
         self.snapshots_evicted += other.snapshots_evicted
         self.snapshots_spilled += other.snapshots_spilled
         self.snapshots_rehydrated += other.snapshots_rehydrated
+        self.patched_in_place += other.patched_in_place
+        self.batch_rehydrated += other.batch_rehydrated
+        self.primes_shared += other.primes_shared
+        self.spill_queue_flushes += other.spill_queue_flushes
+
+
+#: operation kinds a :class:`SnapshotPlan` step may carry, in the order
+#: the planner prefers them (cheapest first for the common case):
+#: ``reuse-cached``    — the snapshot is already resident, nothing to do;
+#: ``patch-in-place``  — mutate a cached snapshot forward to this
+#:                       version (a *move*: delta-sized DML, no clone) —
+#:                       only when nothing reads the source version
+#:                       again;
+#: ``clone-delta``     — clone a cached neighbor and patch the delta;
+#: ``rehydrate-batch`` — refill from the spill store; all such steps of
+#:                       one plan are fetched in a single store read;
+#: ``full-build``      — rebuild from a storage scan.
+PLAN_OPS = ("reuse-cached", "patch-in-place", "clone-delta",
+            "rehydrate-batch", "full-build")
+
+
+@dataclass(frozen=True)
+class SnapshotPlanStep:
+    """One planned materialization: produce ``(table, ts)`` via ``op``
+    (``source_ts`` names the cached version a move/clone starts
+    from)."""
+
+    op: str
+    table: str
+    ts: int
+    source_ts: Optional[int] = None
+
+
+@dataclass
+class SnapshotPlan:
+    """A planned snapshot-set materialization: per table, the chain of
+    operations a session will run — decided against the cache and
+    store inventory *before* touching the engine, so batched work
+    (one store read for every rehydrate step) and destructive moves
+    (patch-in-place) can be proven safe up front."""
+
+    steps: List[SnapshotPlanStep] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        """``{op: step count}`` over the whole plan (observability /
+        test pinning)."""
+        out = Counter(step.op for step in self.steps)
+        return {op: out[op] for op in PLAN_OPS if out[op]}
+
+    def __len__(self) -> int:
+        return len(self.steps)
 
 
 class BackendSession(abc.ABC):
@@ -153,6 +223,25 @@ class BackendSession(abc.ABC):
         delta hop from its predecessor instead of an unordered full
         rebuild.  Stateless backends ignore the hint (default no-op)."""
 
+    def snapshot_pipeline(self, snapshot_sets,
+                          ctx: EvalContext) -> "SnapshotPipeline":
+        """Cross-compile priming: ``snapshot_sets`` is the *ordered*
+        list of ``(table, ts)`` sets of N compiles (or single-state
+        timeline steps) that will execute on this session, one after
+        another.  The returned pipeline's :meth:`SnapshotPipeline.prime`
+        must be called with each index, in order, immediately before
+        that compile's plans run.
+
+        Handing the whole series over up front is what the hint-only
+        :meth:`prime_snapshots` cannot express: a planning backend
+        materializes shared ``(table, ts)`` pairs once for all N
+        compiles, chains deltas across compile boundaries, and — once
+        an index is primed — knows exactly which cached versions no
+        later compile reads, so it may *move* them forward in place
+        instead of cloning.  The default pipeline degrades to one
+        :meth:`prime_snapshots` hint per set."""
+        return SnapshotPipeline(self, snapshot_sets, ctx)
+
     @property
     def closed(self) -> bool:
         return self._closed
@@ -179,6 +268,56 @@ class BackendSession(abc.ABC):
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "closed" if self._closed else "open"
         return f"<{type(self).__name__} {self.backend.name!r} {state}>"
+
+
+class SnapshotPipeline:
+    """Default cross-compile priming pipeline: per-set hints, no
+    planning.
+
+    Subclasses (see :class:`repro.backends.sqlite.SQLitePipeline`)
+    override :meth:`prime` to plan the union.  ``prime(i)`` may be
+    called with each index at most once and indices must not decrease —
+    priming set ``i`` tells the pipeline every set before ``i`` has
+    finished reading its snapshots, which is the fact destructive
+    moves rely on.  Pipelines are context managers; :meth:`close` is
+    idempotent and releases any pipeline-only bookkeeping."""
+
+    def __init__(self, session: "BackendSession", snapshot_sets,
+                 ctx: EvalContext):
+        self.session = session
+        self.snapshot_sets = [list(snapshots)
+                              for snapshots in snapshot_sets]
+        self.ctx = ctx
+        self._next_index = 0
+        self._closed = False
+
+    def _advance_to(self, index: int) -> None:
+        if self._closed:
+            raise ExecutionError("snapshot pipeline is closed")
+        if index < self._next_index:
+            raise ExecutionError(
+                f"snapshot pipeline primed out of order: set {index} "
+                f"after set {self._next_index - 1}")
+        if index >= len(self.snapshot_sets):
+            raise ExecutionError(
+                f"snapshot pipeline has {len(self.snapshot_sets)} "
+                f"sets; cannot prime set {index}")
+        self._next_index = index + 1
+
+    def prime(self, index: int) -> None:
+        """Materialize set ``index``'s snapshots ahead of its plans."""
+        self._advance_to(index)
+        self.session.prime_snapshots(self.snapshot_sets[index],
+                                     self.ctx)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "SnapshotPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class ExecutionBackend(abc.ABC):

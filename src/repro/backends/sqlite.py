@@ -51,7 +51,8 @@ from repro.algebra.operators import (DEL_FLAG, ROWID_SUFFIX, UPD_FLAG,
                                      XID_SUFFIX)
 from repro.algebra.sqlgen import Dialect, generate_sql
 from repro.backends.base import (BackendSession, ExecutionBackend,
-                                 SessionStats)
+                                 SessionStats, SnapshotPipeline,
+                                 SnapshotPlan, SnapshotPlanStep)
 from repro.db.types import DataType
 from repro.errors import ExecutionError, TimeTravelError
 
@@ -139,7 +140,7 @@ class SnapshotCache:
         self._pin_refs: Dict[int, List] = {}
         self._counter = 0
 
-    def lookup(self, realm: int, key: SnapshotKey,
+    def lookup(self, realm, key: SnapshotKey,
                count_reuse: bool = True) -> Optional[str]:
         """Cached temp-table name for a snapshot, refreshing its LRU
         recency.  ``count_reuse=False`` suppresses the
@@ -157,7 +158,7 @@ class SnapshotCache:
         self._counter += 1
         return f"__snap_{self._counter}__"
 
-    def commit(self, realm: int, key: SnapshotKey, name: str,
+    def commit(self, realm, key: SnapshotKey, name: str,
                pins: Tuple[object, ...] = ()) -> None:
         entry = (realm, key)
         if entry in self._names:
@@ -185,7 +186,48 @@ class SnapshotCache:
             if ref[1] <= 0:
                 del self._pin_refs[id(pin)]
 
-    def plain_snapshots(self, realm: int,
+    def move(self, realm, old_key: SnapshotKey,
+             new_key: SnapshotKey) -> str:
+        """Re-key a live entry: its temp table was patched **in place**
+        from the committed state at ``old_key`` to the one at
+        ``new_key`` — the table survives under the same name, the old
+        version ceases to exist.  Returns the (unchanged) temp-table
+        name.  Counts as a materialization of the new key (the reuse
+        tests' per-key contract holds: a later re-request of the old
+        key is a fresh materialization, exactly as after an
+        eviction)."""
+        old_entry = (realm, old_key)
+        name = self._names.pop(old_entry)
+        pins = self._entry_pins.pop(old_entry, ())
+        new_entry = (realm, new_key)
+        if new_entry in self._names:
+            # defensive: a live entry for the destination would be
+            # displaced — drop its table like a re-commit does
+            self._release_pins(new_entry)
+            old_name = self._names.pop(new_entry)
+            if old_name != name and self.on_evict is not None:
+                self.on_evict(old_name, new_entry)
+        self._names[new_entry] = name
+        self._entry_pins[new_entry] = pins
+        self.stats.snapshots_materialized += 1
+        self.stats.materializations[new_key] += 1
+        self.stats.patched_in_place += 1
+        return name
+
+    def plain_entries(self, realm) -> List[Tuple[str, int, str]]:
+        """Every cached committed AS-OF state in ``realm``, as
+        ``(table, ts, temp_table_name)`` triples — the inventory a
+        snapshot pipeline plans against."""
+        out: List[Tuple[str, int, str]] = []
+        for (entry_realm, key), name in self._names.items():
+            if entry_realm != realm:
+                continue
+            if len(key) == 2 and isinstance(key[0], str) \
+                    and isinstance(key[1], int):
+                out.append((key[0], key[1], name))
+        return out
+
+    def plain_snapshots(self, realm,
                         table: str) -> List[Tuple[int, str]]:
         """Cached committed AS-OF states of ``table`` in ``realm``, as
         ``(ts, temp_table_name)`` pairs — the delta-patching candidates.
@@ -260,7 +302,9 @@ class SnapshotBinder:
                  delta_max_ratio: float = 0.5,
                  count_reuse: bool = True,
                  reuse_discount: Optional[Set[str]] = None,
-                 store=None, publish: str = "full"):
+                 store=None, publish: str = "full",
+                 pipeline: str = "auto",
+                 movable: Optional[Dict[str, Set[int]]] = None):
         self.ctx = ctx
         self._state = EvalState(params=ctx.params)
         self.cache = cache
@@ -286,12 +330,40 @@ class SnapshotBinder:
         #: same plan stay uncounted, mirroring the pre-priming behavior
         #: where a plan's own fresh snapshots never counted as reuses.
         self._discounted: Set[str] = set()
-        #: the database this context reads from — the cache realm.  A
-        #: context without one (StaticContext) is its own realm, so
-        #: snapshots never leak between unrelated contexts.
+        #: materialization planning mode: "off" reproduces the
+        #: pre-pipeline behavior (per-entry store lookups, no moves),
+        #: "auto" plans the whole entry set (batched store reads,
+        #: patch-in-place moves where granted *and* the cost model
+        #: approves), "always" moves whenever a granted source exists.
+        self._pipeline_mode = pipeline
+        #: per-table committed versions this binder may *consume*:
+        #: cached snapshots a pipeline has proven no remaining compile
+        #: reads, so they can be patched forward in place instead of
+        #: cloned.  Empty outside pipelined priming — a plan whose SQL
+        #: already references cached temp tables must never move them.
+        self._movable = movable or {}
+        #: the most recent :class:`SnapshotPlan` built by
+        #: :meth:`materialize` (observability / test pinning).
+        self.plan: Optional[SnapshotPlan] = None
+        #: plain committed pairs this binder's scans found already
+        #: resident — surfaced as ``reuse-cached`` plan steps.
+        self._reused_pairs: "OrderedDict[Tuple[str, int], None]" = \
+            OrderedDict()
+        #: prefetched delta hops: (table, ts_from, ts_to) -> delta rows.
+        self._delta_prefetched: Dict[Tuple[str, int, int], list] = {}
+        #: the database this context reads from — the cache realm.
+        #: Realms are keyed by the database's *durable history id*
+        #: (falling back to object identity for histories predating
+        #: it), so a spill store outlives any one database object and
+        #: a recycled ``id()`` can never alias two histories.  A
+        #: context without a database (StaticContext) is its own
+        #: realm, so snapshots never leak between unrelated contexts.
         self._source = getattr(ctx, "db", None)
-        self._realm = id(self._source if self._source is not None
-                         else ctx)
+        if self._source is None:
+            self._realm = id(ctx)
+        else:
+            self._realm = getattr(self._source, "history_id",
+                                  None) or id(self._source)
         #: snapshot key -> temp table name, fresh for *this* plan.
         self._entries: Dict[SnapshotKey, str] = {}
         #: snapshot key -> (table, ts, pinned source object).
@@ -337,6 +409,8 @@ class SnapshotBinder:
             name = self.cache.lookup(self._realm, key,
                                      count_reuse=False)
             if name is not None:
+                if pin is None and ts is not None:
+                    self._reused_pairs.setdefault((table, ts))
                 if self._count_reuse and name not in self._discounted:
                     if self._reuse_discount is not None \
                             and name in self._reuse_discount:
@@ -365,6 +439,17 @@ class SnapshotBinder:
         return self._used
 
     def materialize(self, conn: sqlite3.Connection) -> None:
+        if self._pipeline_mode == "off":
+            self._materialize_unplanned(conn)
+        else:
+            self._materialize_planned(conn)
+        if self.cache is not None:
+            self.cache.enforce_capacity(protected=self._used)
+
+    def _materialize_unplanned(self, conn: sqlite3.Connection) -> None:
+        """The pre-pipeline path: per-entry decisions, one store
+        lookup per rehydration, never a move — kept verbatim as the
+        ablation baseline (``SQLiteBackend(pipeline="off")``)."""
         stats = self.cache.stats if self.cache is not None else None
         for key, name in self._entries.items():
             table, ts, pin = self._meta[key]
@@ -384,8 +469,251 @@ class SnapshotBinder:
             if self.cache is not None:
                 self.cache.commit(self._realm, key, name,
                                   pins=(self._source, pin))
+
+    # .. the snapshot pipeline: plan, then execute .........................
+
+    def _delta_capable(self) -> bool:
+        db = self._source
+        return (self._delta_mode != "off" and self.cache is not None
+                and db is not None
+                and getattr(db, "config", None) is not None
+                and db.config.timetravel_enabled)
+
+    def _plan_entries(self) -> List[Tuple[SnapshotKey,
+                                          SnapshotPlanStep]]:
+        """Decide, per fresh entry, how it will be materialized —
+        against the current cache inventory plus the entries this very
+        plan will have built by the time each step runs.  Plain
+        committed entries are planned per table in timestamp order
+        (each step one hop from its predecessor); override/provider
+        entries are always full builds."""
+        db = self._source
+        deltable = self._delta_capable()
+        storeable = self._store is not None
+        plain: Dict[str, List[Tuple[int, SnapshotKey]]] = {}
+        rest: List[Tuple[SnapshotKey, SnapshotPlanStep]] = []
+        for key, name in self._entries.items():
+            table, ts, pin = self._meta[key]
+            if pin is None and ts is not None:
+                plain.setdefault(table, []).append((ts, key))
+            else:
+                rest.append((key, SnapshotPlanStep(
+                    op="full-build", table=table,
+                    ts=ts if ts is not None else -1)))
+        out: List[Tuple[SnapshotKey, SnapshotPlanStep]] = []
+        for table in sorted(plain):
+            budget = int(db.table_cardinality(table)
+                         * self._delta_max_ratio) if deltable else 0
+            #: available delta sources: (ts, movable?) — cached
+            #: snapshots (movable iff the pipeline granted them) plus
+            #: earlier planned entries of this table (never movable:
+            #: this plan's own SQL/caller still reads them).
+            sources: List[Tuple[int, bool]] = []
+            if deltable:
+                granted = self._movable.get(table, set())
+                for ts0, _name in self.cache.plain_snapshots(
+                        self._realm, table):
+                    sources.append((ts0, ts0 in granted))
+            for ts, key in sorted(plain[table]):
+                step = None
+                if sources:
+                    def cost(src):
+                        return (db.table_delta_estimate(table, src[0],
+                                                        ts),
+                                abs(src[0] - ts))
+                    movable = [s for s in sources if s[1]]
+                    if movable:
+                        # a move is delta-sized work with no clone —
+                        # always cheaper than cloning, so the best
+                        # movable source wins whenever affordable
+                        best = min(movable, key=cost)
+                        estimate = db.table_delta_estimate(
+                            table, best[0], ts)
+                        if self._pipeline_mode == "always" \
+                                or self._delta_mode == "always" \
+                                or estimate <= budget:
+                            step = SnapshotPlanStep(
+                                op="patch-in-place", table=table,
+                                ts=ts, source_ts=best[0])
+                            sources.remove(best)
+                    if step is None:
+                        best = min(sources, key=cost)
+                        estimate = db.table_delta_estimate(
+                            table, best[0], ts)
+                        if self._delta_mode == "always" \
+                                or estimate <= budget:
+                            step = SnapshotPlanStep(
+                                op="clone-delta", table=table, ts=ts,
+                                source_ts=best[0])
+                if step is None:
+                    op_name = "rehydrate-batch" if storeable \
+                        else "full-build"
+                    step = SnapshotPlanStep(op=op_name, table=table,
+                                            ts=ts)
+                out.append((key, step))
+                if deltable:
+                    sources.append((ts, False))
+        out.extend(rest)
+        return out
+
+    def _prefetch_delta_chains(
+            self, steps: List[Tuple[SnapshotKey,
+                                    SnapshotPlanStep]]) -> None:
+        """Fetch every delta a plan's per-table hop chains will apply
+        in one commit-log pass per chain (see
+        :meth:`repro.db.engine.Database.table_delta_chain`) instead of
+        one bisection pair per hop."""
+        db = self._source
+        chains: Dict[str, List[int]] = {}
+        for _key, step in steps:
+            if step.op not in ("patch-in-place", "clone-delta"):
+                continue
+            chain = chains.get(step.table)
+            if chain is not None and chain[-1] == step.source_ts:
+                chain.append(step.ts)
+            elif chain is None:
+                chains[step.table] = [step.source_ts, step.ts]
+        for table, chain in chains.items():
+            if len(chain) < 3:
+                continue  # a single hop gains nothing from chaining
+            hops = db.table_delta_chain(table, chain)
+            for (ts_from, ts_to), delta in zip(
+                    zip(chain, chain[1:]), hops):
+                self._delta_prefetched[(table, ts_from, ts_to)] = delta
+
+    def _delta_rows(self, table: str, ts_from: int, ts_to: int) -> list:
+        delta = self._delta_prefetched.pop((table, ts_from, ts_to),
+                                           None)
+        if delta is None:
+            delta = self._source.table_delta(table, ts_from, ts_to)
+        return delta
+
+    def _materialize_planned(self, conn: sqlite3.Connection) -> None:
+        stats = self.cache.stats if self.cache is not None else None
+        steps = self._plan_entries()
+        self.plan = SnapshotPlan(
+            steps=[SnapshotPlanStep(op="reuse-cached", table=table,
+                                    ts=ts)
+                   for table, ts in self._reused_pairs]
+            + [step for _key, step in steps])
+        fetched: Dict[Tuple[str, int], list] = {}
+        wanted = [(step.table, step.ts) for _key, step in steps
+                  if step.op == "rehydrate-batch"]
+        if wanted:
+            fetch_many = getattr(self._store, "fetch_many", None)
+            if fetch_many is not None:
+                fetched = fetch_many(self._realm, wanted)
+            else:  # a put/get-only store lookalike
+                for pair in wanted:
+                    rows = self._store.get(self._realm, *pair)
+                    if rows is not None:
+                        fetched[pair] = rows
+        self._prefetch_delta_chains(steps)
+        #: live temp-table name per committed version, updated as
+        #: steps run (a move re-homes its source's name).
+        live: Dict[Tuple[str, int], str] = {}
         if self.cache is not None:
-            self.cache.enforce_capacity(protected=self._used)
+            for table, ts0, name in self.cache.plain_entries(
+                    self._realm):
+                live[(table, ts0)] = name
+        for key, step in steps:
+            table, ts, pin = self._meta[key]
+            name = self._entries[key]
+            if step.op == "patch-in-place":
+                name = self._execute_move(conn, key, step, live, stats)
+            elif step.op == "clone-delta":
+                self._materialize_delta(
+                    conn, name, table, ts, step.source_ts,
+                    live[(table, step.source_ts)], stats=stats)
+                if self._publish_mode == "all":
+                    rows = conn.execute(
+                        f"SELECT * FROM {quote_ident(name)}").fetchall()
+                    self._publish(table, ts, key, pin, rows, stats)
+            else:
+                rows = fetched.get((table, ts)) \
+                    if step.op == "rehydrate-batch" else None
+                if not self._build_from_rows(conn, name, table, rows,
+                                             stats):
+                    rows = self._materialize_full(conn, name, table, ts,
+                                                  stats=stats)
+                    self._publish(table, ts, key, pin, rows, stats)
+            if step.op != "patch-in-place" and self.cache is not None:
+                self.cache.commit(self._realm, key, name,
+                                  pins=(self._source, pin))
+            if pin is None and ts is not None:
+                live[(table, ts)] = name
+
+    def _execute_move(self, conn: sqlite3.Connection,
+                      key: SnapshotKey, step: SnapshotPlanStep,
+                      live: Dict[Tuple[str, int], str],
+                      stats: Optional[SessionStats]) -> str:
+        """Patch the source snapshot's temp table forward **in place**
+        and re-key the cache entry: the table keeps its name, the
+        source version ceases to exist, and the allocated (never
+        created) destination name is abandoned."""
+        table, ts = step.table, step.ts
+        source_name = live.pop((table, step.source_ts))
+        delta = self._delta_rows(table, step.source_ts, ts)
+        if delta:
+            scratch = f"__move_ids_{source_name}"
+            conn.execute(
+                f"CREATE TEMP TABLE {quote_ident(scratch)} "
+                f"({quote_ident(ROWID_SUFFIX)})")
+            conn.executemany(
+                f"INSERT INTO {quote_ident(scratch)} VALUES (?)",
+                [(int(rowid),) for rowid, _, _ in delta])
+            conn.execute(
+                f"DELETE FROM {quote_ident(source_name)} "
+                f"WHERE {quote_ident(ROWID_SUFFIX)} IN "
+                f"(SELECT {quote_ident(ROWID_SUFFIX)} "
+                f"FROM {quote_ident(scratch)})")
+            conn.execute(f"DROP TABLE {quote_ident(scratch)}")
+            inserts = [tuple(values) + (rowid, xid)
+                       for rowid, values, xid in delta
+                       if values is not None]
+            if inserts:
+                n_columns = len(self.ctx.table_columns(table)) + 2
+                placeholders = ", ".join("?" * n_columns)
+                conn.executemany(
+                    f"INSERT INTO {quote_ident(source_name)} "
+                    f"VALUES ({placeholders})", inserts)
+        abandoned = self._entries[key]
+        self._entries[key] = source_name
+        self._used.discard(abandoned)
+        self._used.add(source_name)
+        self.cache.move(self._realm, (table, step.source_ts), key)
+        if stats is not None:
+            stats.delta_rows_applied += len(delta)
+        if self._publish_mode == "all":
+            rows = conn.execute(
+                f"SELECT * FROM "
+                f"{quote_ident(source_name)}").fetchall()
+            self._publish(table, ts, key, None, rows, stats)
+        return source_name
+
+    def _build_from_rows(self, conn: sqlite3.Connection, name: str,
+                         table: str, rows,
+                         stats: Optional[SessionStats]) -> bool:
+        """Create + fill a snapshot temp table from store-fetched rows
+        (the batched half of rehydration); refuses rows whose width no
+        longer matches the schema, like the unplanned path."""
+        if rows is None:
+            return False
+        columns = list(self.ctx.table_columns(table))
+        columns += [ROWID_SUFFIX, XID_SUFFIX]
+        if rows and len(rows[0]) != len(columns):
+            return False  # schema drift: distrust the stored copy
+        column_list = ", ".join(quote_ident(c) for c in columns)
+        conn.execute(
+            f"CREATE TEMP TABLE {quote_ident(name)} ({column_list})")
+        placeholders = ", ".join("?" * len(columns))
+        conn.executemany(
+            f"INSERT INTO {quote_ident(name)} VALUES ({placeholders})",
+            rows)
+        if stats is not None:
+            stats.snapshots_rehydrated += 1
+            stats.batch_rehydrated += 1
+        return True
 
     # .. full rebuild (storage scan) ......................................
 
@@ -496,7 +824,7 @@ class SnapshotBinder:
                            table: str, ts: int, source_ts: int,
                            source_name: str,
                            stats: Optional[SessionStats]) -> None:
-        delta = self._source.table_delta(table, source_ts, ts)
+        delta = self._delta_rows(table, source_ts, ts)
         if not delta:
             conn.execute(
                 f"CREATE TEMP TABLE {quote_ident(name)} AS "
@@ -586,6 +914,64 @@ class SQLiteDialect(Dialect):
                 f"AS {flat} FROM {gen.derived(sql)} AS {alias}", out)
 
 
+class SQLitePipeline(SnapshotPipeline):
+    """The planned cross-compile priming pipeline over one
+    :class:`SQLiteSession`.
+
+    Construction indexes the whole series: for every plain committed
+    ``(table, ts)`` pair it records the first and last set that reads
+    it.  Priming set ``i`` then (a) counts pairs an earlier set already
+    materialized as *shared primes* instead of re-requesting them, and
+    (b) grants the binder a **movable** set — cached versions whose
+    last reader is behind the cursor, which nothing in the remaining
+    series will scan again, so the planner may consume them with
+    patch-in-place moves.  Versions the pipeline never requested are
+    left alone: other workloads on the session may still want them,
+    and plain LRU eviction already bounds them."""
+
+    def __init__(self, session: "SQLiteSession", snapshot_sets,
+                 ctx: EvalContext):
+        super().__init__(session, snapshot_sets, ctx)
+        self._first_reader: Dict[Tuple[str, int], int] = {}
+        self._last_reader: Dict[Tuple[str, int], int] = {}
+        for index, snapshots in enumerate(self.snapshot_sets):
+            for table, ts in snapshots:
+                if ts is None:
+                    continue
+                pair = (table, int(ts))
+                self._first_reader.setdefault(pair, index)
+                self._last_reader[pair] = index
+
+    def prime(self, index: int) -> None:
+        self._advance_to(index)
+        session: "SQLiteSession" = self.session
+        session._check_open()
+        binder = session._binder(self.ctx, priming=True)
+        requested = sorted({(table, int(ts))
+                            for table, ts in self.snapshot_sets[index]
+                            if ts is not None})
+        for pair in requested:
+            if self._first_reader[pair] < index \
+                    and session.cache.lookup(binder._realm, pair,
+                                             count_reuse=False) \
+                    is not None:
+                # an earlier compile in this pipeline already paid for
+                # this snapshot — the cross-compile sharing the union
+                # hand-off exists for
+                session.stats.primes_shared += 1
+        movable: Dict[str, Set[int]] = {}
+        for table, ts, _name in session.cache.plain_entries(
+                binder._realm):
+            last = self._last_reader.get((table, ts))
+            if last is not None and last < index:
+                movable.setdefault(table, set()).add(ts)
+        binder._movable = movable
+        for table, ts in requested:
+            binder.bind_key(table, ts)
+        binder.materialize(session.conn)
+        session._fresh_primed.update(binder._entries.values())
+
+
 class SQLiteSession(BackendSession):
     """One SQLite connection plus a snapshot cache, shared by every
     plan executed in the session.
@@ -629,7 +1015,9 @@ class SQLiteSession(BackendSession):
                               else self._fresh_primed,
                               store=self.spill_store,
                               publish=getattr(self.backend,
-                                              "spill_publish", "full"))
+                                              "spill_publish", "full"),
+                              pipeline=getattr(self.backend,
+                                               "pipeline", "auto"))
 
     def attach_spill_store(self, store) -> None:
         """Share a snapshot spill store with this session: evicted
@@ -681,6 +1069,16 @@ class SQLiteSession(BackendSession):
         # hits on earlier plans' snapshots stay genuine future reuses
         self._fresh_primed.update(binder._entries.values())
 
+    def snapshot_pipeline(self, snapshot_sets,
+                          ctx: EvalContext) -> SnapshotPipeline:
+        """Planned cross-compile priming (see :class:`SQLitePipeline`)
+        — unless the backend's ``pipeline`` mode is ``"off"``, which
+        degrades to the base per-set hints (the ablation baseline)."""
+        self._check_open()
+        if getattr(self.backend, "pipeline", "auto") == "off":
+            return SnapshotPipeline(self, snapshot_sets, ctx)
+        return SQLitePipeline(self, snapshot_sets, ctx)
+
     def execute_plan(self, plan: op.Operator,
                      ctx: EvalContext) -> Relation:
         self._check_open()
@@ -701,6 +1099,13 @@ class SQLiteSession(BackendSession):
         return _coerce_result(plan.attrs, rows, bool_positions)
 
     def _teardown(self) -> None:
+        store = self.spill_store
+        if store is not None and getattr(store, "async_publish", False) \
+                and not getattr(store, "closed", False):
+            # write-behind contract: a session's in-flight spills land
+            # in the store no later than the session's close
+            store.flush()
+            self.stats.spill_queue_flushes += 1
         self.conn.close()
 
 
@@ -744,7 +1149,14 @@ class SQLiteBackend(ExecutionBackend):
     session this backend opens: evicted plain committed snapshots spill
     there instead of being destroyed, and cache misses rehydrate from
     it — how the reenactment service shares snapshot work across its
-    worker pool."""
+    worker pool.
+
+    ``pipeline`` selects how snapshot sets are *planned* (see
+    :attr:`PIPELINE_MODES` and
+    :class:`repro.backends.base.SnapshotPlan`): planned sets
+    batch-rehydrate from the store in one read, and pipelined callers
+    (:meth:`SQLiteSession.snapshot_pipeline`) may have cached
+    snapshots patched forward **in place** instead of cloned."""
 
     name = "sqlite"
 
@@ -754,10 +1166,20 @@ class SQLiteBackend(ExecutionBackend):
 
     PUBLISH_MODES = ("full", "all")
 
+    #: snapshot pipeline modes: "off" reproduces the pre-pipeline
+    #: materialization path exactly (per-entry store lookups, no
+    #: moves — the ablation baseline), "auto" plans every snapshot set
+    #: (batched store reads; patch-in-place moves where a pipeline
+    #: grants them and the cost model approves), "always" moves on
+    #: every granted opportunity regardless of cost (the differential
+    #: harness's adversarial mode).
+    PIPELINE_MODES = ("off", "auto", "always")
+
     def __init__(self, database: str = ":memory:", delta: str = "auto",
                  cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
                  delta_max_ratio: float = 0.5,
-                 spill_store=None, spill_publish: str = "full"):
+                 spill_store=None, spill_publish: str = "full",
+                 pipeline: str = "auto"):
         if delta not in self.DELTA_MODES:
             raise ExecutionError(
                 f"delta mode must be one of {self.DELTA_MODES}, "
@@ -766,12 +1188,17 @@ class SQLiteBackend(ExecutionBackend):
             raise ExecutionError(
                 f"spill_publish must be one of {self.PUBLISH_MODES}, "
                 f"got {spill_publish!r}")
+        if pipeline not in self.PIPELINE_MODES:
+            raise ExecutionError(
+                f"pipeline mode must be one of {self.PIPELINE_MODES}, "
+                f"got {pipeline!r}")
         self.database = database
         self.delta = delta
         self.cache_capacity = cache_capacity
         self.delta_max_ratio = delta_max_ratio
         self.spill_store = spill_store
         self.spill_publish = spill_publish
+        self.pipeline = pipeline
 
     def open_session(self) -> SQLiteSession:
         return SQLiteSession(self)

@@ -78,7 +78,15 @@ def check_transaction_equivalence(db: Database, xid: int,
                                  optimize=optimize)
     compiled = reenactor.compile(record, options)
     result = reenactor.execute(compiled, session=session)
-    report = EquivalenceReport(xid=xid)
+    return _report_for_result(db, record, result)
+
+
+def _report_for_result(db: Database, record, result
+                       ) -> EquivalenceReport:
+    """Judge one reenactment result against storage ground truth —
+    shared by the per-transaction entry point and the pipelined
+    history sweep."""
+    report = EquivalenceReport(xid=record.xid)
 
     if record.isolation is IsolationLevel.READ_COMMITTED \
             and record.statements:
@@ -87,7 +95,8 @@ def check_transaction_equivalence(db: Database, xid: int,
         snapshot_ts = record.begin_ts
 
     for table_name, relation in result.tables.items():
-        check = _check_table(db, xid, table_name, relation, snapshot_ts)
+        check = _check_table(db, record.xid, table_name, relation,
+                             snapshot_ts)
         report.checks.append(check)
     return report
 
@@ -160,7 +169,8 @@ def check_history_equivalence(db: Database,
                               xids: Optional[List[int]] = None,
                               optimize: bool = True,
                               backend=None,
-                              service=None
+                              service=None,
+                              union_priming: bool = True
                               ) -> Dict[int, EquivalenceReport]:
     """Check every committed transaction of a history (default: all
     transactions in the audit log) on the given execution backend.
@@ -168,7 +178,16 @@ def check_history_equivalence(db: Database,
     The whole sweep runs on one backend session: transactions of a
     history overlap in the snapshots they read, so on SQLite each
     ``(table, ts)`` state is materialized once for the sweep rather
-    than once per transaction.
+    than once per transaction.  With ``union_priming`` (the default)
+    every transaction is *compiled first* and the ordered series of
+    compiled ``(table, ts)`` snapshot sets is handed to the session's
+    snapshot pipeline in one piece — shared pairs materialize once for
+    the whole sweep, deltas chain across transaction boundaries, and
+    versions no later transaction reads may be patched forward in
+    place instead of cloned.  Results are identical with it off (the
+    pipeline is purely a materialization strategy); ``False`` keeps
+    the per-transaction compile/prime interleaving as the ablation
+    baseline.
 
     ``service`` (a :class:`~repro.service.ReenactmentService`) fans the
     sweep out across the service's worker pool instead — one
@@ -192,8 +211,31 @@ def check_history_equivalence(db: Database,
                 xids.append(xid)
     resolved = resolve_backend(backend)
     with resolved.open_session() as session:
-        return {xid: check_transaction_equivalence(db, xid,
-                                                   optimize=optimize,
-                                                   backend=resolved,
-                                                   session=session)
-                for xid in xids}
+        if not union_priming:
+            return {xid: check_transaction_equivalence(
+                        db, xid, optimize=optimize, backend=resolved,
+                        session=session)
+                    for xid in xids}
+        reenactor = Reenactor(db, backend=resolved)
+        options = ReenactmentOptions(annotations=True,
+                                     include_deleted=True,
+                                     optimize=optimize)
+        compiles = []
+        for xid in xids:
+            record = reenactor.transaction_record(xid)
+            if not record.committed:
+                raise ValueError(
+                    f"transaction {xid} did not commit; only committed "
+                    f"transactions have effects to check")
+            compiles.append((xid, record,
+                             reenactor.compile(record, options)))
+        out: Dict[int, EquivalenceReport] = {}
+        ctx = db.context(params={})
+        sets = [compiled.snapshots for _, _, compiled in compiles]
+        with session.snapshot_pipeline(sets, ctx) as pipe:
+            for index, (xid, record, compiled) in enumerate(compiles):
+                pipe.prime(index)
+                result = reenactor.execute(compiled, session=session,
+                                           prime=False)
+                out[xid] = _report_for_result(db, record, result)
+        return out

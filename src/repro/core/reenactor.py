@@ -281,7 +281,7 @@ class Reenactor:
             optimizer_stats=optimizer_stats, overrides=overrides)
 
     def execute(self, compiled: CompiledReenactment,
-                session=None) -> ReenactmentResult:
+                session=None, prime: bool = True) -> ReenactmentResult:
         """The execute phase: run a compiled reenactment's plans.
 
         With ``session`` the plans run on the caller's open
@@ -294,12 +294,17 @@ class Reenactor:
         ``(table, ts)`` snapshot set, in its sorted order — a
         delta-materializing backend builds each snapshot as a small
         incremental hop instead of meeting the scans in whatever order
-        the generated SQL mentions them."""
+        the generated SQL mentions them.  ``prime=False`` skips that
+        hint for a caller session a
+        :meth:`~repro.backends.base.BackendSession.snapshot_pipeline`
+        has already primed with this compile's set (priming twice is
+        harmless but pays a redundant plan)."""
         result = ReenactmentResult(xid=compiled.xid, plans=compiled.plans)
         ctx = self.db.context(params={}, overrides=compiled.overrides,
                       snapshot_provider=self.snapshot_provider)
         if session is not None:
-            session.prime_snapshots(compiled.snapshots, ctx)
+            if prime:
+                session.prime_snapshots(compiled.snapshots, ctx)
             for table, plan in compiled.plans.items():
                 result.tables[table] = session.execute_plan(plan, ctx)
             return result

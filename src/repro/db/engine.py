@@ -15,6 +15,7 @@ overhead claim.
 
 from __future__ import annotations
 
+import uuid
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -44,6 +45,15 @@ class Database:
     def __init__(self, config: Optional[DatabaseConfig] = None):
         self.config = config or DatabaseConfig()
         self.clock = LogicalClock()
+        #: durable identity of this transaction history.  Snapshot
+        #: caches and spill stores namespace their entries by *realm*;
+        #: keying realms on ``id(db)`` would let a recycled object
+        #: address serve one history's snapshots to another after GC
+        #: reuse, and ties a store's useful lifetime to one Python
+        #: object.  A fresh UUID (suffixed with the clock's epoch
+        #: reading, so even a hypothetical UUID collision cannot pair
+        #: with an identical clock state) survives both.
+        self.history_id = f"{uuid.uuid4().hex}@{self.clock.now()}"
         self.catalog = Catalog()
         self.tables: Dict[str, VersionedTable] = {}
         self.mvcc = MVCCManager(self.tables, self.clock)
@@ -132,6 +142,32 @@ class Database:
                 out.append((delta.rowid, None, None))
             else:
                 out.append((delta.rowid, delta.new.values, delta.new.xid))
+        return out
+
+    def table_delta_chain(self, name: str, timestamps: List[int]
+                          ) -> List[List[Tuple[int, Optional[tuple],
+                                               Optional[int]]]]:
+        """Consecutive deltas along a timestamp chain — one
+        :meth:`table_delta`-shaped list per hop
+        ``timestamps[i] -> timestamps[i+1]``, in one commit-log pass
+        for monotone chains.  Snapshot pipelines that walk a table
+        through a planned series of versions (timeline scans,
+        timestamp-ordered equivalence sweeps) fetch every patch they
+        will apply with this single call."""
+        if not self.config.timetravel_enabled:
+            raise TimeTravelError(
+                "time travel is disabled on this database "
+                "(DatabaseConfig.timetravel_enabled)")
+        out: List[List[Tuple[int, Optional[tuple], Optional[int]]]] = []
+        for hop in self.table(name).scan_delta_chain(timestamps):
+            rows: List[Tuple[int, Optional[tuple], Optional[int]]] = []
+            for delta in hop:
+                if delta.new is None:
+                    rows.append((delta.rowid, None, None))
+                else:
+                    rows.append((delta.rowid, delta.new.values,
+                                 delta.new.xid))
+            out.append(rows)
         return out
 
     def table_delta_estimate(self, name: str, ts_from: int,

@@ -111,6 +111,48 @@ class VersionedTable:
         return (bisect_right(self._commit_ts_log, hi)
                 - bisect_right(self._commit_ts_log, lo))
 
+    def scan_delta_chain(self, timestamps: List[int]
+                         ) -> List[List[DeltaRow]]:
+        """Consecutive deltas along a timestamp chain: one entry per
+        hop ``timestamps[i] -> timestamps[i+1]``.
+
+        For a monotone chain (the order snapshot pipelines walk in) the
+        commit log is bisected once per boundary instead of twice per
+        hop and each segment's touched-rowid set is sliced directly;
+        non-monotone chains fall back to per-hop :meth:`scan_delta`.
+        The result of every hop is identical to ``scan_delta(a, b)``.
+        """
+        if len(timestamps) < 2:
+            return []
+        ascending = all(a <= b for a, b in zip(timestamps,
+                                               timestamps[1:]))
+        descending = all(a >= b for a, b in zip(timestamps,
+                                                timestamps[1:]))
+        if not (ascending or descending):
+            return [self.scan_delta(a, b)
+                    for a, b in zip(timestamps, timestamps[1:])]
+        bounds = [bisect_right(self._commit_ts_log, ts)
+                  for ts in timestamps]
+        out: List[List[DeltaRow]] = []
+        for i, (ts_from, ts_to) in enumerate(zip(timestamps,
+                                                 timestamps[1:])):
+            lo, hi = sorted((bounds[i], bounds[i + 1]))
+            touched = sorted(set(self._commit_rowid_log[lo:hi]))
+            hop: List[DeltaRow] = []
+            for rowid in touched:
+                chain = self.rows.get(rowid)
+                if chain is None:
+                    continue
+                old = chain.committed_at(ts_from)
+                new = chain.committed_at(ts_to)
+                if old is None and new is None:
+                    continue
+                if old is new:
+                    continue
+                hop.append(DeltaRow(rowid=rowid, old=old, new=new))
+            out.append(hop)
+        return out
+
     def scan_delta(self, ts_from: int, ts_to: int) -> List[DeltaRow]:
         """Rows whose committed state at ``ts_to`` differs from the one
         at ``ts_from`` (either direction: ``ts_from`` may exceed

@@ -99,18 +99,50 @@ class TransactionInspector:
             else list(touched))
         self._graph_builder: Optional[ProvenanceGraphBuilder] = None
         self._columns: Optional[List[DebugColumn]] = None
+        #: the session counters of the last :meth:`columns` pass —
+        #: `primes_shared` records how many prefix probes were served
+        #: by a snapshot an earlier probe in the pipeline paid for.
+        self.last_stats = None
 
     # -- panel content --------------------------------------------------------
 
     def columns(self) -> List[DebugColumn]:
         """All panel columns, computed lazily and cached — on one
-        backend session, so the shared begin-time snapshots are
-        materialized once for the whole panel."""
+        backend session, with every prefix reenactment compiled first
+        and the whole series handed to the session's snapshot pipeline:
+        the begin-time snapshots all prefixes share are materialized
+        once for the panel (``primes_shared`` counts the N-1
+        hand-offs), not once per column."""
         if self._columns is None:
+            probes: List[Tuple[int, str, object]] = []
+            for k in range(-1, len(self.statements)):
+                for table in self.selected_tables:
+                    options = ReenactmentOptions(
+                        upto=k + 1, table=table, annotations=True,
+                        include_deleted=True)
+                    probes.append((k, table, self.reenactor.compile(
+                        self.record, options,
+                        statements=self.statements)))
+            states: Dict[Tuple[int, str], TableState] = {}
             with self.backend.open_session() as session:
-                self._columns = [self._column(k, session)
-                                 for k in range(-1,
-                                                len(self.statements))]
+                ctx = self.db.context(params={})
+                sets = [compiled.snapshots for _, _, compiled in probes]
+                with session.snapshot_pipeline(sets, ctx) as pipe:
+                    for index, (k, table, compiled) in enumerate(
+                            probes):
+                        pipe.prime(index)
+                        relation = self.reenactor.execute(
+                            compiled, session=session,
+                            prime=False).table(table)
+                        states[(k, table)] = self._state_from_relation(
+                            table, relation)
+                self.last_stats = session.stats
+            self._columns = []
+            for k in range(-1, len(self.statements)):
+                self._columns.append(
+                    self._column(k, {table: states[(k, table)]
+                                     for table in
+                                     self.selected_tables}))
         return self._columns
 
     def column(self, index: int) -> DebugColumn:
@@ -150,27 +182,18 @@ class TransactionInspector:
 
     # -- internals ---------------------------------------------------------------------
 
-    def _column(self, k: int, session) -> DebugColumn:
+    def _column(self, k: int,
+                states: Dict[str, TableState]) -> DebugColumn:
         if k < 0:
             column = DebugColumn(index=-1, sql=None, target=None)
         else:
             parsed = self.statements[k]
             column = DebugColumn(index=k, sql=str(parsed.stmt),
                                  target=parsed.target)
-        for table in self.selected_tables:
-            column.states[table] = self._table_state(table, k + 1,
-                                                     session)
+        column.states.update(states)
         return column
 
-    def _table_state(self, table: str, upto: int,
-                     session) -> TableState:
-        options = ReenactmentOptions(upto=upto, table=table,
-                                     annotations=True,
-                                     include_deleted=True)
-        compiled = self.reenactor.compile(self.record, options,
-                                          statements=self.statements)
-        relation = self.reenactor.execute(compiled,
-                                          session=session).table(table)
+    def _state_from_relation(self, table: str, relation) -> TableState:
         ncols = len(self.db.catalog.get(table).columns)
         rowid_idx = relation.column_index(ROWID)
         xid_idx = relation.column_index(XID)

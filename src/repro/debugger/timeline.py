@@ -14,8 +14,9 @@ simple text search over statement SQL.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.db.auditlog import TransactionRecord
 from repro.db.engine import Database
@@ -74,6 +75,63 @@ def _mentions_table(sql: str, table_lower: str) -> bool:
     import re
     return re.search(rf"\b{re.escape(table_lower)}\b",
                      sql.lower()) is not None
+
+
+#: what :func:`timeline_states` returns per timestamp.
+TIMELINE_MODES = ("full", "sparkline")
+
+
+def timeline_states(db: Database, table: str,
+                    timestamps: Sequence[int],
+                    session=None, backend=None,
+                    mode: str = "full") -> Dict[int, "object"]:
+    """The timeline panel's *data* fetch: the committed state of
+    ``table`` at each timestamp, walked through the backend session's
+    snapshot pipeline.
+
+    The whole timestamp series is declared to the session up front
+    (one single-state snapshot set per tick), so a pipelined backend
+    materializes the first state once and then *moves* it forward —
+    each tick is delta-sized work patched into the same temp table,
+    never a per-tick rebuild or clone, because the pipeline knows no
+    later tick re-reads an earlier state.
+
+    ``mode="full"`` returns the full relation per timestamp (the
+    detail view); ``mode="sparkline"`` returns a one-row
+    ``n_rows``-count relation per timestamp — the cardinality-over-
+    time strip the timeline draws without dragging every row of every
+    state into Python.  ``session`` reuses a caller's open backend
+    session; otherwise ``backend`` (default in-memory) supplies a
+    throwaway one.
+    """
+    from repro.algebra import operators as op
+    from repro.algebra.expressions import Literal
+    from repro.backends import resolve_backend
+    if mode not in TIMELINE_MODES:
+        raise AuditLogError(
+            f"timeline mode must be one of {TIMELINE_MODES}, "
+            f"got {mode!r}")
+    schema = db.catalog.get(table)
+    ctx = db.context(params={})
+    out: Dict[int, object] = {}
+    with ExitStack() as stack:
+        if session is None:
+            session = stack.enter_context(
+                resolve_backend(backend).open_session())
+        sets = [[(table, int(ts))] for ts in timestamps]
+        pipe = stack.enter_context(session.snapshot_pipeline(sets, ctx))
+        for index, ts in enumerate(timestamps):
+            pipe.prime(index)
+            plan: op.Operator = op.TableScan(
+                table=table, columns=list(schema.column_names),
+                binding=table, as_of=Literal(int(ts)))
+            if mode == "sparkline":
+                plan = op.Aggregation(
+                    plan, [], [],
+                    [op.AggSpec(func="COUNT", expr=None,
+                                name="n_rows")])
+            out[ts] = session.execute_plan(plan, ctx)
+    return out
 
 
 class TransactionTimeline:

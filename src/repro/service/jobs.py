@@ -31,9 +31,7 @@ from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Hashable, List, Optional,
                     Sequence, Tuple)
 
-from repro.algebra import operators as op
 from repro.algebra.evaluator import Relation
-from repro.algebra.expressions import Literal
 from repro.core.reenactor import ReenactmentOptions
 from repro.errors import ServiceError
 
@@ -214,34 +212,34 @@ class TimelineScanJob(Job):
     """Materialize the committed state of ``table`` at each timestamp —
     the debugger timeline / debug-panel data fetch.
 
-    The scan set is primed in sorted order first, so a delta-capable
-    session builds each state as one incremental hop; the result is
-    ``{ts: Relation}`` in the order given.
+    The whole timestamp series is handed to the worker session's
+    snapshot pipeline (see
+    :func:`repro.debugger.timeline.timeline_states`): on a pipelined
+    backend the first state is built once and every later tick is a
+    patch-in-place *move* of the same temp table, because the pipeline
+    knows no later tick reads an earlier state.  ``mode="full"``
+    returns ``{ts: Relation}`` of full table states in the order
+    given; ``mode="sparkline"`` returns one-row ``n_rows`` relations
+    per tick (the cardinality strip — all the materialization work,
+    none of the row shipping).
     """
 
     table: str
     timestamps: Sequence[int] = field(default_factory=list)
+    mode: str = "full"
 
     kind = "timeline_scan"
 
     def cache_key(self, db) -> Hashable:
         return ("timeline", self.table, tuple(self.timestamps),
-                history_version(db))
+                self.mode, history_version(db))
 
     def run(self, worker) -> Dict[int, Relation]:
-        db = worker.db
-        schema = db.catalog.get(self.table)
-        ctx = db.context(params={})
-        worker.session.prime_snapshots(
-            [(self.table, ts) for ts in self.timestamps], ctx)
-        out: Dict[int, Relation] = {}
-        for ts in self.timestamps:
-            scan = op.TableScan(
-                table=self.table, columns=list(schema.column_names),
-                binding=self.table, as_of=Literal(int(ts)))
-            out[ts] = worker.session.execute_plan(scan, ctx)
-        return out
+        from repro.debugger.timeline import timeline_states
+        return timeline_states(worker.db, self.table,
+                               list(self.timestamps),
+                               session=worker.session, mode=self.mode)
 
     def describe(self) -> str:
         return (f"timeline_scan(table={self.table!r}, "
-                f"states={len(self.timestamps)})")
+                f"states={len(self.timestamps)}, mode={self.mode})")

@@ -181,9 +181,14 @@ class ReenactmentService:
             result = h1.result()
 
     ``backend`` is anything :func:`repro.backends.resolve_backend`
-    accepts; ``cache_capacity`` / ``delta`` override the backend's
-    snapshot-cache bound and materialization mode when the backend has
-    those knobs.  ``store`` selects the spill tier: ``"auto"``
+    accepts; ``cache_capacity`` / ``delta`` / ``pipeline`` override
+    the backend's snapshot-cache bound, materialization mode and
+    snapshot-pipeline mode when the backend has those knobs.
+    ``async_spill`` (default on) makes a store the service constructs
+    publish spills write-behind — eviction on a worker enqueues the
+    payload instead of paying pickle + disk I/O inline, and queued
+    spills stay readable by every worker until the background flush
+    lands.  ``store`` selects the spill tier: ``"auto"``
     (default) attaches a private on-disk :class:`SnapshotStore` when
     the backend's capability flags say it can spill, ``True`` requires
     spill support (:class:`ServiceError` otherwise), a path string
@@ -199,10 +204,18 @@ class ReenactmentService:
                  delta: Optional[str] = None,
                  spill_publish: Optional[str] = None,
                  result_cache_capacity: Optional[int] = 256,
-                 store_capacity: Optional[int] = None):
+                 store_capacity: Optional[int] = None,
+                 async_spill: bool = True,
+                 pipeline: Optional[str] = None):
         if workers < 1:
             raise ServiceError(f"need at least 1 worker, got {workers}")
         self.db = db
+        #: write-behind spill publishing for a store the service
+        #: constructs itself: eviction on a worker enqueues the
+        #: payload and keeps executing; a small publisher thread owns
+        #: the pickle + disk write.  Caller-owned stores keep whatever
+        #: policy they were built with.
+        self._async_spill = async_spill
         from repro.backends import ExecutionBackend
         caller_owned = isinstance(backend, ExecutionBackend)
         self.backend = resolve_backend(backend)
@@ -240,6 +253,23 @@ class ReenactmentService:
                     f"backend {self.backend.name!r} cannot spill "
                     f"snapshots; spill_publish is meaningless")
             self.backend.spill_publish = spill_publish
+        if pipeline is not None:
+            if caller_owned:
+                raise ServiceError(
+                    "pipeline= only applies to a backend the service "
+                    "constructs from a name; configure your backend "
+                    "instance directly instead")
+            if not caps.get("sessions"):
+                raise ServiceError(
+                    f"backend {self.backend.name!r} has no session "
+                    f"snapshot machinery to plan (capabilities: "
+                    f"{caps})")
+            modes = getattr(type(self.backend), "PIPELINE_MODES", None)
+            if modes is not None and pipeline not in modes:
+                raise ServiceError(
+                    f"pipeline mode must be one of {modes}, "
+                    f"got {pipeline!r}")
+            self.backend.pipeline = pipeline
         self._store, self._owns_store = self._admit_store(store, caps,
                                                           store_capacity)
         self.workers = workers
@@ -269,15 +299,18 @@ class ReenactmentService:
         if store == "auto":
             if not caps.get("spill"):
                 return None, False
-            return SnapshotStore(capacity=capacity), True
+            return SnapshotStore(capacity=capacity,
+                                 async_publish=self._async_spill), True
         if not caps.get("spill"):
             raise ServiceError(
                 f"backend {self.backend.name!r} cannot spill snapshots "
                 f"(capabilities: {caps}); run with store=None")
         if store is True:
-            return SnapshotStore(capacity=capacity), True
+            return SnapshotStore(capacity=capacity,
+                                 async_publish=self._async_spill), True
         if isinstance(store, str):
-            return SnapshotStore(path=store, capacity=capacity), True
+            return SnapshotStore(path=store, capacity=capacity,
+                                 async_publish=self._async_spill), True
         return store, False  # caller-owned SnapshotStore (or lookalike)
 
     # -- submission --------------------------------------------------------
@@ -364,9 +397,11 @@ class ReenactmentService:
                 for xid in xids}
 
     def timeline_scan(self, table: str, timestamps: Sequence[int],
-                      priority: int = PRIORITY_NORMAL) -> JobHandle:
+                      priority: int = PRIORITY_NORMAL,
+                      mode: str = "full") -> JobHandle:
         return self.submit(
-            TimelineScanJob(table=table, timestamps=list(timestamps)),
+            TimelineScanJob(table=table, timestamps=list(timestamps),
+                            mode=mode),
             priority=priority)
 
     def warm(self, table: str, timestamps: Sequence[int]) -> JobHandle:

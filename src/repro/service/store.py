@@ -26,6 +26,15 @@ number of stored snapshots, with least-recently-used entries deleted
 first.  Rows are serialized with :mod:`pickle` (the values are the
 engine's own ints/floats/strings/bools/None — fidelity matters more
 than interchange here; the file is private scratch space).
+
+Two access shapes beyond plain ``put``/``get`` (PR 5):
+:meth:`SnapshotStore.fetch_many` serves a whole planned snapshot set
+in one lock acquisition and one SELECT, and ``async_publish=True``
+turns spilling into **write-behind**: payloads are accepted onto a
+bounded queue and written by a background publisher thread, while
+every lookup checks the queue first — a spill is readable from the
+instant ``put`` returns and durable in the file no later than
+``flush()``/``close()``.
 """
 
 from __future__ import annotations
@@ -58,6 +67,18 @@ class StoreStats:
     rows_spilled: int = 0
     #: total rows served across all rehydrations.
     rows_rehydrated: int = 0
+    #: multi-snapshot reads (:meth:`SnapshotStore.fetch_many` calls) —
+    #: each is one lock acquisition + one SELECT however many
+    #: snapshots it returns.
+    batch_fetches: int = 0
+    #: spills accepted onto the write-behind queue instead of written
+    #: inline (async publishing only).
+    async_queued: int = 0
+    #: write-behind queue drains (publisher batches + forced flushes).
+    queue_flushes: int = 0
+    #: lookups served from the write-behind queue — a spill that was
+    #: readable before its store write landed.
+    pending_hits: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -67,6 +88,10 @@ class StoreStats:
             "evictions": self.evictions,
             "rows_spilled": self.rows_spilled,
             "rows_rehydrated": self.rows_rehydrated,
+            "batch_fetches": self.batch_fetches,
+            "async_queued": self.async_queued,
+            "queue_flushes": self.queue_flushes,
+            "pending_hits": self.pending_hits,
         }
 
 
@@ -76,20 +101,29 @@ class SnapshotStore:
     ``path`` is the SQLite file to use; ``None`` creates a private
     temporary file that is deleted on :meth:`close`.  ``capacity``
     bounds the number of stored snapshots (``None`` = unbounded).
+    ``async_publish`` enables the write-behind queue (see the module
+    docstring); ``queue_capacity`` bounds it — an overfull queue is
+    drained inline by the overflowing caller.
 
-    The ``realm`` half of every key is the identity of the `Database`
-    object a snapshot was taken from (the same namespace the session
-    caches use), so one store can safely serve several databases —
-    but it also means the store is scoped to one process and to the
-    lifetime of those database objects.  The reenactment service pins
-    its database for exactly this reason.
+    The ``realm`` half of every key is the **durable history id** of
+    the `Database` a snapshot was taken from
+    (:attr:`repro.db.engine.Database.history_id` — the same namespace
+    the session caches use), so one store safely serves several
+    databases, survives any one database *object*, and a recycled
+    ``id()`` can never alias two histories.
     """
 
     def __init__(self, path: Optional[str] = None,
-                 capacity: Optional[int] = None):
+                 capacity: Optional[int] = None,
+                 async_publish: bool = False,
+                 queue_capacity: int = 64):
         if capacity is not None and capacity < 1:
             raise ServiceError(
                 f"snapshot store capacity must be >= 1, got {capacity}")
+        if queue_capacity < 1:
+            raise ServiceError(
+                f"spill queue capacity must be >= 1, "
+                f"got {queue_capacity}")
         self._owns_file = path is None
         if path is None:
             fd, path = tempfile.mkstemp(prefix="repro_spill_",
@@ -110,6 +144,23 @@ class SnapshotStore:
             "  payload BLOB NOT NULL,"
             "  last_used INTEGER NOT NULL)")
         self._conn.commit()
+        #: write-behind publishing (see :meth:`put`): spills are
+        #: accepted onto a bounded in-memory queue and written to
+        #: SQLite by a background publisher thread, so eviction on a
+        #: worker costs a dict insert instead of pickle + disk I/O.
+        #: Queued payloads stay readable the whole time — every lookup
+        #: checks the queue before the SQLite tier.
+        self.async_publish = async_publish
+        self.queue_capacity = queue_capacity
+        self._pending: Dict[str, List[Tuple]] = {}
+        self._drain = threading.Condition(self._lock)
+        self._paused = False
+        self._publisher: Optional[threading.Thread] = None
+        if async_publish:
+            self._publisher = threading.Thread(
+                target=self._publish_loop,
+                name="snapshot-store-publisher", daemon=True)
+            self._publisher.start()
 
     # -- keying ------------------------------------------------------------
 
@@ -119,37 +170,72 @@ class SnapshotStore:
 
     # -- spill / rehydrate -------------------------------------------------
 
-    def put(self, realm: int, table: str, ts: int,
+    def put(self, realm, table: str, ts: int,
             rows: List[Tuple]) -> None:
         """Save a snapshot's rows (idempotent: re-spilling a key
         replaces its payload — both copies describe the same immutable
         committed state, so either is correct).  Serialization happens
         outside the lock; concurrent writers of the same key are both
-        correct, last one wins."""
+        correct, last one wins.
+
+        With ``async_publish`` the rows are accepted onto the
+        write-behind queue instead — immediately readable via any
+        lookup, durably written by the publisher thread (at the latest
+        when :meth:`flush` or :meth:`close` runs).  A caller that
+        lands on a full queue drains it inline, so the queue stays
+        bounded under bursts."""
+        if self.async_publish:
+            overflow = False
+            with self._drain:
+                self._check_open()
+                self._pending[self._skey(realm, table, ts)] = \
+                    [tuple(row) for row in rows]
+                self.stats.spills += 1
+                self.stats.rows_spilled += len(rows)
+                self.stats.async_queued += 1
+                overflow = len(self._pending) > self.queue_capacity
+                self._drain.notify_all()
+            if overflow:
+                self.flush()
+            return
         payload = pickle.dumps([tuple(row) for row in rows],
                                protocol=pickle.HIGHEST_PROTOCOL)
         with self._lock:
             self._check_open()
+            self._write_payloads(
+                [(self._skey(realm, table, ts), len(rows), payload)])
+            self.stats.spills += 1
+            self.stats.rows_spilled += len(rows)
+
+    def _write_payloads(self, payloads) -> None:
+        """Write serialized snapshots ``(skey, n_rows, payload)`` in
+        one transaction; the caller holds the lock."""
+        for skey, n_rows, payload in payloads:
             self._tick += 1
             self._conn.execute(
                 "INSERT OR REPLACE INTO snapshots VALUES (?, ?, ?, ?)",
-                (self._skey(realm, table, ts), len(rows), payload,
-                 self._tick))
-            self.stats.spills += 1
-            self.stats.rows_spilled += len(rows)
-            self._enforce_capacity()
-            self._conn.commit()
+                (skey, n_rows, payload, self._tick))
+        self._enforce_capacity()
+        self._conn.commit()
 
-    def get(self, realm: int, table: str,
+    def get(self, realm, table: str,
             ts: int) -> Optional[List[Tuple]]:
         """The stored rows for a snapshot, refreshing its LRU recency —
         or ``None`` when the snapshot was never spilled (or has been
-        evicted from the store).  Deserialization happens outside the
-        lock, like :meth:`put`'s serialization, so concurrent
-        rehydrations of large snapshots don't convoy behind it."""
+        evicted from the store).  An in-flight write-behind spill is
+        served straight from the queue.  Deserialization happens
+        outside the lock, like :meth:`put`'s serialization, so
+        concurrent rehydrations of large snapshots don't convoy behind
+        it."""
         skey = self._skey(realm, table, ts)
         with self._lock:
             self._check_open()
+            pending = self._pending.get(skey)
+            if pending is not None:
+                self.stats.pending_hits += 1
+                self.stats.rehydrations += 1
+                self.stats.rows_rehydrated += len(pending)
+                return list(pending)
             row = self._conn.execute(
                 "SELECT payload FROM snapshots WHERE skey = ?",
                 (skey,)).fetchone()
@@ -167,10 +253,60 @@ class SnapshotStore:
             self.stats.rows_rehydrated += len(rows)
         return rows
 
-    def __contains__(self, key: Tuple[int, str, int]) -> bool:
+    def fetch_many(self, realm, pairs
+                   ) -> Dict[Tuple[str, int], List[Tuple]]:
+        """Every stored snapshot among ``pairs`` (an iterable of
+        ``(table, ts)``), as one read: a single lock acquisition and a
+        single SELECT serve the whole batch, and every found entry's
+        LRU recency is refreshed in the same transaction — the
+        store-aware half of pipelined priming, vs one :meth:`get`
+        round-trip per snapshot.  Absent pairs are simply missing from
+        the result.  In-flight write-behind spills are included."""
+        wanted = {self._skey(realm, table, ts): (table, int(ts))
+                  for table, ts in pairs}
+        out: Dict[Tuple[str, int], List[Tuple]] = {}
+        payloads: List[Tuple[Tuple[str, int], bytes]] = []
+        with self._lock:
+            self._check_open()
+            self.stats.batch_fetches += 1
+            remaining = []
+            for skey, pair in wanted.items():
+                pending = self._pending.get(skey)
+                if pending is not None:
+                    out[pair] = list(pending)
+                    self.stats.pending_hits += 1
+                else:
+                    remaining.append(skey)
+            if remaining:
+                marks = ", ".join("?" * len(remaining))
+                found = self._conn.execute(
+                    f"SELECT skey, payload FROM snapshots "
+                    f"WHERE skey IN ({marks})", remaining).fetchall()
+                found_keys = [skey for skey, _ in found]
+                if found_keys:
+                    self._tick += 1
+                    self._conn.execute(
+                        f"UPDATE snapshots SET last_used = ? WHERE "
+                        f"skey IN ({', '.join('?' * len(found_keys))})",
+                        [self._tick] + found_keys,)
+                    self._conn.commit()
+                payloads = [(wanted[skey], payload)
+                            for skey, payload in found]
+                self.stats.misses += len(remaining) - len(found)
+        for pair, payload in payloads:
+            out[pair] = pickle.loads(payload)
+        with self._lock:
+            self.stats.rehydrations += len(out)
+            self.stats.rows_rehydrated += sum(len(rows)
+                                              for rows in out.values())
+        return out
+
+    def __contains__(self, key: Tuple) -> bool:
         realm, table, ts = key
         with self._lock:
             self._check_open()
+            if self._skey(realm, table, ts) in self._pending:
+                return True
             row = self._conn.execute(
                 "SELECT 1 FROM snapshots WHERE skey = ?",
                 (self._skey(realm, table, ts),)).fetchone()
@@ -179,8 +315,93 @@ class SnapshotStore:
     def __len__(self) -> int:
         with self._lock:
             self._check_open()
-            return self._conn.execute(
+            stored = self._conn.execute(
                 "SELECT COUNT(*) FROM snapshots").fetchone()[0]
+            unwritten = sum(
+                1 for skey in self._pending
+                if self._conn.execute(
+                    "SELECT 1 FROM snapshots WHERE skey = ?",
+                    (skey,)).fetchone() is None)
+        return stored + unwritten
+
+    def pending_count(self) -> int:
+        """Write-behind spills not yet flushed to the SQLite tier."""
+        with self._lock:
+            return len(self._pending)
+
+    # -- write-behind publishing -------------------------------------------
+
+    def _publish_loop(self) -> None:
+        """Background publisher: drain the pending queue in batches.
+        Serialization happens outside the lock (the expensive part of
+        a spill), the SQLite write inside it."""
+        while True:
+            with self._drain:
+                while not self._closed \
+                        and (not self._pending or self._paused):
+                    self._drain.wait()
+                if self._closed:
+                    return  # close() drains what remains itself
+                batch = dict(self._pending)
+            payloads = [(skey, len(rows),
+                         pickle.dumps(rows,
+                                      protocol=pickle.HIGHEST_PROTOCOL))
+                        for skey, rows in batch.items()]
+            with self._drain:
+                if self._closed:
+                    return
+                self._write_payloads(payloads)
+                for skey, rows in batch.items():
+                    if self._pending.get(skey) is rows:
+                        del self._pending[skey]
+                self.stats.queue_flushes += 1
+                self._drain.notify_all()
+
+    def _drain_locked(self) -> int:
+        """Write every pending spill inline (caller holds the lock)."""
+        batch = dict(self._pending)
+        if not batch:
+            return 0
+        payloads = [(skey, len(rows),
+                     pickle.dumps(rows,
+                                  protocol=pickle.HIGHEST_PROTOCOL))
+                    for skey, rows in batch.items()]
+        self._write_payloads(payloads)
+        for skey, rows in batch.items():
+            if self._pending.get(skey) is rows:
+                del self._pending[skey]
+        self.stats.queue_flushes += 1
+        self._drain.notify_all()
+        return len(batch)
+
+    def flush(self) -> int:
+        """Force every queued write-behind spill into the SQLite tier
+        before returning — the durability hand-off sessions invoke on
+        close.  Returns the number of entries this call wrote inline
+        (0 when the publisher thread did the writing, or there was
+        nothing to flush).  No-op on a synchronous store."""
+        if not self.async_publish:
+            return 0
+        with self._drain:
+            self._check_open()
+            while self._pending:
+                if self._paused or self._publisher is None \
+                        or not self._publisher.is_alive():
+                    return self._drain_locked()
+                self._drain.notify_all()
+                self._drain.wait(timeout=0.5)
+            return 0
+
+    def pause_publisher(self) -> None:
+        """Failpoint (tests/operations): hold background writes so
+        queued spills stay in flight — lookups must still see them."""
+        with self._drain:
+            self._paused = True
+
+    def resume_publisher(self) -> None:
+        with self._drain:
+            self._paused = False
+            self._drain.notify_all()
 
     def _enforce_capacity(self) -> None:
         if self.capacity is None:
@@ -206,10 +427,20 @@ class SnapshotStore:
             raise ServiceError("snapshot store is closed")
 
     def close(self) -> None:
-        with self._lock:
+        publisher = None
+        with self._drain:
             if self._closed:
                 return
+            if self._pending:
+                # write-behind durability: whatever is still queued
+                # lands in the store before the connection closes
+                self._drain_locked()
             self._closed = True
+            publisher = self._publisher
+            self._drain.notify_all()
+        if publisher is not None:
+            publisher.join(timeout=5)
+        with self._lock:
             self._conn.close()
             if self._owns_file:
                 try:

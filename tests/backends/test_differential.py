@@ -20,7 +20,13 @@ and ``delta`` runs the same long-lived sweep with *forced* incremental
 materialization (``SQLiteBackend(delta="always")``): every snapshot
 after a table's first is built by patching a cached neighbor with the
 version-history delta, and the results must still be identical to the
-interpreter's.
+interpreter's.  A fourth mode, ``inplace``, is the snapshot
+*pipeline's* adversarial sweep: every transaction is compiled first,
+the whole ordered series of snapshot sets is primed through
+``session.snapshot_pipeline`` on a **capacity-1** cache with
+``pipeline="always"`` — so whenever a cached version's last reader is
+behind the cursor it is destructively patched forward in place (a
+move, no clone), and the answers still must not change.
 
 The ``smoke`` subset (first few seeds) is what CI runs inside its
 30-second budget; the full sweep covers 50+ histories across both
@@ -42,10 +48,71 @@ from conftest import (assert_relations_match, build_history,
 SMOKE_SEEDS = list(range(3))
 FULL_SEEDS = list(range(25))
 ISOLATION_LEVELS = ["SERIALIZABLE", "READ COMMITTED"]
-MODES = ["oneshot", "session", "delta"]
+MODES = ["oneshot", "session", "delta", "inplace"]
 
 STRICT_OPTIONS = ReenactmentOptions(annotations=True,
                                     include_deleted=True)
+
+
+def _inplace_moves_expected(snapshot_sets):
+    """Whether the forced patch-in-place sweep over these compiled
+    snapshot sets must perform at least one move: every cached version
+    whose (unique) reader is behind the cursor is movable, so any two
+    consecutive compiles touching the same table force one.  Shared
+    pairs make movability depend on interleaving — then the check is
+    vacuous rather than flaky."""
+    readers = {}
+    for index, snapshots in enumerate(snapshot_sets):
+        for pair in {(t, ts) for t, ts in snapshots if ts is not None}:
+            readers.setdefault(pair, []).append(index)
+    if any(len(r) > 1 for r in readers.values()):
+        return False
+    tables_by_set = [{t for t, ts in snapshots if ts is not None}
+                     for snapshots in snapshot_sets]
+    return any(tables_by_set[i] & tables_by_set[i + 1]
+               for i in range(len(tables_by_set) - 1))
+
+
+def check_inplace_differential(db, reenactor, seed, isolation):
+    """The ``inplace`` mode body: compile every committed transaction
+    first, hand the ordered snapshot-set series to the session's
+    snapshot pipeline on a capacity-1 cache with moves forced
+    (``pipeline="always"``), execute each compile un-primed, and
+    require every result to match the in-memory interpreter's."""
+    xids = committed_xids(db)
+    sqlite_options = dataclasses.replace(STRICT_OPTIONS,
+                                         backend="sqlite")
+    compiles = [reenactor.compile(reenactor.transaction_record(xid),
+                                  sqlite_options)
+                for xid in xids]
+    backend = SQLiteBackend(delta="always", pipeline="always",
+                            cache_capacity=1)
+    checked = 0
+    with resolve_backend("memory").open_session() as mem_session, \
+            backend.open_session() as sq_session:
+        ctx = db.context(params={})
+        sets = [compiled.snapshots for compiled in compiles]
+        with sq_session.snapshot_pipeline(sets, ctx) as pipe:
+            for index, (xid, compiled) in enumerate(zip(xids,
+                                                        compiles)):
+                mem = reenactor.reenact(xid, STRICT_OPTIONS,
+                                        session=mem_session)
+                pipe.prime(index)
+                sq = reenactor.execute(compiled, session=sq_session,
+                                       prime=False)
+                assert set(mem.tables) == set(sq.tables)
+                for table in mem.tables:
+                    assert_relations_match(
+                        mem.tables[table], sq.tables[table],
+                        context=f"seed={seed} isolation={isolation} "
+                                f"mode=inplace xid={xid} table={table}")
+                checked += 1
+        stats = sq_session.stats
+    if checked and _inplace_moves_expected(sets):
+        assert stats.patched_in_place > 0, \
+            f"forced patch-in-place sweep never moved: seed={seed} " \
+            f"isolation={isolation} stats={stats.as_dict()}"
+    return checked
 
 
 def check_history_differential(seed, isolation, mode="oneshot"):
@@ -59,9 +126,14 @@ def check_history_differential(seed, isolation, mode="oneshot"):
     reused (and must not leak into) later ones; ``mode="delta"`` is the
     same sweep with incremental materialization forced on the SQLite
     side — every snapshot that *can* be a delta patch must be one, and
-    nothing may change."""
+    nothing may change; ``mode="inplace"`` forces the snapshot
+    pipeline's destructive moves on a capacity-1 cache (see
+    :func:`check_inplace_differential`)."""
     db = build_history(seed, isolation)
     reenactor = Reenactor(db)
+    if mode == "inplace":
+        return db, check_inplace_differential(db, reenactor, seed,
+                                              isolation)
     with contextlib.ExitStack() as stack:
         sessions = {"memory": None, "sqlite": None}
         if mode in ("session", "delta"):
@@ -238,11 +310,48 @@ def test_service_differential_full(seed, isolation):
     assert check_history_service_differential(seed, isolation) > 0
 
 
+def _equivalence_fingerprint(report):
+    """Every observable field of an equivalence report, as plain data
+    — the byte-identical comparison for the union-priming ablation."""
+    return [(c.table, c.ok, sorted(c.written_expected.items()),
+             sorted(c.written_actual.items()), c.deleted_expected,
+             c.deleted_actual, sorted(c.final_expected.items()),
+             sorted(c.final_actual.items()), c.detail)
+            for c in report.checks]
+
+
+@pytest.mark.parametrize("isolation", ISOLATION_LEVELS)
+@pytest.mark.parametrize("seed", SMOKE_SEEDS)
+def test_equivalence_union_priming_identical(seed, isolation):
+    """Union priming is a materialization strategy, not a semantics
+    change: a whole-history equivalence sweep must produce
+    byte-identical reports with it on and off (and agree with the
+    in-memory interpreter), while the pipelined sweep actually moves
+    snapshots forward in place on a delta-capable backend."""
+    from repro.backends import SQLiteBackend
+    from repro.core.equivalence import check_history_equivalence
+    db = build_history(seed, isolation)
+    backend = SQLiteBackend(delta="always", cache_capacity=1)
+    on = check_history_equivalence(db, backend=backend,
+                                   union_priming=True)
+    off = check_history_equivalence(db, backend="sqlite",
+                                    union_priming=False)
+    mem = check_history_equivalence(db, backend="memory")
+    assert set(on) == set(off) == set(mem) and on
+    for xid in on:
+        fp = _equivalence_fingerprint(on[xid])
+        assert fp == _equivalence_fingerprint(off[xid])
+        assert fp == _equivalence_fingerprint(mem[xid])
+        assert on[xid].ok
+
+
 def test_sweep_covers_fifty_histories():
     """Acceptance guard: the parametrized sweep must span ≥ 50
     distinct seeded histories, each in every execution mode —
-    including the forced-delta materialization mode and the concurrent
-    service-scheduler mode."""
+    including the forced-delta materialization mode, the forced
+    patch-in-place pipeline mode and the concurrent service-scheduler
+    mode."""
     assert len(FULL_SEEDS) * len(ISOLATION_LEVELS) >= 50
-    assert set(MODES) == {"oneshot", "session", "delta"}
+    assert set(MODES) == {"oneshot", "session", "delta", "inplace"}
     assert check_history_service_differential.__doc__ is not None
+    assert check_inplace_differential.__doc__ is not None

@@ -1,0 +1,260 @@
+"""The planned snapshot pipeline: moves, batching, union priming.
+
+Pins the PR-5 materialization pipeline's observable contract:
+
+* a pipelined timeline walk is **one** full build plus N-1
+  patch-in-place moves — no clones, no evictions, one live temp table;
+* a move is only planned when the pipeline can prove nothing reads the
+  source version again (a later set re-reading it downgrades the step
+  to a clone);
+* rehydration of a planned snapshot set is **one** store read
+  (``SnapshotStore.fetch_many``) for every store-resident key;
+* cache/store realms are durable history ids, so two databases can
+  share one store without aliasing;
+* the new :class:`SessionStats` counters are carried by ``as_dict`` and
+  ``merge``.
+"""
+
+import pytest
+
+from repro import Database, SnapshotStore
+from repro.backends import SQLiteBackend, resolve_backend
+from repro.backends.base import (SessionStats, SnapshotPipeline,
+                                 SnapshotPlan, SnapshotPlanStep)
+from repro.backends.sqlite import SQLitePipeline
+from repro.debugger.timeline import timeline_states
+from repro.errors import ExecutionError
+
+from conftest import assert_relations_match
+
+
+def history(n_rows=30, n_commits=6):
+    """One table, a seed commit, then a run of single-row updates —
+    distinct committed states at each returned timestamp."""
+    db = Database()
+    db.execute("CREATE TABLE acct (id INT, bal INT)")
+    conn = db.connect()
+    conn.begin()
+    for i in range(n_rows):
+        conn.execute(f"INSERT INTO acct VALUES ({i}, 100)")
+    conn.commit()
+    timestamps = [db.clock.now()]
+    for k in range(n_commits - 1):
+        conn.begin()
+        conn.execute(f"UPDATE acct SET bal = bal + 1 "
+                     f"WHERE id = {k % n_rows}")
+        conn.commit()
+        timestamps.append(db.clock.now())
+    return db, timestamps
+
+
+def test_timeline_walk_is_one_build_plus_moves():
+    """A pipelined timeline scan materializes the first state once and
+    *moves* it forward tick by tick: delta-sized work, no clones, and —
+    because a move re-keys instead of re-creating — not a single
+    eviction even on a capacity-1 cache."""
+    db, timestamps = history()
+    backend = SQLiteBackend(cache_capacity=1)
+    with backend.open_session() as session:
+        states = timeline_states(db, "acct", timestamps,
+                                 session=session, mode="sparkline")
+        stats = session.stats
+        assert stats.full_materializations == 1
+        assert stats.patched_in_place == len(timestamps) - 1
+        assert stats.delta_materializations == 0
+        assert stats.snapshots_evicted == 0
+    assert [states[ts].rows[0][0] for ts in timestamps] \
+        == [30] * len(timestamps)
+
+
+def test_timeline_full_mode_matches_memory_backend():
+    db, timestamps = history()
+    sqlite_states = timeline_states(db, "acct", timestamps,
+                                    backend="sqlite")
+    memory_states = timeline_states(db, "acct", timestamps,
+                                    backend="memory")
+    for ts in timestamps:
+        assert_relations_match(memory_states[ts], sqlite_states[ts],
+                               context=f"ts={ts}")
+
+
+def test_timeline_rejects_unknown_mode():
+    db, timestamps = history(n_commits=2)
+    with pytest.raises(Exception, match="mode"):
+        timeline_states(db, "acct", timestamps, mode="everything")
+
+
+def test_move_denied_while_a_later_set_reads_the_source():
+    """A version some *later* set re-reads must not be consumed: the
+    hop to the next version is a clone, the source stays cached, and
+    the re-read is a shared prime."""
+    db, timestamps = history(n_commits=3)
+    t1, t2 = timestamps[0], timestamps[1]
+    backend = SQLiteBackend()
+    ctx = db.context(params={})
+    with backend.open_session() as session:
+        sets = [[("acct", t1)], [("acct", t2)], [("acct", t1)]]
+        with session.snapshot_pipeline(sets, ctx) as pipe:
+            for index in range(3):
+                pipe.prime(index)
+        stats = session.stats
+        assert stats.patched_in_place == 0
+        assert stats.delta_materializations == 1
+        assert stats.primes_shared == 1
+        assert stats.snapshots_materialized == 2  # t1 once, t2 once
+
+
+def test_pipeline_prime_order_is_enforced():
+    db, timestamps = history(n_commits=3)
+    ctx = db.context(params={})
+    with SQLiteBackend().open_session() as session:
+        sets = [[("acct", ts)] for ts in timestamps]
+        pipe = session.snapshot_pipeline(sets, ctx)
+        assert isinstance(pipe, SQLitePipeline)
+        pipe.prime(1)
+        with pytest.raises(ExecutionError, match="out of order"):
+            pipe.prime(0)
+        with pytest.raises(ExecutionError, match="cannot prime"):
+            pipe.prime(len(sets))
+        pipe.close()
+        with pytest.raises(ExecutionError, match="closed"):
+            pipe.prime(2)
+
+
+def test_pipeline_off_backend_degrades_to_hints():
+    """``pipeline="off"`` is the PR-4 baseline: the base per-set hint
+    pipeline, never a move — and the results are unchanged."""
+    db, timestamps = history()
+    backend = SQLiteBackend(pipeline="off")
+    with backend.open_session() as session:
+        pipe = session.snapshot_pipeline([[("acct", timestamps[0])]],
+                                         db.context(params={}))
+        assert type(pipe) is SnapshotPipeline
+        pipe.close()
+        states = timeline_states(db, "acct", timestamps,
+                                 session=session, mode="sparkline")
+        assert session.stats.patched_in_place == 0
+        assert session.stats.batch_rehydrated == 0
+    assert all(states[ts].rows[0][0] == 30 for ts in timestamps)
+
+
+def test_planned_set_rehydrates_in_one_store_read():
+    """Every store-resident snapshot a plan needs comes back in one
+    ``fetch_many`` — one lock acquisition, one SELECT — instead of a
+    get() per key."""
+    db, timestamps = history(n_commits=4)
+    probe = timestamps[:3]
+    store = SnapshotStore()
+    warm = SQLiteBackend(delta="off", spill_store=store)
+    ctx = db.context(params={})
+    with warm.open_session() as session:
+        # write-through publishes each full materialization
+        session.prime_snapshots([("acct", ts) for ts in probe], ctx)
+        assert session.stats.snapshots_spilled == len(probe)
+    cold = SQLiteBackend(delta="off", spill_store=store)
+    with cold.open_session() as session:
+        before = store.stats.batch_fetches
+        session.prime_snapshots([("acct", ts) for ts in probe], ctx)
+        assert session.stats.batch_rehydrated == len(probe)
+        assert session.stats.snapshots_rehydrated == len(probe)
+        assert session.stats.full_materializations == 0
+        assert store.stats.batch_fetches == before + 1
+    store.close()
+
+
+def test_realms_are_durable_history_ids():
+    """Two databases with byte-identical histories share a store
+    without aliasing: realms are per-history UUIDs, not recyclable
+    object addresses."""
+    db_a, ts_a = history(n_commits=2)
+    db_b, ts_b = history(n_commits=2)
+    assert db_a.history_id != db_b.history_id
+    store = SnapshotStore()
+    backend_a = SQLiteBackend(delta="off", spill_store=store)
+    ctx_a = db_a.context(params={})
+    with backend_a.open_session() as session:
+        session.prime_snapshots([("acct", ts_a[0])], ctx_a)
+        assert session.stats.snapshots_spilled == 1
+    assert (db_a.history_id, "acct", ts_a[0]) in store
+    backend_b = SQLiteBackend(delta="off", spill_store=store)
+    ctx_b = db_b.context(params={})
+    with backend_b.open_session() as session:
+        # same (table, ts) pair, different history: must NOT rehydrate
+        session.prime_snapshots([("acct", ts_b[0])], ctx_b)
+        assert session.stats.snapshots_rehydrated == 0
+        assert session.stats.full_materializations == 1
+    store.close()
+
+
+def test_primes_shared_counts_cross_compile_hand_offs():
+    db, timestamps = history(n_commits=2)
+    ctx = db.context(params={})
+    pair = ("acct", timestamps[0])
+    with SQLiteBackend().open_session() as session:
+        with session.snapshot_pipeline([[pair], [pair], [pair]],
+                                       ctx) as pipe:
+            for index in range(3):
+                pipe.prime(index)
+        assert session.stats.primes_shared == 2
+        assert session.stats.snapshots_materialized == 1
+
+
+def test_plan_emits_reuse_cached_for_resident_pairs():
+    """The plan vocabulary matches reality: a bound pair that is
+    already resident appears as a ``reuse-cached`` step, a fresh
+    neighbor as ``clone-delta``."""
+    db, timestamps = history(n_commits=2)
+    ctx = db.context(params={})
+    with SQLiteBackend().open_session() as session:
+        session.prime_snapshots([("acct", timestamps[0])], ctx)
+        binder = session._binder(ctx, priming=True)
+        binder.bind_key("acct", timestamps[0])  # resident
+        binder.bind_key("acct", timestamps[1])  # fresh
+        binder.materialize(session.conn)
+        assert binder.plan.counts() == {"reuse-cached": 1,
+                                        "clone-delta": 1}
+
+
+def test_snapshot_plan_counts():
+    plan = SnapshotPlan(steps=[
+        SnapshotPlanStep(op="full-build", table="t", ts=1),
+        SnapshotPlanStep(op="patch-in-place", table="t", ts=2,
+                         source_ts=1),
+        SnapshotPlanStep(op="patch-in-place", table="t", ts=3,
+                         source_ts=2),
+    ])
+    assert plan.counts() == {"patch-in-place": 2, "full-build": 1}
+    assert len(plan) == 3
+
+
+def test_session_stats_carry_pipeline_counters():
+    stats = SessionStats(patched_in_place=2, batch_rehydrated=3,
+                         primes_shared=4, spill_queue_flushes=5)
+    payload = stats.as_dict()
+    assert payload["patched_in_place"] == 2
+    assert payload["batch_rehydrated"] == 3
+    assert payload["primes_shared"] == 4
+    assert payload["spill_queue_flushes"] == 5
+    other = SessionStats(patched_in_place=1, batch_rehydrated=1,
+                         primes_shared=1, spill_queue_flushes=1)
+    other.merge(stats)
+    assert other.patched_in_place == 3
+    assert other.batch_rehydrated == 4
+    assert other.primes_shared == 5
+    assert other.spill_queue_flushes == 6
+
+
+def test_moved_snapshot_is_rematerializable_afterwards():
+    """Requesting a version after it was consumed by a move simply
+    rebuilds it — destructive moves never change answers, only
+    costs."""
+    db, timestamps = history(n_commits=3)
+    ctx = db.context(params={})
+    with SQLiteBackend().open_session() as session:
+        walked = timeline_states(db, "acct", timestamps,
+                                 session=session, mode="full")
+        assert session.stats.patched_in_place == len(timestamps) - 1
+        again = timeline_states(db, "acct", [timestamps[0]],
+                                session=session, mode="full")
+    assert_relations_match(walked[timestamps[0]],
+                           again[timestamps[0]], context="re-request")

@@ -27,7 +27,8 @@ Quickstart::
     ...
 """
 
-from repro.db import Database, DatabaseConfig, IsolationLevel, Session
+from repro.db import (Database, DatabaseConfig, IsolationLevel, Session,
+                      WriteAheadLog)
 from repro.backends import (BackendSession, ExecutionBackend,
                             InMemoryBackend, SQLiteBackend,
                             available_backends, resolve_backend)
@@ -35,10 +36,11 @@ from repro.errors import ReproError
 from repro.service import (ReenactmentService, ResultCache,
                            SnapshotStore)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Database", "DatabaseConfig", "IsolationLevel", "Session",
+    "WriteAheadLog",
     "BackendSession", "ExecutionBackend", "InMemoryBackend",
     "SQLiteBackend", "available_backends", "resolve_backend",
     "ReenactmentService", "ResultCache", "SnapshotStore",

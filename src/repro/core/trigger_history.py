@@ -220,7 +220,7 @@ class TriggerHistory:
         rows.sort(key=lambda r: (r[2], 0 if r[1] == "BEGIN" else 1))
         for xid, kind, ts, stmt_index, sql, isolation, user, \
                 session_id in rows:
-            log.entries.append(AuditLogEntry(
+            log.append(AuditLogEntry(
                 kind=AuditEventKind(kind), xid=xid, ts=ts,
                 isolation=IsolationLevel(isolation), user=user,
                 session_id=session_id, stmt_index=stmt_index, sql=sql))

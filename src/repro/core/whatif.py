@@ -36,9 +36,21 @@ from repro.core.reenactor import (ROWID, ParsedStatement,
                                   ReenactmentOptions, ReenactmentResult,
                                   Reenactor)
 from repro.db.engine import Database
-from repro.errors import WhatIfError
+from repro.errors import (AnalysisError, AuditLogError, ExecutionError,
+                          ReenactmentError, SQLSyntaxError,
+                          TimeTravelError, WhatIfError)
 from repro.sql import ast
 from repro.sql.parser import parse_statement
+
+#: errors reenacting a *recorded* transaction can legitimately raise
+#: (unsupported SQL in the log, audit/time-travel disabled, runtime
+#: evaluation failures).  Conflict analysis degrades gracefully on
+#: these — the transaction's write set is reported as unknown — but
+#: anything else (KeyError, AttributeError, ...) is a bug in the
+#: engine and must propagate, not masquerade as "no conflict".
+EXPECTED_REENACTMENT_ERRORS = (AnalysisError, AuditLogError,
+                               ExecutionError, ReenactmentError,
+                               SQLSyntaxError, TimeTravelError)
 
 
 @dataclass
@@ -70,6 +82,18 @@ class WhatIfResult:
     modified: ReenactmentResult
     diffs: Dict[str, TableDiff]
     conflicts: List[ConflictFinding] = field(default_factory=list)
+    #: concurrent transactions whose write sets could not be
+    #: reconstructed (reenactment failed with an expected error, see
+    #: :data:`EXPECTED_REENACTMENT_ERRORS`), keyed by xid with the
+    #: error text.  Non-empty means :attr:`conflicts` may be missing
+    #: collisions against those transactions.
+    degraded_xids: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """Conflict analysis fell back for at least one concurrent
+        transaction — findings are a lower bound, not the full set."""
+        return bool(self.degraded_xids)
 
     @property
     def changed_tables(self) -> List[str]:
@@ -89,6 +113,10 @@ class WhatIfResult:
                 lines.append(f"  - {row}")
         for conflict in self.conflicts:
             lines.append(f"conflict: {conflict.description}")
+        for xid, error in sorted(self.degraded_xids.items()):
+            lines.append(
+                f"degraded: conflict analysis could not reenact "
+                f"concurrent transaction {xid} ({error})")
         return "\n".join(lines)
 
 
@@ -110,6 +138,9 @@ class WhatIfScenario:
         self._statements = self.reenactor.parsed_statements(self.record)
         self._modified = [copy.deepcopy(s) for s in self._statements]
         self._overrides: Dict[str, Relation] = {}
+        #: xid -> error text for concurrent transactions the most
+        #: recent :meth:`conflict_analysis` could not reenact.
+        self.last_degraded: Dict[int, str] = {}
 
     # -- scenario editing --------------------------------------------------
 
@@ -165,7 +196,7 @@ class WhatIfScenario:
     def run(self, options: Optional[ReenactmentOptions] = None,
             session=None,
             original: Optional[ReenactmentResult] = None,
-            other_writes_cache: Optional[Dict[int, Dict[str, set]]] = None
+            other_writes_cache: Optional[Dict[int, Tuple]] = None
             ) -> WhatIfResult:
         """Reenact original and modified transaction and diff them.
 
@@ -190,6 +221,7 @@ class WhatIfScenario:
                               diffs=diffs)
         result.conflicts = self.conflict_analysis(
             session=session, other_writes_cache=other_writes_cache)
+        result.degraded_xids = dict(self.last_degraded)
         return result
 
     @staticmethod
@@ -223,7 +255,13 @@ class WhatIfScenario:
         concurrent transaction?  Under first-updater-wins, two
         transactions with overlapping execution windows writing the same
         row cannot both commit — the later writer aborts (the promotion
-        trick relies on this, §2)."""
+        trick relies on this, §2).
+
+        Concurrent transactions that cannot be reenacted (expected
+        reenactment failures only) contribute no writes; their xids and
+        errors are recorded in :attr:`last_degraded` and surfaced as
+        :attr:`WhatIfResult.degraded_xids` by :meth:`run`."""
+        self.last_degraded = {}
         written = self._written_rowids(session=session)
         if not written:
             return []
@@ -237,8 +275,10 @@ class WhatIfScenario:
             other_end = other.end_ts or self.db.clock.now()
             if other.begin_ts > my_end or other_end < my_begin:
                 continue  # not concurrent
-            other_written = self._rowids_written_by(
+            other_written, error = self._rowids_written_by(
                 other.xid, session=session, cache=other_writes_cache)
+            if error is not None:
+                self.last_degraded[other.xid] = error
             for table, rowids in written.items():
                 overlap = rowids & other_written.get(table, set())
                 for rowid in sorted(overlap):
@@ -263,14 +303,15 @@ class WhatIfScenario:
         return _physical_writes(result)
 
     def _rowids_written_by(self, xid: int, session=None,
-                           cache: Optional[
-                               Dict[int, Dict[str, set]]] = None
-                           ) -> Dict[str, set]:
+                           cache: Optional[Dict[int, Tuple]] = None
+                           ) -> Tuple[Dict[str, set], Optional[str]]:
         """Rows a transaction wrote, from the audit log via
         reenactment (aborted transactions have no committed effects but
         their *attempted* writes still conflict; we approximate with
-        their reenacted writes).  Scenario edits never change what
-        *other* transactions wrote, so a fleet shares one ``cache``."""
+        their reenacted writes).  Returns ``(writes, error)`` — on an
+        expected reenactment failure the writes are ``{}`` and
+        ``error`` names it.  Scenario edits never change what *other*
+        transactions wrote, so a fleet shares one ``cache``."""
         if cache is not None and xid in cache:
             return cache[xid]
         out = self._compute_rowids_written_by(xid, session)
@@ -278,20 +319,21 @@ class WhatIfScenario:
             cache[xid] = out
         return out
 
-    def _compute_rowids_written_by(self, xid: int,
-                                   session=None) -> Dict[str, set]:
+    def _compute_rowids_written_by(
+            self, xid: int, session=None
+    ) -> Tuple[Dict[str, set], Optional[str]]:
         record = self.db.audit_log.transaction_record(xid)
         if not record.statements:
-            return {}
+            return {}, None
+        options = ReenactmentOptions(annotations=True,
+                                     include_deleted=True,
+                                     only_affected=True)
         try:
-            options = ReenactmentOptions(annotations=True,
-                                         include_deleted=True,
-                                         only_affected=True)
             result = self.reenactor.reenact(xid, options,
                                             session=session)
-        except Exception:
-            return {}
-        return _physical_writes(result)
+        except EXPECTED_REENACTMENT_ERRORS as exc:
+            return {}, f"{type(exc).__name__}: {exc}"
+        return _physical_writes(result), None
 
     # -- helpers ----------------------------------------------------------------------
 
@@ -358,6 +400,10 @@ class WhatIfFleet:
         #: session statistics of the most recent :meth:`run` — the
         #: observable proof of snapshot reuse (tests assert on it).
         self.last_stats = None
+        #: merged :attr:`WhatIfResult.degraded_xids` of the most recent
+        #: :meth:`run`: concurrent transactions whose writes no
+        #: scenario's conflict analysis could reconstruct.
+        self.last_degraded: Dict[int, str] = {}
 
     # -- building the fleet -------------------------------------------------
 
@@ -432,13 +478,15 @@ class WhatIfFleet:
     def _run_on(self, session,
                 options: ReenactmentOptions) -> Dict[str, WhatIfResult]:
         results: Dict[str, WhatIfResult] = {}
-        other_writes: Dict[int, Dict[str, set]] = {}
+        other_writes: Dict[int, Tuple] = {}
         compiled = self.reenactor.compile(self.record, options)
         original = self.reenactor.execute(compiled, session=session)
+        self.last_degraded = {}
         for name, scenario in self._scenarios:
             results[name] = scenario.run(
                 options, session=session, original=original,
                 other_writes_cache=other_writes)
+            self.last_degraded.update(results[name].degraded_xids)
         self.last_stats = session.stats
         return results
 

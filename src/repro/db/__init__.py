@@ -14,8 +14,10 @@ from repro.db.transaction import (IsolationLevel, Transaction,
                                   TransactionStatus, parse_isolation)
 from repro.db.tuples import Version, VersionChain
 from repro.db.types import DataType, lookup_type
+from repro.db.wal import RecoveryReport, WriteAheadLog
 
 __all__ = [
+    "RecoveryReport", "WriteAheadLog",
     "AuditEventKind", "AuditLog", "AuditLogEntry", "StatementRecord",
     "TransactionRecord", "LogicalClock", "Database", "DatabaseConfig",
     "DatabaseContext", "MVCCManager", "Catalog", "Column", "TableSchema",

@@ -80,21 +80,45 @@ class TransactionRecord:
 
     def statement_interval(self, index: int) -> tuple:
         """(start, end) of a statement for the timeline view: start is
-        the statement's timestamp, end is the next statement's timestamp
-        or the transaction's end (Fig. 3 of the paper)."""
+        the statement's timestamp, end is the next statement's
+        timestamp or the transaction's end (Fig. 3 of the paper).  The
+        last statement of a still-active transaction has no end yet —
+        its interval is *open*, represented as ``end is None`` (a
+        fabricated ``ts + 1`` could collide with a real later
+        timestamp)."""
         stmt = self.statements[index]
         if index + 1 < len(self.statements):
-            end = self.statements[index + 1].ts
-        else:
-            end = self.end_ts if self.end_ts is not None else stmt.ts + 1
-        return (stmt.ts, end)
+            return (stmt.ts, self.statements[index + 1].ts)
+        return (stmt.ts, self.end_ts)
 
 
 class AuditLog:
-    """Append-only audit log with per-transaction reconstruction."""
+    """Append-only audit log with per-transaction reconstruction.
+
+    Reconstruction is served by a per-xid entry index so that
+    :meth:`transaction_record` costs O(entries-of-xid), not a scan of
+    the whole log — :meth:`transactions` (timeline panels) and WAL
+    recovery replay rebuild *every* transaction and would otherwise be
+    quadratic in history length.  The index is maintained lazily
+    (callers such as the trigger-history rebuild append to
+    :attr:`entries` directly); every query first folds the unindexed
+    tail in.
+    """
 
     def __init__(self):
         self.entries: List[AuditLogEntry] = []
+        self._by_xid: Dict[int, List[AuditLogEntry]] = {}
+        self._indexed = 0
+
+    def append(self, entry: AuditLogEntry) -> None:
+        """Append a pre-built entry (WAL replay, history rebuilds)."""
+        self.entries.append(entry)
+
+    def _sync_index(self) -> None:
+        while self._indexed < len(self.entries):
+            entry = self.entries[self._indexed]
+            self._by_xid.setdefault(entry.xid, []).append(entry)
+            self._indexed += 1
 
     # -- recording (called by the engine) ---------------------------------
 
@@ -126,10 +150,14 @@ class AuditLog:
     # -- querying (consumed by reenactor / debugger) -----------------------
 
     def transaction_record(self, xid: int) -> TransactionRecord:
+        self._sync_index()
+        entries = self._by_xid.get(xid)
+        if not entries:
+            raise AuditLogError(
+                f"transaction {xid} not found in the audit log (is audit "
+                f"logging enabled?)")
         record: Optional[TransactionRecord] = None
-        for entry in self.entries:
-            if entry.xid != xid:
-                continue
+        for entry in entries:
             if entry.kind is AuditEventKind.BEGIN:
                 record = TransactionRecord(
                     xid=xid, isolation=entry.isolation,
@@ -146,17 +174,11 @@ class AuditLog:
                 record.commit_ts = entry.ts
             elif entry.kind is AuditEventKind.ABORT:
                 record.abort_ts = entry.ts
-        if record is None:
-            raise AuditLogError(
-                f"transaction {xid} not found in the audit log (is audit "
-                f"logging enabled?)")
         return record
 
     def transaction_ids(self) -> List[int]:
-        seen: Dict[int, None] = {}
-        for entry in self.entries:
-            seen.setdefault(entry.xid, None)
-        return list(seen)
+        self._sync_index()
+        return list(self._by_xid)
 
     def transactions(self, start_ts: Optional[int] = None,
                      end_ts: Optional[int] = None,

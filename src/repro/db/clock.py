@@ -31,5 +31,15 @@ class LogicalClock:
         if ts > self._now:
             self._now = ts
 
+    def restore(self, ts: int) -> None:
+        """Reset to a recovered reading (WAL checkpoint restore).  The
+        clock must not have ticked past ``ts`` already — recovery runs
+        on a pristine database, and a clock that moved backwards would
+        hand out timestamps that collide with recorded history."""
+        if ts < self._now:
+            raise ValueError(
+                f"cannot restore clock to {ts}: already at {self._now}")
+        self._now = ts
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"LogicalClock(now={self._now})"

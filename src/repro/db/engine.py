@@ -27,7 +27,7 @@ from repro.db.schema import Catalog, Column, TableSchema
 from repro.db.table import VersionedTable
 from repro.db.transaction import IsolationLevel, Transaction
 from repro.db.types import lookup_type
-from repro.errors import CatalogError, TimeTravelError
+from repro.errors import CatalogError, TimeTravelError, WALError
 
 
 @dataclass
@@ -68,6 +68,55 @@ class Database:
         self.on_commit: List = []
         self.on_abort: List = []
         self._firing_triggers = False
+        #: attached write-ahead log (see :meth:`attach_wal`); ``None``
+        #: keeps the history in-memory only.
+        self.wal = None
+        #: :class:`~repro.db.wal.RecoveryReport` of the last
+        #: :meth:`attach_wal`, if any.
+        self.last_recovery = None
+
+    # -- durability ---------------------------------------------------------
+
+    def attach_wal(self, wal, fsync: str = "batch",
+                   batch_bytes: int = 64 * 1024,
+                   checkpoint_every: Optional[int] = None):
+        """Make this history durable via a write-ahead log.
+
+        ``wal`` is a directory path or a prepared
+        :class:`~repro.db.wal.WriteAheadLog`.  If the log already holds
+        a history, this database must be pristine and the history is
+        replayed into it (same ``history_id``, catalog, version chains,
+        audit log and clock — so snapshot stores keyed by the history id
+        serve the recovered database warm).  A fresh log over an
+        already-populated database bootstraps itself with an initial
+        checkpoint.  Returns the attached log.
+        """
+        from repro.db.wal import WriteAheadLog
+        if self.wal is not None:
+            raise WALError(
+                "a write-ahead log is already attached to this database")
+        if not self.config.timetravel_enabled:
+            raise WALError(
+                "the WAL logs per-table commit deltas; it requires "
+                "DatabaseConfig.timetravel_enabled")
+        if not isinstance(wal, WriteAheadLog):
+            wal = WriteAheadLog(wal, fsync=fsync,
+                                batch_bytes=batch_bytes,
+                                checkpoint_every=checkpoint_every)
+        self.last_recovery = wal.attach(self)
+        # only set after replay: replayed operations must not re-log
+        self.wal = wal
+        return wal
+
+    @classmethod
+    def open(cls, path: str, config: Optional[DatabaseConfig] = None,
+             **wal_options) -> "Database":
+        """Recover (or start) a durable database at ``path``: a fresh
+        instance with the WAL's recorded history replayed in and the
+        log attached for further writes."""
+        db = cls(config)
+        db.attach_wal(path, **wal_options)
+        return db
 
     # -- sessions -----------------------------------------------------------
 
@@ -88,6 +137,8 @@ class Database:
         schema = TableSchema(name, columns)
         self.catalog.create(schema)
         self.tables[name] = VersionedTable(schema)
+        if self.wal is not None:
+            self.wal.log_create_table(schema)
 
     def create_table_from_defs(self, name: str, column_defs) -> None:
         columns = []
@@ -101,6 +152,8 @@ class Database:
     def drop_table(self, name: str) -> None:
         self.catalog.drop(name)
         del self.tables[name]
+        if self.wal is not None:
+            self.wal.log_drop_table(name)
 
     def table(self, name: str) -> VersionedTable:
         try:
@@ -203,18 +256,37 @@ class Database:
     def commit_transaction(self, txn: Transaction) -> int:
         commit_ts = self.mvcc.commit(
             txn, keep_history=self.config.timetravel_enabled)
-        if self.config.audit_enabled and getattr(txn, "_audit_begun",
-                                                 False):
+        audited = self.config.audit_enabled and getattr(
+            txn, "_audit_begun", False)
+        if audited:
             self.audit_log.record_commit(txn, commit_ts)
+        if self.wal is not None:
+            writes = {}
+            for table_name, rowids in txn.write_set.items():
+                table = self.tables.get(table_name)
+                if table is None:
+                    continue
+                rows = table.commit_writes(txn.xid, commit_ts, rowids)
+                if rows:
+                    writes[table_name] = rows
+            if writes or audited:
+                self.wal.log_commit(txn, commit_ts, writes, audited)
+                self.wal.maybe_checkpoint(self)
         for hook in self.on_commit:
             hook(txn, commit_ts)
         return commit_ts
 
     def abort_transaction(self, txn: Transaction) -> None:
         self.mvcc.abort(txn)
-        if self.config.audit_enabled and getattr(txn, "_audit_begun",
-                                                 False):
+        audited = self.config.audit_enabled and getattr(
+            txn, "_audit_begun", False)
+        if audited:
             self.audit_log.record_abort(txn, txn.end_ts)
+            if self.wal is not None:
+                # aborted writes never reached the log (physical
+                # effects ride the commit record), so the abort only
+                # matters to the replayed audit stream
+                self.wal.log_abort(txn, txn.end_ts, audited)
         for hook in self.on_abort:
             hook(txn, txn.end_ts)
 
@@ -228,8 +300,12 @@ class Database:
             return
         if not getattr(txn, "_audit_begun", False):
             self.audit_log.record_begin(txn)
+            if self.wal is not None:
+                self.wal.log_begin(txn)
             txn._audit_begun = True
         self.audit_log.record_statement(txn, stmt_index, ts, sql)
+        if self.wal is not None:
+            self.wal.log_statement(txn, stmt_index, ts, sql)
 
     # -- triggers (§3 footnote 3 substrate) -----------------------------------
 

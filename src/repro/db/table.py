@@ -223,6 +223,45 @@ class VersionedTable:
                 self._commit_ts_log.append(commit_ts)
                 self._commit_rowid_log.append(rowid)
 
+    def commit_writes(self, xid: int, commit_ts: int,
+                      rowids: List[int]) -> List[Tuple]:
+        """The rows transaction ``xid`` published at ``commit_ts``, as
+        ``(rowid, values, stmt_ts)`` triples in write-set order
+        (``values is None`` for tombstones) — the physical payload of a
+        WAL commit record, and the exact inverse of
+        :meth:`replay_commit`."""
+        out: List[Tuple] = []
+        for rowid in rowids:
+            chain = self.rows.get(rowid)
+            if chain is None:
+                continue
+            for version in reversed(chain.versions):
+                if version.xid == xid and version.begin_ts == commit_ts:
+                    out.append((rowid, version.values, version.stmt_ts))
+                    break
+        return out
+
+    def replay_commit(self, xid: int, commit_ts: int,
+                      rows: List[Tuple]) -> None:
+        """Re-apply one committed transaction's writes during WAL
+        recovery: append each write as a pending version, then publish
+        them all at ``commit_ts`` — the same two-phase shape the live
+        path takes, so the rebuilt chains (including ``end_ts`` links
+        and commit-log entries) are identical to the originals."""
+        for rowid, values, stmt_ts in rows:
+            chain = self.rows.get(rowid)
+            if chain is None:
+                chain = VersionChain(rowid)
+                self.rows[rowid] = chain
+            if rowid >= self._next_rowid:
+                self._next_rowid = rowid + 1
+            chain.append_uncommitted(xid, values, stmt_ts)
+        for rowid, _values, _stmt_ts in rows:
+            published = self.rows[rowid].commit(xid, commit_ts)
+            if published is not None:
+                self._commit_ts_log.append(commit_ts)
+                self._commit_rowid_log.append(rowid)
+
     def abort_rows(self, xid: int, rowids: List[int]) -> None:
         for rowid in rowids:
             chain = self.rows.get(rowid)
@@ -233,6 +272,42 @@ class VersionedTable:
                 chain.lock_xid = None
             if not chain.versions:
                 del self.rows[rowid]
+
+    # -- durability (WAL checkpoints) -------------------------------------
+
+    def checkpoint_state(self) -> Dict:
+        """Everything durable about this table: committed version
+        chains, the commit log and the rowid counter.  Pending
+        (uncommitted) versions are excluded — an in-flight transaction
+        re-applies them through its own WAL commit record on replay."""
+        chains = []
+        for rowid in sorted(self.rows):
+            versions = [(v.xid, v.values, v.stmt_ts, v.begin_ts,
+                         v.end_ts)
+                        for v in self.rows[rowid].versions
+                        if v.committed]
+            if versions:
+                chains.append((rowid, versions))
+        return {
+            "next_rowid": self._next_rowid,
+            "chains": chains,
+            "commit_ts_log": list(self._commit_ts_log),
+            "commit_rowid_log": list(self._commit_rowid_log),
+        }
+
+    def restore_checkpoint_state(self, state: Dict) -> None:
+        """Load :meth:`checkpoint_state` output into this (empty)
+        table."""
+        self._next_rowid = state["next_rowid"]
+        for rowid, versions in state["chains"]:
+            chain = VersionChain(rowid)
+            chain.versions = [
+                Version(xid=xid, values=values, stmt_ts=stmt_ts,
+                        begin_ts=begin_ts, end_ts=end_ts)
+                for xid, values, stmt_ts, begin_ts, end_ts in versions]
+            self.rows[rowid] = chain
+        self._commit_ts_log = list(state["commit_ts_log"])
+        self._commit_rowid_log = list(state["commit_rowid_log"])
 
     # -- introspection -----------------------------------------------------
 

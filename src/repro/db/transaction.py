@@ -60,19 +60,29 @@ class Transaction:
     status: TransactionStatus = TransactionStatus.ACTIVE
     commit_ts: Optional[int] = None
     end_ts: Optional[int] = None  # commit or abort time
-    #: table name → rowids written (updated, deleted or inserted).
+    #: table name → rowids written (updated, deleted or inserted), in
+    #: first-write order.
     write_set: Dict[str, List[int]] = field(default_factory=dict)
     #: number of DML/query statements executed so far.
     statement_count: int = 0
+    #: membership companion to ``write_set`` — keeps record_write O(1)
+    #: for bulk transactions instead of rescanning the rowid list.
+    _written: Dict[str, Set[int]] = field(default_factory=dict,
+                                          repr=False, compare=False)
 
     @property
     def is_active(self) -> bool:
         return self.status is TransactionStatus.ACTIVE
 
     def record_write(self, table: str, rowid: int) -> None:
-        rowids = self.write_set.setdefault(table, [])
-        if rowid not in rowids:
-            rowids.append(rowid)
+        seen = self._written.get(table)
+        if seen is None:
+            # tolerate instances built with a prefilled write_set
+            seen = self._written[table] = set(
+                self.write_set.get(table, ()))
+        if rowid not in seen:
+            seen.add(rowid)
+            self.write_set.setdefault(table, []).append(rowid)
 
     def written_rowids(self, table: str) -> Set[int]:
         return set(self.write_set.get(table, ()))

@@ -36,7 +36,10 @@ def render_timeline(timeline: TransactionTimeline,
         for i in range(begin, min(end + 1, width)):
             canvas[i] = "."
         for stmt in row.statements:
-            s, e = x(stmt.start), x(stmt.end)
+            # an open interval (still-active transaction's last
+            # statement) runs to the view's right edge, like the row bar
+            s = x(stmt.start)
+            e = x(stmt.end) if stmt.end is not None else x(t1)
             for i in range(s, min(max(e, s + 1), width)):
                 canvas[i] = "="
             if 0 <= s < width:

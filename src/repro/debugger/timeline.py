@@ -5,7 +5,8 @@ transactions executed in the past ... instantiated based on the
 transactional history of a database by querying the audit log."  Each
 row is a transaction; statements are intervals whose start is the
 statement's execution time and whose end is the next statement's start
-(or the commit time for the last statement).
+(the commit time for the last statement, or open — ``None`` — while the
+transaction is still active).
 
 Supported interactions, mirroring §2: zoom / restriction to a time
 window, scrolling, selection of a transaction (detail panel data), and
@@ -25,12 +26,17 @@ from repro.errors import AuditLogError
 
 @dataclass
 class StatementInterval:
-    """One statement bar on the timeline (marker 2 in Fig. 3)."""
+    """One statement bar on the timeline (marker 2 in Fig. 3).
+
+    ``end is None`` marks an *open* interval: the last statement of a
+    transaction that is still active has no successor and no end
+    timestamp yet — renderers extend the bar to the view's right edge
+    rather than inventing a timestamp."""
 
     index: int
     sql: str
     start: int
-    end: int
+    end: Optional[int]
 
 
 @dataclass

@@ -71,6 +71,12 @@ class AuditLogError(ReproError):
     """Audit log is missing, disabled, or inconsistent for a request."""
 
 
+class WALError(ReproError):
+    """Write-ahead log failure: bad configuration, attaching a log with
+    history to a non-empty database, or corruption that recovery cannot
+    repair (a torn record anywhere but the tail of the last segment)."""
+
+
 class TimeTravelError(ReproError):
     """Time travel is disabled or the requested timestamp is invalid."""
 

@@ -404,6 +404,37 @@ class ReenactmentService:
                             mode=mode),
             priority=priority)
 
+    def rewarm(self, tables: Optional[Sequence[str]] = None
+               ) -> Dict[str, JobHandle]:
+        """Warm restart: prime the workers from the spill store's
+        inventory for this database's history.
+
+        A service restarted over a recovered database
+        (``Database.open``) keeps its durable ``history_id``, so every
+        snapshot a previous incarnation spilled to a persistent store
+        is still addressed to this history.  ``rewarm`` lists the
+        store's ``(table, ts)`` holdings and schedules one
+        high-priority sparkline timeline job per table over exactly
+        those timestamps — each state is a rehydration (store read),
+        never a full rebuild, and afterwards real traffic finds warm
+        session caches.  Returns table -> handle (block on
+        ``.result()`` to wait); ``tables`` restricts the set.  Tables
+        the recovered catalog no longer knows are skipped."""
+        if self._store is None:
+            raise ServiceError(
+                "rewarm requires a spill store (store=...)")
+        grouped: Dict[str, List[int]] = {}
+        for table, ts in self._store.inventory(self.db.history_id):
+            if tables is not None and table not in tables:
+                continue
+            if not self.db.catalog.has(table):
+                continue
+            grouped.setdefault(table, []).append(ts)
+        return {table: self.timeline_scan(table, sorted(set(stamps)),
+                                          priority=PRIORITY_HIGH,
+                                          mode="sparkline")
+                for table, stamps in sorted(grouped.items())}
+
     def warm(self, table: str, timestamps: Sequence[int]) -> JobHandle:
         """Pre-warm the spill tier: materialize (and, via write-through,
         publish to the store) the given committed states of ``table``

@@ -134,6 +134,10 @@ class SnapshotStore:
         self.stats = StoreStats()
         self._lock = threading.RLock()
         self._closed = False
+        self._torn_down = False
+        #: how long close() waits for the publisher thread to exit
+        #: before refusing to tear down the connection under it.
+        self._join_timeout = 5.0
         #: monotone recency counter — LRU without wall-clock time.
         self._tick = 0
         self._conn = sqlite3.connect(path, check_same_thread=False)
@@ -329,6 +333,43 @@ class SnapshotStore:
         with self._lock:
             return len(self._pending)
 
+    # -- warm-restart inventory --------------------------------------------
+
+    def realms(self) -> List[str]:
+        """Distinct realms (history ids) with at least one stored or
+        in-flight snapshot."""
+        with self._lock:
+            self._check_open()
+            keys = [row[0] for row in self._conn.execute(
+                "SELECT skey FROM snapshots")]
+            keys.extend(self._pending)
+        seen: Dict[str, None] = {}
+        for skey in keys:
+            seen.setdefault(skey.rsplit(":", 2)[0], None)
+        return list(seen)
+
+    def inventory(self, realm) -> List[Tuple[str, int]]:
+        """Every ``(table, ts)`` snapshot held for ``realm``, sorted —
+        what a restarted service can rehydrate without touching version
+        storage (the substrate of
+        :meth:`repro.service.ReenactmentService.rewarm`).  In-flight
+        write-behind spills are included."""
+        prefix = f"{realm}:"
+        with self._lock:
+            self._check_open()
+            keys = {row[0] for row in self._conn.execute(
+                "SELECT skey FROM snapshots")}
+            keys.update(self._pending)
+        out: List[Tuple[str, int]] = []
+        for skey in keys:
+            if not skey.startswith(prefix):
+                continue
+            skey_realm, table, ts = skey.rsplit(":", 2)
+            if skey_realm != str(realm):
+                continue
+            out.append((table, int(ts)))
+        return sorted(out)
+
     # -- write-behind publishing -------------------------------------------
 
     def _publish_loop(self) -> None:
@@ -427,20 +468,33 @@ class SnapshotStore:
             raise ServiceError("snapshot store is closed")
 
     def close(self) -> None:
-        publisher = None
         with self._drain:
-            if self._closed:
+            if self._torn_down:
                 return
-            if self._pending:
-                # write-behind durability: whatever is still queued
-                # lands in the store before the connection closes
-                self._drain_locked()
-            self._closed = True
+            if not self._closed:
+                if self._pending:
+                    # write-behind durability: whatever is still queued
+                    # lands in the store before the connection closes
+                    self._drain_locked()
+                self._closed = True
             publisher = self._publisher
             self._drain.notify_all()
-        if publisher is not None:
-            publisher.join(timeout=5)
+        if publisher is not None and publisher.is_alive():
+            # deterministic shutdown: the publisher must have exited
+            # via the close signal before the connection is torn down —
+            # closing under a live writer turns a slow thread into a
+            # use-after-close on the SQLite handle
+            publisher.join(timeout=self._join_timeout)
+            if publisher.is_alive():
+                raise ServiceError(
+                    f"snapshot store publisher did not exit within "
+                    f"{self._join_timeout}s; the connection was left "
+                    f"open (close() may be retried)")
         with self._lock:
+            if self._torn_down:
+                return
+            self._torn_down = True
+            self._publisher = None
             self._conn.close()
             if self._owns_file:
                 try:

@@ -46,9 +46,12 @@ def committed_xids(db):
 
 
 def build_history(seed, isolation="SERIALIZABLE", n_rows=40,
-                  n_transactions=6, concurrency=3):
-    """One seeded random concurrent history on a fresh database."""
-    db = Database()
+                  n_transactions=6, concurrency=3, db=None):
+    """One seeded random concurrent history on a fresh database (or on
+    a caller-supplied one — e.g. a database with a WAL attached, so the
+    crash/recover sweep can log the history as it happens)."""
+    if db is None:
+        db = Database()
     generator = WorkloadGenerator(WorkloadConfig(
         n_rows=n_rows, n_transactions=n_transactions,
         stmts_per_txn=(1, 4), seed=seed, isolation=isolation,

@@ -4,7 +4,7 @@ import pytest
 
 from repro import Database
 from repro.core.whatif import WhatIfScenario
-from repro.errors import WhatIfError
+from repro.errors import ReenactmentError, WhatIfError
 from repro.workloads import setup_bank, run_write_skew_history
 
 
@@ -161,3 +161,49 @@ class TestPromotion:
         text = scenario.run().summary()
         assert "conflict" in text
         assert "unchanged" in text
+
+
+class TestDegradedConflictAnalysis:
+    """Conflict analysis must not silently report "no conflict" when a
+    concurrent transaction cannot be reenacted: expected reenactment
+    failures degrade *visibly*, anything else is an engine bug and
+    propagates."""
+
+    def test_expected_failure_degrades_visibly(self, skewed):
+        db, t1, t2 = skewed
+        scenario = WhatIfScenario(db, t1)
+        real_reenact = scenario.reenactor.reenact
+
+        def flaky(xid, options, session=None):
+            if xid == t2:
+                raise ReenactmentError("synthetic reenactment failure")
+            return real_reenact(xid, options, session=session)
+
+        scenario.reenactor.reenact = flaky
+        result = scenario.run()
+        assert result.degraded
+        assert t2 in result.degraded_xids
+        assert "ReenactmentError" in result.degraded_xids[t2]
+        assert any("degraded" in line
+                   for line in result.summary().splitlines())
+        # t2's writes could not be reconstructed, so no conflict may
+        # name it — absence of evidence, flagged, not evidence of absence
+        assert all(c.other_xid != t2 for c in result.conflicts)
+
+    def test_unexpected_failure_propagates(self, skewed):
+        db, t1, t2 = skewed
+        scenario = WhatIfScenario(db, t1)
+
+        def broken(xid, options, session=None):
+            raise RuntimeError("engine bug")
+
+        scenario.reenactor.reenact = broken
+        with pytest.raises(RuntimeError, match="engine bug"):
+            scenario.run()
+
+    def test_clean_run_is_not_degraded(self, skewed):
+        db, t1, _ = skewed
+        result = WhatIfScenario(db, t1).run()
+        assert not result.degraded
+        assert result.degraded_xids == {}
+        assert "degraded" not in result.summary()

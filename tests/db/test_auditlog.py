@@ -110,3 +110,72 @@ class TestTransactionRecord:
         s.rollback()
         records = db.audit_log.transactions(committed_only=True)
         assert not any(r.xid == aborted_xid for r in records)
+
+
+class TestOpenStatementInterval:
+    def test_active_transaction_last_interval_is_open(self):
+        """No fabricated ``ts + 1`` endpoint: the last statement of a
+        still-active transaction has an open interval (``None`` end) —
+        a made-up timestamp could collide with a real later event."""
+        db = Database()
+        db.execute("CREATE TABLE t (a INT)")
+        s = db.connect(user="active")
+        s.begin()
+        s.execute("INSERT INTO t VALUES (1)")
+        record = db.audit_log.transaction_record(s.txn.xid)
+        start, end = record.statement_interval(0)
+        assert start == record.statements[0].ts
+        assert end is None
+
+    def test_committed_transaction_interval_is_closed(self, db_with_txn):
+        db, xid = db_with_txn
+        record = db.audit_log.transaction_record(xid)
+        start, end = record.statement_interval(1)
+        assert (start, end) == (record.statements[1].ts, record.end_ts)
+        assert end is not None
+
+
+class TestPerXidIndex:
+    def test_direct_entry_append_is_visible(self, db_with_txn):
+        """The lazy per-xid index must keep plain ``entries.append``
+        working (trigger-history rebuilds rely on it): entries added
+        behind the index's back are folded in on the next query."""
+        from repro.db.auditlog import AuditLogEntry
+        from repro.db.transaction import IsolationLevel
+        db, xid = db_with_txn
+        db.audit_log.transaction_record(xid)  # builds the index
+        ts = db.clock.tick()
+        tail = db.audit_log.entries[-1]
+        db.audit_log.entries.append(AuditLogEntry(
+            kind=AuditEventKind.BEGIN, xid=xid + 1000, ts=ts,
+            isolation=IsolationLevel.SERIALIZABLE, user="late",
+            session_id=99, stmt_index=None, sql=None))
+        assert xid + 1000 in db.audit_log.transaction_ids()
+        record = db.audit_log.transaction_record(xid + 1000)
+        assert record.user == "late" and not record.committed
+        assert tail in db.audit_log.entries
+
+    def test_transaction_ids_keep_first_appearance_order(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT)")
+        a = db.connect(user="a"); a.begin()
+        b = db.connect(user="b"); b.begin()
+        a.execute("INSERT INTO t VALUES (1)")
+        b.execute("INSERT INTO t VALUES (2)")
+        a_xid, b_xid = a.txn.xid, b.txn.xid
+        b.commit()
+        a.commit()
+        ids = db.audit_log.transaction_ids()
+        assert ids.index(a_xid) < ids.index(b_xid)
+
+    def test_reconstruction_matches_linear_scan(self, db_with_txn):
+        """The index is an access path, not a semantics change: every
+        record equals what a full scan over ``entries`` would build."""
+        db, _ = db_with_txn
+        for xid in db.audit_log.transaction_ids():
+            record = db.audit_log.transaction_record(xid)
+            scanned = [e for e in db.audit_log.entries if e.xid == xid]
+            assert record.begin_ts == scanned[0].ts
+            assert len(record.statements) == sum(
+                1 for e in scanned
+                if e.kind is AuditEventKind.STATEMENT)

@@ -84,3 +84,36 @@ class TestInteractions:
     def test_empty_timeline(self):
         timeline = TransactionTimeline.from_database(Database())
         assert len(timeline) == 0
+
+
+class TestActiveTransactions:
+    def test_active_last_statement_interval_is_open(self, timeline_env):
+        db, _, _ = timeline_env
+        session = db.connect(user="live")
+        session.begin()
+        session.execute("UPDATE account SET bal = bal + 1 "
+                        "WHERE cust = 'Alice'")
+        row = TransactionTimeline.from_database(db).row(session.txn.xid)
+        assert row.status == "active"
+        assert row.statements[-1].end is None
+
+    def test_render_extends_open_interval_to_view_edge(self,
+                                                       timeline_env):
+        """An open interval renders to the view's right edge instead of
+        crashing on (or inventing) a missing end timestamp."""
+        from repro.debugger import render_timeline
+        db, _, _ = timeline_env
+        session = db.connect(user="live")
+        session.begin()
+        session.execute("UPDATE account SET bal = bal + 1 "
+                        "WHERE cust = 'Alice'")
+        # widen the view past the last commit so the open interval has
+        # somewhere to extend into
+        text = render_timeline(TransactionTimeline.from_database(
+            db, end_ts=db.clock.now() + 5))
+        active_line = next(
+            line for line in text.splitlines()
+            if line.startswith(f"T{session.txn.xid}"))
+        # the statement bar runs from its '|' start to the edge marker
+        bar = active_line[active_line.index("|"):]
+        assert "=" in bar and "?" in bar

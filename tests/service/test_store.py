@@ -216,3 +216,57 @@ def test_memory_backend_refuses_spill_store():
     with backend.open_session() as session:
         with pytest.raises(ExecutionError, match="spill"):
             session.attach_spill_store(SnapshotStore())
+
+
+# -- unit: deterministic shutdown ----------------------------------------
+
+def test_close_retires_publisher_before_teardown():
+    """Orderly close: the publisher exits via the close signal *before*
+    the SQLite connection is torn down, never under it."""
+    store = SnapshotStore(async_publish=True)
+    store.put(1, "t", 5, [(1,)])
+    publisher = store._publisher
+    store.close()
+    assert not publisher.is_alive()
+    with pytest.raises(Exception):
+        store._conn.execute("SELECT 1")  # really closed
+    store.close()  # idempotent
+
+
+def test_close_raises_when_publisher_wont_exit():
+    """A wedged publisher must not be abandoned with the connection
+    yanked out from under it: close() raises, leaves the connection
+    open, and can be retried once the thread is gone."""
+    store = SnapshotStore(async_publish=True)
+    release = threading.Event()
+    wedged = threading.Thread(target=release.wait, daemon=True)
+    wedged.start()
+    store._publisher = wedged  # simulate a publisher stuck mid-write
+    store._join_timeout = 0.1  # don't stall the suite for 5s
+    with pytest.raises(ServiceError, match="publisher did not exit"):
+        store.close()
+    # the connection survived — a retry is possible, not a crash
+    store._conn.execute("SELECT 1")
+    release.set()
+    wedged.join(timeout=5)
+    store.close()  # retry succeeds and tears down
+    with pytest.raises(Exception):
+        store._conn.execute("SELECT 1")
+
+
+def test_inventory_lists_realm_holdings(tmp_path):
+    """The warm-restart inventory: (table, ts) pairs of one realm,
+    including still-queued write-behind spills, nobody else's."""
+    store = SnapshotStore(path=str(tmp_path / "spill.sqlite"),
+                          async_publish=True)
+    store.put("h1", "acc", 3, [(1,)])
+    store.put("h1", "acc", 7, [(2,)])
+    store.put("h1", "other", 3, [(3,)])
+    store.put("h2", "acc", 9, [(4,)])
+    store.flush()
+    store.put("h1", "acc", 11, [(5,)])  # still on the queue
+    assert store.inventory("h1") == [("acc", 3), ("acc", 7),
+                                     ("acc", 11), ("other", 3)]
+    assert store.inventory("h2") == [("acc", 9)]
+    assert sorted(store.realms()) == ["h1", "h2"]
+    store.close()

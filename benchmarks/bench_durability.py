@@ -102,8 +102,11 @@ def prime_store(db, ticks, store_path):
                             cache_capacity=CACHE_CAPACITY,
                             delta=DELTA_MODE,
                             spill_publish="all") as service:
+        # windowscan pinned off: priming must materialize and publish
+        # *every* state, which a window pass deliberately avoids
         service.timeline_scan("bench_account", ticks,
-                              mode="sparkline").result(timeout=600)
+                              mode="sparkline",
+                              windowscan="off").result(timeout=600)
         assert len(service.store.inventory(db.history_id)) >= N_TICKS
 
 
@@ -118,8 +121,12 @@ def restart_and_serve(wal_dir, store_path, windows):
                             cache_capacity=CACHE_CAPACITY,
                             delta=DELTA_MODE) as service:
         t1 = time.perf_counter()
+        # windowscan pinned off (like delta): the claim is about how a
+        # state is *acquired* — store rehydrate vs full build — which
+        # a counts-only window pass would bypass on both sides
         handles = [service.timeline_scan("bench_account", window,
-                                         mode="sparkline")
+                                         mode="sparkline",
+                                         windowscan="off")
                    for window in windows]
         for handle in handles:
             handle.result(timeout=600)

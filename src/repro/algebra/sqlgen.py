@@ -87,6 +87,46 @@ class Dialect:
             "input (reenacted INSERT ... SELECT); it cannot be printed "
             "as SQL — evaluate the plan directly instead")
 
+    # -- window-compiled timeline scans ------------------------------
+    #
+    # A timeline scan asks for one table's state at N committed
+    # timestamps.  Backends with window functions can answer all N from
+    # a single pass over an *event* table holding the base state plus
+    # the commit-log delta chain, instead of N per-probe snapshot
+    # executions.  Like :meth:`gen_annotate_rowid`, the base dialect
+    # raises and callers fall back to the per-probe pipeline.
+
+    def gen_window_states(self, events: str, ticks: str,
+                          data_columns: List[str]) -> str:
+        """Render full-state timeline reconstruction as one query.
+
+        ``events`` is a table ``(__wts__, __live__, *data_columns,
+        __rowid__, __xid__)`` — the base state stamped at the first
+        tick plus one row per delta-chain change (``__live__`` = 0
+        marks a deletion tombstone).  ``ticks`` is a table
+        ``(__qts__)`` of query timestamps.  The query must return, for
+        every tick, the latest version ≤ that tick of every live row:
+        rows ``(__qts__, *data_columns)``.
+        """
+        raise ReenactmentError(
+            "timeline window scan needs ROW_NUMBER()-over-partition "
+            "machinery the native dialect does not have — walk the "
+            "per-probe snapshot pipeline instead")
+
+    def gen_window_counts(self, events: str, ticks: str) -> str:
+        """Render sparkline cardinalities as one running aggregate.
+
+        ``events`` is a table ``(__wts__, __delta__)`` of +1/-1
+        cardinality changes relative to the base state.  The query
+        must return one row ``(__qts__, net)`` per tick in ``ticks``,
+        where ``net`` is the running ``SUM(__delta__)`` over all
+        events at or before that tick (0 when none apply).
+        """
+        raise ReenactmentError(
+            "sparkline window scan needs SUM() OVER (ORDER BY ...) "
+            "running aggregates the native dialect does not have — "
+            "walk the per-probe snapshot pipeline instead")
+
 
 class _Generator:
     def __init__(self, dialect: Optional[Dialect] = None):

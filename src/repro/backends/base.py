@@ -93,6 +93,12 @@ class SessionStats:
     #: write-behind spill-queue flushes this session forced (on close,
     #: so its in-flight spills land in the store before it goes away).
     spill_queue_flushes: int = 0
+    #: timeline scans answered by a window-compiled single SQL pass
+    #: over the commit-log event table instead of per-probe snapshot
+    #: executions (``window_scan_ticks`` sums the timestamps those
+    #: passes covered — the per-probe plans that were *not* run).
+    window_scans: int = 0
+    window_scan_ticks: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """All scalar counters plus the number of distinct snapshot
@@ -112,6 +118,8 @@ class SessionStats:
             "batch_rehydrated": self.batch_rehydrated,
             "primes_shared": self.primes_shared,
             "spill_queue_flushes": self.spill_queue_flushes,
+            "window_scans": self.window_scans,
+            "window_scan_ticks": self.window_scan_ticks,
             "distinct_snapshot_keys": len(self.materializations),
         }
 
@@ -132,6 +140,8 @@ class SessionStats:
         self.batch_rehydrated += other.batch_rehydrated
         self.primes_shared += other.primes_shared
         self.spill_queue_flushes += other.spill_queue_flushes
+        self.window_scans += other.window_scans
+        self.window_scan_ticks += other.window_scan_ticks
 
 
 #: operation kinds a :class:`SnapshotPlan` step may carry, in the order
@@ -242,6 +252,26 @@ class BackendSession(abc.ABC):
         :meth:`prime_snapshots` hint per set."""
         return SnapshotPipeline(self, snapshot_sets, ctx)
 
+    def window_scan(self, table: str, timestamps, ctx: EvalContext,
+                    mode: str = "full",
+                    windowscan: Optional[str] = None
+                    ) -> Optional[Dict[int, Relation]]:
+        """Answer a whole timeline scan — one table's state (``mode
+        ="full"``) or committed cardinality (``mode="sparkline"``) at
+        every timestamp in ``timestamps`` — with a *single*
+        window-compiled SQL pass over the table's commit-log delta
+        chain, if this backend can.
+
+        Returns ``{ts: Relation}`` covering the sorted, deduplicated
+        timestamps, or ``None`` when the backend (or this particular
+        context: overrides, snapshot providers, time travel disabled)
+        cannot take the window path — callers then fall back to the
+        per-probe snapshot pipeline.  ``windowscan`` overrides the
+        backend's configured mode for this call (``"off"`` forces the
+        fallback; ``"always"`` skips the cost-model cutover).  The
+        default cannot window-compile anything."""
+        return None
+
     @property
     def closed(self) -> bool:
         return self._closed
@@ -333,11 +363,14 @@ class ExecutionBackend(abc.ABC):
 
     #: capability flags for admission checks (the reenactment service
     #: consults these instead of try/except probing):
-    #: ``sessions`` — sessions carry reusable state (snapshot cache);
-    #: ``delta``    — incremental snapshot materialization;
-    #: ``spill``    — evicted snapshots can spill to a shared store.
+    #: ``sessions``   — sessions carry reusable state (snapshot cache);
+    #: ``delta``      — incremental snapshot materialization;
+    #: ``spill``      — evicted snapshots can spill to a shared store;
+    #: ``windowscan`` — timeline scans compile to one window-function
+    #:                  SQL pass over the commit log.
     capabilities: Dict[str, bool] = {
-        "sessions": False, "delta": False, "spill": False}
+        "sessions": False, "delta": False, "spill": False,
+        "windowscan": False}
 
     def open_session(self) -> BackendSession:
         """A session over this backend.  The default delegates each plan

@@ -30,7 +30,8 @@ class InMemoryBackend(ExecutionBackend):
 
     #: stateless: no session cache, no delta patching, nothing to spill
     #: (the admission-check flags the service reads; see base class).
-    capabilities = {"sessions": False, "delta": False, "spill": False}
+    capabilities = {"sessions": False, "delta": False, "spill": False,
+                    "windowscan": False}
 
     def execute_plan(self, plan: op.Operator,
                      ctx: EvalContext) -> Relation:

@@ -54,7 +54,8 @@ from repro.backends.base import (BackendSession, ExecutionBackend,
                                  SessionStats, SnapshotPipeline,
                                  SnapshotPlan, SnapshotPlanStep)
 from repro.db.types import DataType
-from repro.errors import ExecutionError, TimeTravelError
+from repro.errors import (ExecutionError, ReenactmentError,
+                          TimeTravelError)
 
 
 def quote_ident(ident: str) -> str:
@@ -862,6 +863,14 @@ class SnapshotBinder:
             stats.delta_rows_applied += len(delta)
 
 
+#: column names the window-scan event/tick temp tables reserve; a user
+#: table that uses one of them cannot take the window path (the
+#: per-probe pipeline handles it instead).
+WINDOW_RESERVED_COLUMNS = frozenset({
+    "__qts__", "__wts__", "__live__", "__delta__", "__rn__",
+    ROWID_SUFFIX, XID_SUFFIX})
+
+
 class SQLiteDialect(Dialect):
     """SQL generation hooks targeting SQLite (see module docstring)."""
 
@@ -912,6 +921,47 @@ class SQLiteDialect(Dialect):
         out[node.name] = flat
         return (f"SELECT {columns}, -({offset} + ROW_NUMBER() OVER ()) "
                 f"AS {flat} FROM {gen.derived(sql)} AS {alias}", out)
+
+    def gen_window_states(self, events: str, ticks: str,
+                          data_columns: List[str]) -> str:
+        # "Latest version ≤ tick, per row id": rank every event visible
+        # at each tick by write timestamp descending within its
+        # (tick, rowid) partition; rank 1 is the version in force, and
+        # tombstones (__live__ = 0) in force mean the row is absent.
+        q = quote_ident
+        picked = ", ".join(f"e.{q(c)} AS {q(c)}" for c in data_columns)
+        out = ", ".join(q(c) for c in data_columns)
+        return (
+            f"SELECT {q('__qts__')}, {out} FROM ("
+            f"SELECT t.{q('__qts__')} AS {q('__qts__')}, {picked}, "
+            f"e.{q('__live__')} AS {q('__live__')}, "
+            f"ROW_NUMBER() OVER ("
+            f"PARTITION BY t.{q('__qts__')}, e.{q(ROWID_SUFFIX)} "
+            f"ORDER BY e.{q('__wts__')} DESC) AS {q('__rn__')} "
+            f"FROM {q(ticks)} AS t JOIN {q(events)} AS e "
+            f"ON e.{q('__wts__')} <= t.{q('__qts__')}) "
+            f"WHERE {q('__rn__')} = 1 AND {q('__live__')} = 1 "
+            f"ORDER BY {q('__qts__')}")
+
+    def gen_window_counts(self, events: str, ticks: str) -> str:
+        # Net the +1/-1 events per write timestamp, turn the nets into
+        # one running SUM() OVER (ORDER BY ts), then read each tick's
+        # cardinality as the latest running total at or before it.
+        q = quote_ident
+        return (
+            f"WITH {q('__net__')} AS ("
+            f"SELECT {q('__wts__')} AS {q('__wts__')}, "
+            f"SUM({q('__delta__')}) AS {q('__d__')} "
+            f"FROM {q(events)} GROUP BY {q('__wts__')}), "
+            f"{q('__run__')} AS ("
+            f"SELECT {q('__wts__')} AS {q('__wts__')}, "
+            f"SUM({q('__d__')}) OVER (ORDER BY {q('__wts__')}) "
+            f"AS {q('__n__')} FROM {q('__net__')}) "
+            f"SELECT t.{q('__qts__')}, COALESCE(("
+            f"SELECT r.{q('__n__')} FROM {q('__run__')} AS r "
+            f"WHERE r.{q('__wts__')} <= t.{q('__qts__')} "
+            f"ORDER BY r.{q('__wts__')} DESC LIMIT 1), 0) "
+            f"FROM {q(ticks)} AS t ORDER BY t.{q('__qts__')}")
 
 
 class SQLitePipeline(SnapshotPipeline):
@@ -1004,6 +1054,9 @@ class SQLiteSession(BackendSession):
         #: snapshots primed but not yet scanned by any plan (see
         #: SnapshotBinder reuse accounting).
         self._fresh_primed: Set[str] = set()
+        #: window-scan temp tables get their own name space, so they
+        #: can never collide with the cache's ``__snap_N__`` snapshots.
+        self._ws_counter = 0
 
     def _binder(self, ctx: EvalContext,
                 priming: bool = False) -> SnapshotBinder:
@@ -1078,6 +1131,217 @@ class SQLiteSession(BackendSession):
         if getattr(self.backend, "pipeline", "auto") == "off":
             return SnapshotPipeline(self, snapshot_sets, ctx)
         return SQLitePipeline(self, snapshot_sets, ctx)
+
+    # .. window-compiled timeline scans ...................................
+
+    def window_scan(self, table: str, timestamps, ctx: EvalContext,
+                    mode: str = "full",
+                    windowscan: Optional[str] = None
+                    ) -> Optional[Dict[int, Relation]]:
+        """Answer a whole timeline scan with one window-function SQL
+        pass over the table's commit-log delta chain (see
+        :meth:`repro.backends.base.BackendSession.window_scan`).
+
+        The base state at the first tick is acquired through the
+        normal :class:`SnapshotBinder` pipeline (cache hit, store
+        rehydrate, or full build — all counted as usual, and the
+        result stays cached for later scans); every later tick is
+        answered from delta-chain *events* loaded into a temp table
+        and folded by the dialect's window hooks, so the per-probe
+        plan count stays at zero no matter how many ticks the scan
+        covers.  Returns ``None`` — falling back to the per-probe
+        pipeline — when the configured mode is ``"off"``, the tick
+        count is below the ``"auto"`` cutover, or the context cannot
+        be window-compiled (what-if overrides, snapshot providers, no
+        native time travel)."""
+        self._check_open()
+        if mode not in ("full", "sparkline"):
+            raise ExecutionError(
+                f"timeline mode must be 'full' or 'sparkline', "
+                f"got {mode!r}")
+        setting = windowscan if windowscan is not None \
+            else getattr(self.backend, "windowscan", "auto")
+        if setting not in SQLiteBackend.WINDOWSCAN_MODES:
+            raise ExecutionError(
+                f"windowscan mode must be one of "
+                f"{SQLiteBackend.WINDOWSCAN_MODES}, got {setting!r}")
+        if setting == "off" or any(ts is None for ts in timestamps):
+            return None
+        ordered = sorted({int(ts) for ts in timestamps})
+        if not ordered:
+            return {}
+        # the "auto" cost model is mode-aware: sparkline folds the
+        # whole scan into one tiny running-sum query, so it cuts over
+        # as soon as the tick count amortizes the event-table setup;
+        # full reconstruction ships |ticks| x |rows| tuples either way
+        # and the window's ROW_NUMBER sort over the tick x event join
+        # measures *slower* than the per-probe pipeline's delta moves
+        # (see bench_timeline_windowscan), so only "always" forces it.
+        if setting == "auto" and \
+                (mode != "sparkline" or
+                 len(ordered) < SQLiteBackend.WINDOWSCAN_MIN_TICKS):
+            return None
+        db = getattr(ctx, "db", None)
+        if db is None or \
+                not getattr(db.config, "timetravel_enabled", False):
+            return None
+        if ctx.overrides.get(table) is not None \
+                or getattr(ctx, "snapshot_provider", None) is not None:
+            return None
+        columns = list(ctx.table_columns(table))
+        if WINDOW_RESERVED_COLUMNS.intersection(columns):
+            return None
+        hops = db.table_delta_chain(table, ordered) \
+            if len(ordered) > 1 else []
+        if mode == "full":
+            return self._window_scan_full(table, ordered, columns,
+                                          hops, ctx)
+        return self._window_scan_counts(table, ordered, hops, ctx)
+
+    def _window_temp_names(self) -> Tuple[str, str]:
+        self._ws_counter += 1
+        return (f"__wsev_{self._ws_counter}__",
+                f"__wsticks_{self._ws_counter}__")
+
+    def _window_ticks_table(self, name: str, ordered) -> None:
+        self.conn.execute(
+            f"CREATE TEMP TABLE {quote_ident(name)} "
+            f"({quote_ident('__qts__')})")
+        self.conn.executemany(
+            f"INSERT INTO {quote_ident(name)} VALUES (?)",
+            [(ts,) for ts in ordered])
+
+    def _drop_window_temps(self, *names: str) -> None:
+        for name in names:
+            self.conn.execute(
+                f"DROP TABLE IF EXISTS {quote_ident(name)}")
+
+    def _window_query(self, sql: str) -> list:
+        try:
+            return self.conn.execute(sql).fetchall()
+        except sqlite3.Error as exc:
+            raise ExecutionError(
+                f"SQLite rejected window-compiled timeline SQL: "
+                f"{exc}\n{sql}") from exc
+
+    def _window_base(self, table: str, ts: int,
+                     ctx: EvalContext) -> str:
+        """Materialize the scan's base state through the snapshot
+        pipeline (cache / store / full build, stats as usual) and
+        return its temp table; it stays cached for later scans."""
+        binder = self._binder(ctx, priming=True)
+        name = binder.bind_key(table, ts)
+        binder.materialize(self.conn)
+        self._fresh_primed.update(binder._entries.values())
+        return name
+
+    def _window_scan_full(self, table: str, ordered, columns,
+                          hops, ctx: EvalContext
+                          ) -> Optional[Dict[int, Relation]]:
+        dialect = SQLiteDialect(self._binder(ctx))
+        events, ticks = self._window_temp_names()
+        try:
+            sql = dialect.gen_window_states(events, ticks, columns)
+        except ReenactmentError:
+            return None
+        base = self._window_base(table, ordered[0], ctx)
+        width = len(columns)
+        try:
+            self._window_ticks_table(ticks, ordered)
+            event_columns = ["__wts__", "__live__", *columns,
+                             ROWID_SUFFIX, XID_SUFFIX]
+            self.conn.execute(
+                f"CREATE TEMP TABLE {quote_ident(events)} "
+                f"({', '.join(quote_ident(c) for c in event_columns)})")
+            # base state stamped at the first tick: one C-speed copy
+            # (the snapshot temp is (*columns, __rowid__, __xid__))
+            self.conn.execute(
+                f"INSERT INTO {quote_ident(events)} "
+                f"SELECT {ordered[0]}, 1, t.* "
+                f"FROM {quote_ident(base)} AS t")
+            rows = []
+            blank = (None,) * width
+            for ts_to, hop in zip(ordered[1:], hops):
+                for rowid, values, xid in hop:
+                    if values is None:  # deletion tombstone
+                        rows.append((ts_to, 0) + blank + (rowid, None))
+                    else:
+                        rows.append((ts_to, 1) + tuple(values)
+                                    + (rowid, xid))
+            if rows:
+                placeholders = ", ".join("?" * (width + 4))
+                self.conn.executemany(
+                    f"INSERT INTO {quote_ident(events)} "
+                    f"VALUES ({placeholders})", rows)
+            fetched = self._window_query(sql)
+        finally:
+            self._drop_window_temps(events, ticks)
+        attrs = [f"{table}.{column}" for column in columns]
+        bool_positions = SQLiteBackend._bool_positions(
+            attrs, ctx, {table})
+        per_tick: Dict[int, list] = {ts: [] for ts in ordered}
+        for row in fetched:
+            per_tick[row[0]].append(row[1:])
+        self.stats.window_scans += 1
+        self.stats.window_scan_ticks += len(ordered)
+        return {ts: _coerce_result(attrs, tick_rows, bool_positions)
+                for ts, tick_rows in per_tick.items()}
+
+    def _window_base_census(self, table: str, ts: int,
+                            ctx: EvalContext):
+        """Base cardinality and live row-id set at the first tick.
+        Served from an already-cached snapshot temp table when one is
+        resident; otherwise from one storage scan — a counts-only
+        sparkline pass never materializes a snapshot of its own."""
+        binder = self._binder(ctx, priming=True)
+        key, _pin = binder.snapshot_key(table, ts)
+        name = self.cache.lookup(binder._realm, key, count_reuse=False)
+        if name is not None:
+            live = {row[0] for row in self.conn.execute(
+                f"SELECT {quote_ident(ROWID_SUFFIX)} "
+                f"FROM {quote_ident(name)}")}
+        else:
+            live = {rowid for rowid, _values, _xid
+                    in ctx.scan_table(table, ts)}
+        return len(live), live
+
+    def _window_scan_counts(self, table: str, ordered, hops,
+                            ctx: EvalContext
+                            ) -> Optional[Dict[int, Relation]]:
+        dialect = SQLiteDialect(self._binder(ctx))
+        events, ticks = self._window_temp_names()
+        try:
+            sql = dialect.gen_window_counts(events, ticks)
+        except ReenactmentError:
+            return None
+        base_count, live = self._window_base_census(table, ordered[0],
+                                                    ctx)
+        deltas = []
+        for ts_to, hop in zip(ordered[1:], hops):
+            for rowid, values, _xid in hop:
+                if values is None:
+                    if rowid in live:
+                        live.discard(rowid)
+                        deltas.append((ts_to, -1))
+                elif rowid not in live:
+                    live.add(rowid)
+                    deltas.append((ts_to, 1))
+        try:
+            self._window_ticks_table(ticks, ordered)
+            self.conn.execute(
+                f"CREATE TEMP TABLE {quote_ident(events)} "
+                f"({quote_ident('__wts__')}, {quote_ident('__delta__')})")
+            if deltas:
+                self.conn.executemany(
+                    f"INSERT INTO {quote_ident(events)} VALUES (?, ?)",
+                    deltas)
+            fetched = self._window_query(sql)
+        finally:
+            self._drop_window_temps(events, ticks)
+        self.stats.window_scans += 1
+        self.stats.window_scan_ticks += len(ordered)
+        return {ts: Relation(["n_rows"], [(base_count + int(net),)])
+                for ts, net in fetched}
 
     def execute_plan(self, plan: op.Operator,
                      ctx: EvalContext) -> Relation:
@@ -1160,11 +1424,28 @@ class SQLiteBackend(ExecutionBackend):
 
     name = "sqlite"
 
-    capabilities = {"sessions": True, "delta": True, "spill": True}
+    capabilities = {"sessions": True, "delta": True, "spill": True,
+                    "windowscan": True}
 
     DELTA_MODES = ("off", "auto", "always")
 
     PUBLISH_MODES = ("full", "all")
+
+    #: window-compiled timeline scan modes: "off" always walks the
+    #: per-probe snapshot pipeline (the PR-5 baseline), "auto" takes
+    #: the single-pass window compilation for *sparkline* scans
+    #: covering at least :attr:`WINDOWSCAN_MIN_TICKS` distinct
+    #: committed timestamps (the cost-model cutover: below it — and
+    #: for full-state scans at any density, whose row shipping
+    #: dominates — the per-probe pipeline's patch-in-place moves win),
+    #: "always" window-compiles every scan the context makes legal
+    #: (the differential harness's forced mode).
+    WINDOWSCAN_MODES = ("off", "auto", "always")
+
+    #: "auto" cutover: a window pass pays a fixed event-table setup
+    #: that a couple of per-probe moves undercut; dense scans amortize
+    #: it to nothing.
+    WINDOWSCAN_MIN_TICKS = 4
 
     #: snapshot pipeline modes: "off" reproduces the pre-pipeline
     #: materialization path exactly (per-entry store lookups, no
@@ -1179,7 +1460,7 @@ class SQLiteBackend(ExecutionBackend):
                  cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
                  delta_max_ratio: float = 0.5,
                  spill_store=None, spill_publish: str = "full",
-                 pipeline: str = "auto"):
+                 pipeline: str = "auto", windowscan: str = "auto"):
         if delta not in self.DELTA_MODES:
             raise ExecutionError(
                 f"delta mode must be one of {self.DELTA_MODES}, "
@@ -1192,6 +1473,10 @@ class SQLiteBackend(ExecutionBackend):
             raise ExecutionError(
                 f"pipeline mode must be one of {self.PIPELINE_MODES}, "
                 f"got {pipeline!r}")
+        if windowscan not in self.WINDOWSCAN_MODES:
+            raise ExecutionError(
+                f"windowscan mode must be one of "
+                f"{self.WINDOWSCAN_MODES}, got {windowscan!r}")
         self.database = database
         self.delta = delta
         self.cache_capacity = cache_capacity
@@ -1199,6 +1484,7 @@ class SQLiteBackend(ExecutionBackend):
         self.spill_store = spill_store
         self.spill_publish = spill_publish
         self.pipeline = pipeline
+        self.windowscan = windowscan
 
     def open_session(self) -> SQLiteSession:
         return SQLiteSession(self)

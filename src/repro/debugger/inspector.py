@@ -149,6 +149,46 @@ class TransactionInspector:
         """Column ``index`` (-1 = initial states)."""
         return self.columns()[index + 1]
 
+    def timeline_strip(self, table: Optional[str] = None
+                       ) -> Dict[str, Dict[int, int]]:
+        """The cardinality strip drawn above the panel's prefix
+        columns: each displayed table's committed row count at the
+        transaction's begin time and every statement boundary, as
+        ``{table: {ts: n_rows}}``.
+
+        Served by :func:`repro.debugger.timeline.timeline_states` in
+        sparkline mode on the panel's backend — on a
+        windowscan-capable backend the whole strip for a table is one
+        window-compiled SQL query, no matter how many statements the
+        transaction ran.  Boundary timestamps arrive unsorted and
+        with duplicates (an open interval shares its start with the
+        next statement); ``timeline_states`` sorts and dedupes before
+        touching the backend."""
+        from repro.debugger.timeline import timeline_states
+        tables = [table] if table is not None \
+            else list(self.selected_tables)
+        unknown = [t for t in tables if t not in self.touched_tables]
+        if unknown:
+            raise ReenactmentError(
+                f"table(s) {unknown} were not touched by transaction "
+                f"{self.xid}; touched: {self.touched_tables}")
+        ticks: List[int] = [self.record.begin_ts]
+        for stmt in self.record.statements:
+            start, end = self.record.statement_interval(stmt.index)
+            ticks.append(start)
+            if end is not None:
+                ticks.append(end)
+        out: Dict[str, Dict[int, int]] = {}
+        with self.backend.open_session() as session:
+            for name in tables:
+                states = timeline_states(self.db, name, ticks,
+                                         session=session,
+                                         mode="sparkline")
+                out[name] = {ts: states[ts].rows[0][0]
+                             for ts in sorted(set(ticks))}
+            self.last_stats = session.stats
+        return out
+
     def toggle_unaffected(self) -> bool:
         """The "Show/Hide Unaffected Rows" button (marker 7)."""
         self.show_unaffected = not self.show_unaffected

@@ -15,6 +15,7 @@ simple text search over statement SQL.
 
 from __future__ import annotations
 
+import re
 from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -74,13 +75,24 @@ class TimelineRow:
         return "\n".join(lines)
 
 
+#: table-name word patterns, compiled once per distinct name — filter()
+#: calls _mentions_table per statement of every row.
+_MENTION_PATTERNS: Dict[str, "re.Pattern"] = {}
+
+
 def _mentions_table(sql: str, table_lower: str) -> bool:
-    """Whether a statement's SQL references a table name (word match on
-    the lower-cased text — sufficient for the audit log's normalized
-    statements)."""
-    import re
-    return re.search(rf"\b{re.escape(table_lower)}\b",
-                     sql.lower()) is not None
+    """Whether a statement's SQL references a table name as a whole
+    word — ``account`` must not match ``accounts`` (or
+    ``accounts_bak``), which a naive substring test gets wrong.
+    Lookarounds rather than ``\\b`` so names that start or end with a
+    non-word character (quoted/dotted forms) still anchor on the
+    name's own edges."""
+    pattern = _MENTION_PATTERNS.get(table_lower)
+    if pattern is None:
+        pattern = re.compile(
+            rf"(?<![\w]){re.escape(table_lower)}(?![\w])")
+        _MENTION_PATTERNS[table_lower] = pattern
+    return pattern.search(sql.lower()) is not None
 
 
 #: what :func:`timeline_states` returns per timestamp.
@@ -90,17 +102,23 @@ TIMELINE_MODES = ("full", "sparkline")
 def timeline_states(db: Database, table: str,
                     timestamps: Sequence[int],
                     session=None, backend=None,
-                    mode: str = "full") -> Dict[int, "object"]:
+                    mode: str = "full",
+                    windowscan: Optional[str] = None
+                    ) -> Dict[int, "object"]:
     """The timeline panel's *data* fetch: the committed state of
-    ``table`` at each timestamp, walked through the backend session's
-    snapshot pipeline.
+    ``table`` at each timestamp.
 
-    The whole timestamp series is declared to the session up front
-    (one single-state snapshot set per tick), so a pipelined backend
-    materializes the first state once and then *moves* it forward —
-    each tick is delta-sized work patched into the same temp table,
-    never a per-tick rebuild or clone, because the pipeline knows no
-    later tick re-reads an earlier state.
+    A windowscan-capable backend session answers the whole scan with
+    **one window-compiled SQL pass** over the table's commit-log delta
+    chain (:meth:`~repro.backends.base.BackendSession.window_scan`) —
+    base state once, every further tick delta-sized events folded by
+    ``ROW_NUMBER()``/``SUM() OVER`` windows, zero per-probe plans.
+    Otherwise the scan walks the session's snapshot pipeline: the
+    whole series is declared up front (one single-state snapshot set
+    per tick, sorted and deduplicated, so unsorted or repeated caller
+    ticks cannot defeat patch-in-place moves), the first state is
+    materialized once and then *moved* forward per tick.  Either way
+    the result is keyed by the caller's original timestamps.
 
     ``mode="full"`` returns the full relation per timestamp (the
     detail view); ``mode="sparkline"`` returns a one-row
@@ -108,7 +126,10 @@ def timeline_states(db: Database, table: str,
     time strip the timeline draws without dragging every row of every
     state into Python.  ``session`` reuses a caller's open backend
     session; otherwise ``backend`` (default in-memory) supplies a
-    throwaway one.
+    throwaway one.  ``windowscan`` overrides the backend's configured
+    windowscan mode for this call (``"off"`` pins the per-probe
+    pipeline — what cache-priming callers use, since a window pass
+    materializes only the base state).
     """
     from repro.algebra import operators as op
     from repro.algebra.expressions import Literal
@@ -118,26 +139,33 @@ def timeline_states(db: Database, table: str,
             f"timeline mode must be one of {TIMELINE_MODES}, "
             f"got {mode!r}")
     schema = db.catalog.get(table)
+    if not timestamps:
+        return {}
+    ordered = sorted({int(ts) for ts in timestamps})
     ctx = db.context(params={})
-    out: Dict[int, object] = {}
     with ExitStack() as stack:
         if session is None:
             session = stack.enter_context(
                 resolve_backend(backend).open_session())
-        sets = [[(table, int(ts))] for ts in timestamps]
-        pipe = stack.enter_context(session.snapshot_pipeline(sets, ctx))
-        for index, ts in enumerate(timestamps):
-            pipe.prime(index)
-            plan: op.Operator = op.TableScan(
-                table=table, columns=list(schema.column_names),
-                binding=table, as_of=Literal(int(ts)))
-            if mode == "sparkline":
-                plan = op.Aggregation(
-                    plan, [], [],
-                    [op.AggSpec(func="COUNT", expr=None,
-                                name="n_rows")])
-            out[ts] = session.execute_plan(plan, ctx)
-    return out
+        states = session.window_scan(table, ordered, ctx, mode=mode,
+                                     windowscan=windowscan)
+        if states is None:
+            states = {}
+            sets = [[(table, ts)] for ts in ordered]
+            pipe = stack.enter_context(
+                session.snapshot_pipeline(sets, ctx))
+            for index, ts in enumerate(ordered):
+                pipe.prime(index)
+                plan: op.Operator = op.TableScan(
+                    table=table, columns=list(schema.column_names),
+                    binding=table, as_of=Literal(ts))
+                if mode == "sparkline":
+                    plan = op.Aggregation(
+                        plan, [], [],
+                        [op.AggSpec(func="COUNT", expr=None,
+                                    name="n_rows")])
+                states[ts] = session.execute_plan(plan, ctx)
+    return {ts: states[int(ts)] for ts in timestamps}
 
 
 class TransactionTimeline:

@@ -222,23 +222,34 @@ class TimelineScanJob(Job):
     given; ``mode="sparkline"`` returns one-row ``n_rows`` relations
     per tick (the cardinality strip — all the materialization work,
     none of the row shipping).
+
+    On a windowscan-capable backend a dense scan skips the per-probe
+    pipeline entirely: one window-compiled SQL pass over the commit
+    log answers every tick (see
+    :meth:`repro.backends.base.BackendSession.window_scan`).
+    ``windowscan`` pins the strategy per job — ``"off"`` is what the
+    service's cache-priming jobs (:meth:`ReenactmentService.warm` /
+    ``rewarm``) use, since their purpose is materializing and
+    publishing *every* state, which a window pass deliberately avoids.
     """
 
     table: str
     timestamps: Sequence[int] = field(default_factory=list)
     mode: str = "full"
+    windowscan: Optional[str] = None
 
     kind = "timeline_scan"
 
     def cache_key(self, db) -> Hashable:
         return ("timeline", self.table, tuple(self.timestamps),
-                self.mode, history_version(db))
+                self.mode, self.windowscan, history_version(db))
 
     def run(self, worker) -> Dict[int, Relation]:
         from repro.debugger.timeline import timeline_states
         return timeline_states(worker.db, self.table,
                                list(self.timestamps),
-                               session=worker.session, mode=self.mode)
+                               session=worker.session, mode=self.mode,
+                               windowscan=self.windowscan)
 
     def describe(self) -> str:
         return (f"timeline_scan(table={self.table!r}, "

@@ -181,9 +181,10 @@ class ReenactmentService:
             result = h1.result()
 
     ``backend`` is anything :func:`repro.backends.resolve_backend`
-    accepts; ``cache_capacity`` / ``delta`` / ``pipeline`` override
-    the backend's snapshot-cache bound, materialization mode and
-    snapshot-pipeline mode when the backend has those knobs.
+    accepts; ``cache_capacity`` / ``delta`` / ``pipeline`` /
+    ``windowscan`` override the backend's snapshot-cache bound,
+    materialization mode, snapshot-pipeline mode and window-compiled
+    timeline-scan mode when the backend has those knobs.
     ``async_spill`` (default on) makes a store the service constructs
     publish spills write-behind — eviction on a worker enqueues the
     payload instead of paying pickle + disk I/O inline, and queued
@@ -206,7 +207,8 @@ class ReenactmentService:
                  result_cache_capacity: Optional[int] = 256,
                  store_capacity: Optional[int] = None,
                  async_spill: bool = True,
-                 pipeline: Optional[str] = None):
+                 pipeline: Optional[str] = None,
+                 windowscan: Optional[str] = None):
         if workers < 1:
             raise ServiceError(f"need at least 1 worker, got {workers}")
         self.db = db
@@ -270,6 +272,23 @@ class ReenactmentService:
                     f"pipeline mode must be one of {modes}, "
                     f"got {pipeline!r}")
             self.backend.pipeline = pipeline
+        if windowscan is not None:
+            if caller_owned:
+                raise ServiceError(
+                    "windowscan= only applies to a backend the "
+                    "service constructs from a name; configure your "
+                    "backend instance directly instead")
+            if not caps.get("windowscan"):
+                raise ServiceError(
+                    f"backend {self.backend.name!r} cannot compile "
+                    f"window timeline scans (capabilities: {caps})")
+            modes = getattr(type(self.backend), "WINDOWSCAN_MODES",
+                            None)
+            if modes is not None and windowscan not in modes:
+                raise ServiceError(
+                    f"windowscan mode must be one of {modes}, "
+                    f"got {windowscan!r}")
+            self.backend.windowscan = windowscan
         self._store, self._owns_store = self._admit_store(store, caps,
                                                           store_capacity)
         self.workers = workers
@@ -398,10 +417,11 @@ class ReenactmentService:
 
     def timeline_scan(self, table: str, timestamps: Sequence[int],
                       priority: int = PRIORITY_NORMAL,
-                      mode: str = "full") -> JobHandle:
+                      mode: str = "full",
+                      windowscan: Optional[str] = None) -> JobHandle:
         return self.submit(
             TimelineScanJob(table=table, timestamps=list(timestamps),
-                            mode=mode),
+                            mode=mode, windowscan=windowscan),
             priority=priority)
 
     def rewarm(self, tables: Optional[Sequence[str]] = None
@@ -430,9 +450,13 @@ class ReenactmentService:
             if not self.db.catalog.has(table):
                 continue
             grouped.setdefault(table, []).append(ts)
+        # windowscan pinned off: rewarm's whole point is pulling every
+        # stored state into warm session caches via rehydration, which
+        # a window pass (base state only) deliberately skips.
         return {table: self.timeline_scan(table, sorted(set(stamps)),
                                           priority=PRIORITY_HIGH,
-                                          mode="sparkline")
+                                          mode="sparkline",
+                                          windowscan="off")
                 for table, stamps in sorted(grouped.items())}
 
     def warm(self, table: str, timestamps: Sequence[int]) -> JobHandle:
@@ -441,9 +465,13 @@ class ReenactmentService:
         ahead of traffic, so every worker's first touch of them
         rehydrates from the store instead of rescanning storage.  Runs
         as one high-priority timeline job on a single worker; call
-        ``.result()`` on the handle to block until the store is warm."""
+        ``.result()`` on the handle to block until the store is warm.
+        The windowscan strategy is pinned off: warming must
+        materialize (and publish) *each* state, which a window pass
+        deliberately avoids."""
         return self.timeline_scan(table, timestamps,
-                                  priority=PRIORITY_HIGH)
+                                  priority=PRIORITY_HIGH,
+                                  windowscan="off")
 
     # -- the worker loop ---------------------------------------------------
 

@@ -26,7 +26,14 @@ the whole ordered series of snapshot sets is primed through
 ``session.snapshot_pipeline`` on a **capacity-1** cache with
 ``pipeline="always"`` — so whenever a cached version's last reader is
 behind the cursor it is destructively patched forward in place (a
-move, no clone), and the answers still must not change.
+move, no clone), and the answers still must not change.  A fifth
+mode, ``windowscan``, sweeps the *timeline* oracle: every commit
+timestamp of the history is scanned through
+``timeline_states`` with the window-compiled path forced on
+(``SQLiteBackend(windowscan="always")``) and compared tick by tick
+against the per-probe SQLite path and the in-memory interpreter —
+while the session counters prove the forced run really was served by
+window SQL (``window_scans`` up, ``plans_executed`` zero).
 
 The ``smoke`` subset (first few seeds) is what CI runs inside its
 30-second budget; the full sweep covers 50+ histories across both
@@ -49,7 +56,7 @@ from conftest import (assert_relations_match, build_history,
 SMOKE_SEEDS = list(range(3))
 FULL_SEEDS = list(range(25))
 ISOLATION_LEVELS = ["SERIALIZABLE", "READ COMMITTED"]
-MODES = ["oneshot", "session", "delta", "inplace"]
+MODES = ["oneshot", "session", "delta", "inplace", "windowscan"]
 CRASH_SMOKE_SEEDS = list(range(2))
 CRASH_FULL_SEEDS = list(range(5))
 
@@ -118,6 +125,63 @@ def check_inplace_differential(db, reenactor, seed, isolation):
     return checked
 
 
+def check_windowscan_differential(db, seed, isolation):
+    """The ``windowscan`` mode body: every commit timestamp of the
+    history becomes a timeline tick, and each table of the catalog is
+    scanned — in both ``full`` and ``sparkline`` mode — three ways:
+    window-compiled SQL forced on (``windowscan="always"``), the
+    per-probe SQLite path (``windowscan="off"``), and the in-memory
+    interpreter.  All three must agree tick for tick, and the stats
+    prove the forced run took the window path for every scan
+    (``plans_executed`` stays zero) while the probe run never did."""
+    from repro.db.auditlog import AuditEventKind
+    from repro.debugger.timeline import timeline_states
+
+    ticks = sorted({e.ts for e in db.audit_log.entries
+                    if e.kind is AuditEventKind.COMMIT})
+    if not ticks:
+        return 0
+    tables = sorted(db.catalog.table_names())
+    checked = 0
+    win_backend = SQLiteBackend(windowscan="always")
+    probe_backend = SQLiteBackend(windowscan="off")
+    with win_backend.open_session() as win_session, \
+            probe_backend.open_session() as probe_session, \
+            resolve_backend("memory").open_session() as mem_session:
+        for table in tables:
+            for scan_mode in ("full", "sparkline"):
+                win = timeline_states(db, table, ticks,
+                                      session=win_session,
+                                      mode=scan_mode)
+                probe = timeline_states(db, table, ticks,
+                                        session=probe_session,
+                                        mode=scan_mode)
+                mem = timeline_states(db, table, ticks,
+                                      session=mem_session,
+                                      mode=scan_mode)
+                for ts in ticks:
+                    context = (f"seed={seed} isolation={isolation} "
+                               f"mode=windowscan scan={scan_mode} "
+                               f"table={table} ts={ts}")
+                    assert_relations_match(win[ts], probe[ts],
+                                           context=context)
+                    assert_relations_match(win[ts], mem[ts],
+                                           context=context)
+                    checked += 1
+        win_stats = win_session.stats
+        probe_stats = probe_session.stats
+    assert win_stats.window_scans == len(tables) * 2, \
+        f"forced window sweep fell back: seed={seed} " \
+        f"isolation={isolation} stats={win_stats.as_dict()}"
+    assert win_stats.plans_executed == 0, \
+        f"forced window sweep executed per-probe plans: seed={seed} " \
+        f"isolation={isolation} stats={win_stats.as_dict()}"
+    assert probe_stats.window_scans == 0, \
+        f"windowscan='off' still window-scanned: seed={seed} " \
+        f"isolation={isolation}"
+    return checked
+
+
 def check_history_differential(seed, isolation, mode="oneshot"):
     """Reenact every committed transaction of one seeded history on
     both backends and compare; returns the number of transactions
@@ -131,12 +195,16 @@ def check_history_differential(seed, isolation, mode="oneshot"):
     side — every snapshot that *can* be a delta patch must be one, and
     nothing may change; ``mode="inplace"`` forces the snapshot
     pipeline's destructive moves on a capacity-1 cache (see
-    :func:`check_inplace_differential`)."""
+    :func:`check_inplace_differential`); ``mode="windowscan"`` sweeps
+    the timeline oracle with window-compiled SQL forced on (see
+    :func:`check_windowscan_differential`)."""
     db = build_history(seed, isolation)
     reenactor = Reenactor(db)
     if mode == "inplace":
         return db, check_inplace_differential(db, reenactor, seed,
                                               isolation)
+    if mode == "windowscan":
+        return db, check_windowscan_differential(db, seed, isolation)
     with contextlib.ExitStack() as stack:
         sessions = {"memory": None, "sqlite": None}
         if mode in ("session", "delta"):
@@ -452,12 +520,14 @@ def test_sweep_covers_fifty_histories():
     """Acceptance guard: the parametrized sweep must span ≥ 50
     distinct seeded histories, each in every execution mode —
     including the forced-delta materialization mode, the forced
-    patch-in-place pipeline mode and the concurrent service-scheduler
-    mode."""
+    patch-in-place pipeline mode, the forced window-compiled timeline
+    mode and the concurrent service-scheduler mode."""
     assert len(FULL_SEEDS) * len(ISOLATION_LEVELS) >= 50
-    assert set(MODES) == {"oneshot", "session", "delta", "inplace"}
+    assert set(MODES) == {"oneshot", "session", "delta", "inplace",
+                          "windowscan"}
     assert check_history_service_differential.__doc__ is not None
     assert check_inplace_differential.__doc__ is not None
+    assert check_windowscan_differential.__doc__ is not None
     # the crash sweep spans >= 10 histories, each cut at every boundary
     assert len(CRASH_FULL_SEEDS) * len(ISOLATION_LEVELS) >= 10
     assert check_crash_recover_differential.__doc__ is not None

@@ -52,9 +52,11 @@ def test_timeline_walk_is_one_build_plus_moves():
     """A pipelined timeline scan materializes the first state once and
     *moves* it forward tick by tick: delta-sized work, no clones, and —
     because a move re-keys instead of re-creating — not a single
-    eviction even on a capacity-1 cache."""
+    eviction even on a capacity-1 cache.  (windowscan pinned off: this
+    test pins the *per-probe* pipeline's move accounting, which the
+    PR-7 window pass deliberately bypasses.)"""
     db, timestamps = history()
-    backend = SQLiteBackend(cache_capacity=1)
+    backend = SQLiteBackend(cache_capacity=1, windowscan="off")
     with backend.open_session() as session:
         states = timeline_states(db, "acct", timestamps,
                                  session=session, mode="sparkline")
@@ -123,9 +125,11 @@ def test_pipeline_prime_order_is_enforced():
 
 def test_pipeline_off_backend_degrades_to_hints():
     """``pipeline="off"`` is the PR-4 baseline: the base per-set hint
-    pipeline, never a move — and the results are unchanged."""
+    pipeline, never a move — and the results are unchanged.
+    (windowscan pinned off so the scan actually walks the hint path
+    whose counters this test pins.)"""
     db, timestamps = history()
-    backend = SQLiteBackend(pipeline="off")
+    backend = SQLiteBackend(pipeline="off", windowscan="off")
     with backend.open_session() as session:
         pipe = session.snapshot_pipeline([[("acct", timestamps[0])]],
                                          db.context(params={}))
@@ -247,10 +251,11 @@ def test_session_stats_carry_pipeline_counters():
 def test_moved_snapshot_is_rematerializable_afterwards():
     """Requesting a version after it was consumed by a move simply
     rebuilds it — destructive moves never change answers, only
-    costs."""
+    costs.  (windowscan pinned off: the scan must take the per-probe
+    move path whose re-request behavior is under test.)"""
     db, timestamps = history(n_commits=3)
     ctx = db.context(params={})
-    with SQLiteBackend().open_session() as session:
+    with SQLiteBackend(windowscan="off").open_session() as session:
         walked = timeline_states(db, "acct", timestamps,
                                  session=session, mode="full")
         assert session.stats.patched_in_place == len(timestamps) - 1

@@ -1,0 +1,339 @@
+"""Window-compiled timeline scans (PR 7).
+
+Pins the single-pass window compilation's observable contract:
+
+* a dense scan on a windowscan-capable session is answered by **one**
+  SQL pass — ``window_scans`` goes up once, ``plans_executed`` stays
+  at zero — and the answers are identical to the per-probe pipeline
+  and the in-memory interpreter, cell for cell in sparkline mode;
+* the cost-model cutover: ``"auto"`` takes the window path only at
+  :attr:`SQLiteBackend.WINDOWSCAN_MIN_TICKS` distinct ticks and
+  above, ``"always"`` whenever the context is legal, ``"off"`` never;
+* admission: what-if overrides, snapshot providers, contexts without
+  native time travel, and tables whose columns collide with the
+  window machinery's reserved names all fall back to the per-probe
+  pipeline (``window_scan`` returns ``None``) instead of answering
+  wrong;
+* results are keyed by the caller's *original* timestamps even when
+  the request arrives unsorted and with duplicates;
+* the ``window_scans`` / ``window_scan_ticks`` counters ride
+  ``SessionStats.as_dict`` and ``merge``;
+* the service's ``windowscan=`` knob configures a backend the service
+  constructs and refuses caller-owned or incapable backends.
+"""
+
+import pytest
+
+from repro import Database, ReenactmentService
+from repro.algebra.evaluator import Relation
+from repro.algebra.sqlgen import Dialect
+from repro.backends import SQLiteBackend, resolve_backend
+from repro.backends.base import SessionStats
+from repro.backends.sqlite import WINDOW_RESERVED_COLUMNS
+from repro.db.auditlog import AuditEventKind
+from repro.debugger.timeline import timeline_states
+from repro.errors import (ExecutionError, ReenactmentError,
+                          ServiceError)
+from repro.service.jobs import TimelineScanJob
+
+from conftest import (assert_relations_match, build_history,
+                      committed_xids)
+
+
+def history(n_rows=30, n_commits=8):
+    """One table, a seed commit, then single-row update/insert/delete
+    commits — a distinct committed state at each returned timestamp,
+    with churn in both directions so counts actually move."""
+    db = Database()
+    db.execute("CREATE TABLE acct (id INT, bal INT)")
+    conn = db.connect()
+    conn.begin()
+    for i in range(n_rows):
+        conn.execute(f"INSERT INTO acct VALUES ({i}, 100)")
+    conn.commit()
+    timestamps = [db.clock.now()]
+    for k in range(n_commits - 1):
+        conn.begin()
+        if k % 3 == 0:
+            conn.execute(f"DELETE FROM acct WHERE id = {k}")
+        elif k % 3 == 1:
+            conn.execute(f"INSERT INTO acct VALUES ({n_rows + k}, 7)")
+        else:
+            conn.execute(f"UPDATE acct SET bal = bal + 1 "
+                         f"WHERE id = {n_rows // 2}")
+        conn.commit()
+        timestamps.append(db.clock.now())
+    return db, timestamps
+
+
+def scan(db, timestamps, mode, windowscan):
+    """One timeline scan on a fresh session; returns (states, stats)."""
+    backend = SQLiteBackend(windowscan=windowscan)
+    with backend.open_session() as session:
+        states = timeline_states(db, "acct", timestamps,
+                                 session=session, mode=mode)
+        return states, session.stats
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("mode", ["full", "sparkline"])
+    def test_window_matches_per_probe_and_memory(self, mode):
+        db, timestamps = history()
+        win, win_stats = scan(db, timestamps, mode, "always")
+        probe, probe_stats = scan(db, timestamps, mode, "off")
+        mem = timeline_states(db, "acct", timestamps,
+                              backend="memory", mode=mode)
+        for ts in timestamps:
+            assert_relations_match(win[ts], probe[ts],
+                                   context=f"mode={mode} ts={ts}")
+            assert_relations_match(win[ts], mem[ts],
+                                   context=f"mode={mode} ts={ts}")
+        # the whole scan was ONE window pass: no per-probe plans at all
+        assert win_stats.window_scans == 1
+        assert win_stats.window_scan_ticks == len(timestamps)
+        assert win_stats.plans_executed == 0
+        assert probe_stats.window_scans == 0
+        assert probe_stats.plans_executed == len(timestamps)
+
+    @pytest.mark.parametrize("isolation",
+                             ["SERIALIZABLE", "READ COMMITTED"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_sparkline_cells_match_per_probe_counts(self, seed,
+                                                    isolation):
+        """Satellite 3: every sparkline cell of a window-compiled scan
+        equals the per-probe ``COUNT(*)`` at that tick, checked cell
+        for cell across seeded concurrent histories at both isolation
+        levels."""
+        db = build_history(seed, isolation)
+        ticks = sorted({e.ts for e in db.audit_log.entries
+                        if e.kind is AuditEventKind.COMMIT})
+        assert ticks
+        for table in sorted(db.catalog.table_names()):
+            win = timeline_states(
+                db, table, ticks, mode="sparkline",
+                session=None, backend=SQLiteBackend(windowscan="always"))
+            probe = timeline_states(
+                db, table, ticks, mode="sparkline",
+                session=None, backend=SQLiteBackend(windowscan="off"))
+            win_cells = {ts: win[ts].rows[0][0] for ts in ticks}
+            probe_cells = {ts: probe[ts].rows[0][0] for ts in ticks}
+            assert win_cells == probe_cells, \
+                f"seed={seed} isolation={isolation} table={table}"
+
+    def test_results_keyed_by_callers_original_timestamps(self):
+        db, timestamps = history()
+        request = [timestamps[4], timestamps[0], timestamps[4],
+                   timestamps[2], timestamps[6]]
+        backend = SQLiteBackend(windowscan="always")
+        with backend.open_session() as session:
+            states = timeline_states(db, "acct", request,
+                                     session=session, mode="sparkline")
+            assert session.stats.window_scans == 1
+            # deduped before the backend saw it
+            assert session.stats.window_scan_ticks == 4
+        assert set(states) == set(request)
+        reference, _ = scan(db, request, "sparkline", "off")
+        for ts in request:
+            assert_relations_match(states[ts], reference[ts],
+                                   context=f"ts={ts}")
+
+
+class TestCutover:
+    def test_auto_below_min_ticks_stays_per_probe(self):
+        db, timestamps = history()
+        few = timestamps[:SQLiteBackend.WINDOWSCAN_MIN_TICKS - 1]
+        states, stats = scan(db, few, "sparkline", "auto")
+        assert stats.window_scans == 0
+        assert stats.plans_executed == len(few)
+        assert len(states) == len(few)
+
+    def test_auto_at_min_ticks_window_compiles(self):
+        db, timestamps = history()
+        enough = timestamps[:SQLiteBackend.WINDOWSCAN_MIN_TICKS]
+        _, stats = scan(db, enough, "sparkline", "auto")
+        assert stats.window_scans == 1
+        assert stats.plans_executed == 0
+
+    def test_auto_full_mode_stays_per_probe(self):
+        """The cost model is mode-aware: full reconstruction ships
+        every row of every tick on either path, and the window's
+        ``ROW_NUMBER`` sort over the tick x event join measures slower
+        than the per-probe moves it saves — so ``"auto"`` cuts over
+        only for sparkline scans; full mode window-compiles under
+        ``"always"`` alone."""
+        db, timestamps = history()
+        _, stats = scan(db, timestamps, "full", "auto")
+        assert stats.window_scans == 0
+        assert stats.plans_executed == len(timestamps)
+
+    def test_always_engages_even_for_one_tick(self):
+        db, timestamps = history()
+        _, stats = scan(db, [timestamps[0]], "full", "always")
+        assert stats.window_scans == 1
+        assert stats.plans_executed == 0
+
+    def test_off_never_window_scans(self):
+        db, timestamps = history()
+        _, stats = scan(db, timestamps, "sparkline", "off")
+        assert stats.window_scans == 0
+        assert stats.window_scan_ticks == 0
+
+    def test_empty_timestamp_list(self):
+        db, _ = history(n_commits=2)
+        assert timeline_states(db, "acct", [],
+                               backend=SQLiteBackend(
+                                   windowscan="always")) == {}
+        ctx = db.context(params={})
+        with SQLiteBackend(windowscan="always").open_session() \
+                as session:
+            assert session.window_scan("acct", [], ctx) == {}
+
+
+class TestAdmission:
+    """Contexts the window compiler must *refuse* (returning ``None``
+    so the caller falls back) rather than answer incorrectly."""
+
+    def test_whatif_override_refused(self):
+        db, timestamps = history(n_commits=4)
+        override = Relation(["acct.id", "acct.bal"], [(1, 999)])
+        ctx = db.context(params={}, overrides={"acct": override})
+        with SQLiteBackend(windowscan="always").open_session() \
+                as session:
+            assert session.window_scan("acct", timestamps, ctx) is None
+
+    def test_snapshot_provider_refused(self):
+        db, timestamps = history(n_commits=4)
+        ctx = db.context(params={},
+                         snapshot_provider=lambda table, ts: [])
+        with SQLiteBackend(windowscan="always").open_session() \
+                as session:
+            assert session.window_scan("acct", timestamps, ctx) is None
+
+    def test_context_without_database_refused(self):
+        from repro.algebra.evaluator import StaticContext
+        db, timestamps = history(n_commits=4)
+        ctx = StaticContext(
+            {"acct": Relation(["acct.id", "acct.bal"], [(1, 1)])})
+        with SQLiteBackend(windowscan="always").open_session() \
+                as session:
+            assert session.window_scan("acct", timestamps, ctx) is None
+
+    def test_timetravel_disabled_refused(self):
+        from repro.db.engine import DatabaseConfig
+        db, timestamps = history(n_commits=4)
+        ctx = db.context(params={})
+        db.config = DatabaseConfig(timetravel_enabled=False)
+        with SQLiteBackend(windowscan="always").open_session() \
+                as session:
+            assert session.window_scan("acct", timestamps, ctx) is None
+
+    def test_reserved_column_collision_refused(self):
+        db, timestamps = history(n_commits=4)
+        ctx = db.context(params={})
+        # a user table whose column shadows the window machinery's
+        # working names would make the generated SQL ambiguous; the
+        # guard must bail before any SQL is built
+        ctx.table_columns = lambda table: ["id", "__wts__"]
+        with SQLiteBackend(windowscan="always").open_session() \
+                as session:
+            assert session.window_scan("acct", timestamps, ctx) is None
+
+    def test_none_timestamp_refused(self):
+        db, timestamps = history(n_commits=4)
+        ctx = db.context(params={})
+        with SQLiteBackend(windowscan="always").open_session() \
+                as session:
+            assert session.window_scan("acct", [timestamps[0], None],
+                                       ctx) is None
+
+    def test_reserved_names_cover_the_working_set(self):
+        assert {"__qts__", "__wts__", "__live__", "__delta__",
+                "__rn__"} <= set(WINDOW_RESERVED_COLUMNS)
+
+
+class TestValidation:
+    def test_backend_rejects_unknown_windowscan_mode(self):
+        with pytest.raises(ExecutionError, match="windowscan"):
+            SQLiteBackend(windowscan="sometimes")
+
+    def test_session_rejects_unknown_override(self):
+        db, timestamps = history(n_commits=2)
+        ctx = db.context(params={})
+        with SQLiteBackend().open_session() as session:
+            with pytest.raises(ExecutionError, match="windowscan"):
+                session.window_scan("acct", timestamps, ctx,
+                                    windowscan="sometimes")
+
+    def test_session_rejects_unknown_scan_mode(self):
+        db, timestamps = history(n_commits=2)
+        ctx = db.context(params={})
+        with SQLiteBackend().open_session() as session:
+            with pytest.raises(ExecutionError, match="mode"):
+                session.window_scan("acct", timestamps, ctx,
+                                    mode="everything")
+
+    def test_base_dialect_hooks_are_unexpressible(self):
+        dialect = Dialect()
+        with pytest.raises(ReenactmentError):
+            dialect.gen_window_states("e", "t", ["id"])
+        with pytest.raises(ReenactmentError):
+            dialect.gen_window_counts("e", "t")
+
+    def test_memory_session_has_no_window_path(self):
+        db, timestamps = history(n_commits=4)
+        ctx = db.context(params={})
+        with resolve_backend("memory").open_session() as session:
+            assert session.window_scan("acct", timestamps, ctx,
+                                       windowscan="always") is None
+
+
+class TestStats:
+    def test_session_stats_carry_window_counters(self):
+        stats = SessionStats(window_scans=2, window_scan_ticks=17)
+        payload = stats.as_dict()
+        assert payload["window_scans"] == 2
+        assert payload["window_scan_ticks"] == 17
+        other = SessionStats(window_scans=1, window_scan_ticks=3)
+        other.merge(stats)
+        assert other.window_scans == 3
+        assert other.window_scan_ticks == 20
+
+
+class TestService:
+    def test_knob_refused_on_caller_owned_backend(self):
+        db, _ = history(n_commits=2)
+        with pytest.raises(ServiceError, match="windowscan"):
+            ReenactmentService(db, backend=SQLiteBackend(),
+                               windowscan="always")
+
+    def test_knob_refused_on_incapable_backend(self):
+        db, _ = history(n_commits=2)
+        with pytest.raises(ServiceError, match="window"):
+            ReenactmentService(db, backend="memory",
+                               windowscan="always")
+
+    def test_knob_rejects_unknown_mode(self):
+        db, _ = history(n_commits=2)
+        with pytest.raises(ServiceError, match="windowscan"):
+            ReenactmentService(db, backend="sqlite",
+                               windowscan="sometimes")
+
+    def test_forced_window_service_answers_identically(self):
+        db, timestamps = history()
+        reference, _ = scan(db, timestamps, "sparkline", "off")
+        with ReenactmentService(db, backend="sqlite", workers=2,
+                                windowscan="always") as service:
+            result = service.timeline_scan(
+                "acct", timestamps, mode="sparkline").result(timeout=60)
+            sessions = service.stats().sessions
+        assert sessions["window_scans"] == 1
+        for ts in timestamps:
+            assert_relations_match(result[ts], reference[ts],
+                                   context=f"service ts={ts}")
+
+    def test_job_cache_key_distinguishes_windowscan(self):
+        db, timestamps = history(n_commits=2)
+        default = TimelineScanJob(table="acct", timestamps=timestamps)
+        pinned = TimelineScanJob(table="acct", timestamps=timestamps,
+                                 windowscan="off")
+        assert default.cache_key(db) != pinned.cache_key(db)

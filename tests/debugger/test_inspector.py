@@ -95,6 +95,47 @@ class TestFiltering:
             inspector.select_tables(["ghost"])
 
 
+class TestTimelineStrip:
+    def test_strip_counts_every_boundary(self, skewed):
+        """The cardinality strip above the panel: committed row counts
+        at the begin time and every statement boundary.  The write-skew
+        history never changes either table's cardinality, so the strip
+        is flat — and on a window-compiled backend the whole strip per
+        table is one SQL pass (zero per-probe plans) even though the
+        boundary ticks arrive unsorted and duplicated."""
+        from repro import SQLiteBackend
+        db, _, t2 = skewed
+        backend = SQLiteBackend(windowscan="always")
+        inspector = TransactionInspector(db, t2, backend=backend)
+        strip = inspector.timeline_strip()
+        assert set(strip) == {"account", "overdraft"}
+        record = db.audit_log.transaction_record(t2)
+        boundaries = {record.begin_ts}
+        for stmt in record.statements:
+            start, end = record.statement_interval(stmt.index)
+            boundaries.add(start)
+            if end is not None:
+                boundaries.add(end)
+        for table, cells in strip.items():
+            assert set(cells) == boundaries
+        assert set(strip["account"].values()) == {2}
+        assert set(strip["overdraft"].values()) == {0}
+        assert inspector.last_stats.window_scans == len(strip)
+        assert inspector.last_stats.plans_executed == 0
+
+    def test_strip_single_table_filter(self, skewed):
+        db, _, t2 = skewed
+        inspector = TransactionInspector(db, t2)
+        strip = inspector.timeline_strip("overdraft")
+        assert set(strip) == {"overdraft"}
+
+    def test_strip_unknown_table_rejected(self, skewed):
+        db, _, t2 = skewed
+        inspector = TransactionInspector(db, t2)
+        with pytest.raises(ReenactmentError, match="not touched"):
+            inspector.timeline_strip("ghost")
+
+
 class TestDeletes:
     def test_deleted_rows_shown_as_tombstones(self):
         db = Database()

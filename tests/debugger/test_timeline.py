@@ -86,6 +86,83 @@ class TestInteractions:
         assert len(timeline) == 0
 
 
+class TestTableMentions:
+    """Word-boundary table matching in ``filter(table=...)`` — the
+    regression the naive substring test invited: ``account`` matching
+    ``accounts`` (and vice versa)."""
+
+    def test_prefix_name_does_not_match_longer_name(self):
+        from repro.debugger.timeline import _mentions_table
+        assert not _mentions_table(
+            "UPDATE accounts SET bal = 0", "account")
+        assert not _mentions_table(
+            "SELECT * FROM accounts_bak", "account")
+        assert not _mentions_table(
+            "INSERT INTO account2 VALUES (1)", "account")
+
+    def test_whole_word_matches_through_punctuation(self):
+        from repro.debugger.timeline import _mentions_table
+        assert _mentions_table("UPDATE account SET bal = 0", "account")
+        assert _mentions_table("SELECT * FROM account;", "account")
+        assert _mentions_table('DELETE FROM "account" WHERE 1',
+                               "account")
+        assert _mentions_table("JOIN main.account ON 1=1", "account")
+        assert _mentions_table("UPDATE ACCOUNT SET bal = 0", "account")
+
+    def test_filter_level_regression(self):
+        """A history over ``account`` *and* ``accounts``: filtering by
+        either name must select only its own transactions."""
+        db = Database()
+        db.execute("CREATE TABLE account (x INT)")
+        db.execute("CREATE TABLE accounts (y INT)")
+        short = db.connect(user="short")
+        short.begin()
+        short.execute("INSERT INTO account VALUES (1)")
+        short.commit()
+        longer = db.connect(user="longer")
+        longer.begin()
+        longer.execute("INSERT INTO accounts VALUES (2)")
+        longer.commit()
+        timeline = TransactionTimeline.from_database(db)
+        assert {r.user for r in timeline.filter(table="account")} \
+            == {"short"}
+        assert {r.user for r in timeline.filter(table="accounts")} \
+            == {"longer"}
+
+
+class TestTimelineStates:
+    def test_fallback_sorts_and_dedupes_before_the_pipeline(self):
+        """Unsorted, duplicated caller ticks must not defeat the
+        per-probe pipeline's patch-in-place planning: the snapshot
+        sets are declared in sorted deduplicated order (N-1 moves for
+        N distinct ticks), while the result is keyed by the caller's
+        original timestamps."""
+        from repro import SQLiteBackend
+        from repro.debugger.timeline import timeline_states
+        db = Database()
+        db.execute("CREATE TABLE t (x INT)")
+        ticks = []
+        for i in range(5):
+            conn = db.connect()
+            conn.begin()
+            conn.execute(f"INSERT INTO t VALUES ({i})")
+            conn.commit()
+            ticks.append(db.clock.now())
+        request = [ticks[3], ticks[0], ticks[3], ticks[1], ticks[4],
+                   ticks[0]]
+        backend = SQLiteBackend(windowscan="off")
+        with backend.open_session() as session:
+            states = timeline_states(db, "t", request, session=session,
+                                     mode="sparkline")
+            stats = session.stats
+        n_unique = len(set(request))
+        assert stats.patched_in_place == n_unique - 1
+        assert stats.full_materializations == 1
+        assert set(states) == set(request)
+        assert {ts: states[ts].rows[0][0] for ts in request} \
+            == {ticks[0]: 1, ticks[1]: 2, ticks[3]: 4, ticks[4]: 5}
+
+
 class TestActiveTransactions:
     def test_active_last_statement_interval_is_open(self, timeline_env):
         db, _, _ = timeline_env

@@ -59,9 +59,9 @@ class MarkerJob(Job):
 def test_available_backends_reports_capability_flags():
     flags = available_backends(capabilities=True)
     assert flags["sqlite"] == {"sessions": True, "delta": True,
-                               "spill": True}
+                               "spill": True, "windowscan": True}
     assert flags["memory"] == {"sessions": False, "delta": False,
-                               "spill": False}
+                               "spill": False, "windowscan": False}
     # the plain call keeps its historical shape
     assert available_backends() == sorted(flags)
 

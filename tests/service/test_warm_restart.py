@@ -34,9 +34,12 @@ def test_restarted_service_comes_back_warm(tmp_path):
     db, ticks = build_durable_history(tmp_path)
 
     # first incarnation: publish every materialized state to the store
+    # (windowscan pinned off — priming must materialize every state,
+    # the same reason ReenactmentService.warm pins it)
     with ReenactmentService(db, store=store_path, workers=2,
                             spill_publish="all") as svc:
-        reference = svc.timeline_scan("acc", ticks).result(timeout=60)
+        reference = svc.timeline_scan(
+            "acc", ticks, windowscan="off").result(timeout=60)
         assert len(svc.store.inventory(db.history_id)) >= len(ticks)
     db.wal.close()
 
@@ -76,7 +79,8 @@ def test_rewarm_skips_tables_the_catalog_lost(tmp_path):
     db, ticks = build_durable_history(tmp_path)
     with ReenactmentService(db, store=store_path, workers=1,
                             spill_publish="all") as svc:
-        svc.timeline_scan("acc", ticks).result(timeout=60)
+        svc.timeline_scan("acc", ticks,
+                          windowscan="off").result(timeout=60)
     db.execute("DROP TABLE acc")
     db.wal.close()
 
@@ -94,7 +98,8 @@ def test_rewarm_table_filter(tmp_path):
     other_tick = db.clock.now()
     with ReenactmentService(db, store=store_path, workers=1,
                             spill_publish="all") as svc:
-        svc.timeline_scan("acc", ticks).result(timeout=60)
+        svc.timeline_scan("acc", ticks,
+                          windowscan="off").result(timeout=60)
         svc.timeline_scan("other", [other_tick]).result(timeout=60)
     db.wal.close()
 

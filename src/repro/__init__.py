@@ -29,20 +29,22 @@ Quickstart::
 
 from repro.db import (Database, DatabaseConfig, IsolationLevel, Session,
                       WriteAheadLog)
-from repro.backends import (BackendSession, ExecutionBackend,
-                            InMemoryBackend, SQLiteBackend,
-                            available_backends, resolve_backend)
+from repro.backends import (BackendSession, DuckDBBackend,
+                            ExecutionBackend, InMemoryBackend,
+                            SQLiteBackend, available_backends,
+                            resolve_backend)
 from repro.errors import ReproError
 from repro.service import (ReenactmentService, ResultCache,
                            SnapshotStore)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Database", "DatabaseConfig", "IsolationLevel", "Session",
     "WriteAheadLog",
-    "BackendSession", "ExecutionBackend", "InMemoryBackend",
-    "SQLiteBackend", "available_backends", "resolve_backend",
+    "BackendSession", "DuckDBBackend", "ExecutionBackend",
+    "InMemoryBackend", "SQLiteBackend", "available_backends",
+    "resolve_backend",
     "ReenactmentService", "ResultCache", "SnapshotStore",
     "ReproError", "__version__",
 ]

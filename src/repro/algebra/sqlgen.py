@@ -18,47 +18,183 @@ back to direct plan evaluation (documented in DESIGN.md §4.5).  Target
 dialects that do have window functions can render it by overriding
 :meth:`Dialect.gen_annotate_rowid`.
 
-Generation is parameterized by a :class:`Dialect`: execution backends
-(:mod:`repro.backends`) override its hooks to print the same plans for a
-real external engine — e.g. mapping time-traveled scans onto
-materialized snapshot tables and avoiding syntax the target does not
-accept (SQLite rejects parenthesized compound-SELECT operands).
+Generation is parameterized by a :class:`Dialect`: the policy knobs —
+quoting, compound-SELECT form, CTE materialization barriers, parameter
+markers, window-function availability — live in first-class
+:class:`DialectConfig` objects, one per target engine, so execution
+backends (:mod:`repro.backends`) only override the hooks where
+behavior (not policy) differs: mapping time-traveled scans onto
+materialized snapshot tables.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.algebra import operators as op
-from repro.algebra.expressions import Column, Expr, transform
+from repro.algebra.expressions import Column, Expr, Param, transform
 from repro.errors import ReenactmentError, ReproError
 from repro.sql.formatter import format_expr
 
 
-class Dialect:
-    """Rendering hooks for one target SQL dialect.
+@dataclass(frozen=True)
+class DialectConfig:
+    """The policy knobs of one target SQL dialect.
 
-    The base class prints the repo's native dialect — time-travel
-    ``AS OF`` scans, parenthesized compound queries — whose output
-    re-parses and re-evaluates on the engine (a tested fixpoint).
-    Subclasses adjust only the places dialects actually differ; the
-    structural SQL generation is shared.
+    Everything here is declarative — the :class:`Dialect` renderer
+    reads these knobs, and a backend declares its dialect by pointing
+    at a config instead of overriding string-producing methods.  The
+    configs for known engines are registered at import time
+    (:func:`available_dialects`), so policy tests can sweep every
+    dialect without importing any engine driver.
+    """
+
+    name: str
+    #: identifier quoting: "none" (emit bare — the native dialect has
+    #: no reserved-word collisions with generated names) or "double"
+    #: (standard SQL ``"ident"`` with ``""`` escaping).
+    quote_style: str = "none"
+    #: hoist derived tables into a WITH clause.  Deep reenactment
+    #: chains (READ COMMITTED re-basing in particular) nest subqueries
+    #: hundreds of levels deep; engines with a bounded parser stack
+    #: need the flat CTE form.  The native dialect keeps inline
+    #: nesting so generated SQL stays a re-parseable fixpoint.
+    use_ctes: bool = False
+    #: parenthesize compound-SELECT operands.  Standard form is
+    #: ``(SELECT ...) UNION ALL (SELECT ...)``; SQLite rejects the
+    #: parens and needs bare operands.
+    parenthesized_compounds: bool = True
+    #: CTE materialization barrier keyword ("" = plain ``AS (...)``).
+    #: Engines whose flatteners inline single-reference CTEs compound
+    #: reenactment CASE stacks exponentially at prepare time without
+    #: the barrier.
+    cte_materialization: str = ""
+    #: the engine has ROW_NUMBER()/SUM() OVER window machinery: the
+    #: synthetic row-id annotation and the window-compiled timeline
+    #: hooks are expressible.
+    window_functions: bool = False
+    #: named-parameter marker style: "colon" (``:name``) or "dollar"
+    #: (``$name``).
+    param_style: str = "colon"
+    #: keyword introducing session-scoped tables (snapshot and
+    #: window-scan temps).
+    temp_table_keyword: str = "TEMP"
+    #: the engine requires statically typed columns in CREATE TABLE —
+    #: snapshot/window temp tables must carry column types mapped from
+    #: the catalog (row-shape inference where no catalog type exists).
+    typed_temp_columns: bool = False
+
+    def __post_init__(self):
+        if self.quote_style not in ("none", "double"):
+            raise ReproError(
+                f"dialect {self.name!r}: quote_style must be 'none' "
+                f"or 'double', got {self.quote_style!r}")
+        if self.param_style not in ("colon", "dollar"):
+            raise ReproError(
+                f"dialect {self.name!r}: param_style must be 'colon' "
+                f"or 'dollar', got {self.param_style!r}")
+
+    def quote(self, ident: str) -> str:
+        """Apply this dialect's identifier-quoting policy."""
+        if self.quote_style == "double":
+            return '"' + ident.replace('"', '""') + '"'
+        return ident
+
+    def param_marker(self, name: str) -> str:
+        """The placeholder text for a named query parameter."""
+        if self.param_style == "dollar":
+            return f"${name}"
+        return f":{name}"
+
+
+#: registered dialect configs, by lowercase name.
+_DIALECTS: Dict[str, DialectConfig] = {}
+
+
+def register_dialect(config: DialectConfig) -> DialectConfig:
+    """Register a dialect config under its name (later registrations
+    replace earlier ones)."""
+    _DIALECTS[config.name.lower()] = config
+    return config
+
+
+def available_dialects() -> List[str]:
+    """Sorted names of every registered dialect config."""
+    return sorted(_DIALECTS)
+
+
+def get_dialect(name: str) -> DialectConfig:
+    """Look up a registered dialect config by name."""
+    config = _DIALECTS.get(name.lower())
+    if config is None:
+        raise ReproError(
+            f"unknown SQL dialect {name!r}; available: "
+            f"{available_dialects()}")
+    return config
+
+
+#: the repo's own dialect: bare identifiers, inline nesting, AS OF
+#: time travel, no window machinery — a re-parseable fixpoint.
+NATIVE = register_dialect(DialectConfig(name="native"))
+
+#: SQLite: bounded parser stack (flat CTEs), bare compound operands,
+#: MATERIALIZED barrier against the query flattener (needs >= 3.35 —
+#: the backend downgrades the knob on older libraries).
+SQLITE = register_dialect(DialectConfig(
+    name="sqlite", quote_style="double", use_ctes=True,
+    parenthesized_compounds=False, cte_materialization="MATERIALIZED",
+    window_functions=True, param_style="colon"))
+
+#: DuckDB: postgres-flavored — parenthesized compounds, ``$name``
+#: parameters, statically typed temp-table columns; columnar and
+#: vectorized, so the window-compiled paths are its fast lane.
+DUCKDB = register_dialect(DialectConfig(
+    name="duckdb", quote_style="double", use_ctes=True,
+    parenthesized_compounds=True, cte_materialization="MATERIALIZED",
+    window_functions=True, param_style="dollar",
+    typed_temp_columns=True))
+
+
+class Dialect:
+    """Renderer for one target SQL dialect, driven by a
+    :class:`DialectConfig`.
+
+    With the default (native) config it prints the repo's own dialect —
+    time-travel ``AS OF`` scans, parenthesized compound queries —
+    whose output re-parses and re-evaluates on the engine (a tested
+    fixpoint).  Everything policy-shaped (quoting, compound form, CTE
+    barriers, parameter markers) is read from the config; subclasses
+    override only behavior that is not expressible as a knob (backends
+    map time-traveled scans onto materialized snapshot tables).  The
+    window hooks render shared ANSI window SQL, gated on the config's
+    ``window_functions`` capability — no engine-specific rendering
+    lives here.
     """
 
     name = "native"
 
-    #: hoist derived tables into a WITH clause.  Deep reenactment chains
-    #: (READ COMMITTED re-basing in particular) nest subqueries hundreds
-    #: of levels deep; engines with a bounded parser stack (SQLite)
-    #: need the flat CTE form.  The native dialect keeps inline nesting
-    #: so generated SQL stays a re-parseable fixpoint.
+    #: mirror of ``config.use_ctes``, kept as a class attribute so
+    #: lightweight test dialects can flip it without a config.
     use_ctes = False
 
+    #: the policy knobs; instance construction with an explicit config
+    #: overrides this class-level default.
+    config: DialectConfig = NATIVE
+
+    def __init__(self, config: Optional[DialectConfig] = None):
+        if config is not None:
+            self.config = config
+            self.name = config.name
+            self.use_ctes = config.use_ctes
+
     def quote(self, ident: str) -> str:
-        """Quote an identifier where the target requires it (the native
-        dialect has no quoting and no reserved-word collisions with the
-        names the generator emits)."""
-        return ident
+        """Quote an identifier per the config's quoting policy."""
+        return self.config.quote(ident)
+
+    def param_marker(self, name: str) -> str:
+        """Named-parameter placeholder per the config's style."""
+        return self.config.param_marker(name)
 
     def scan_source(self, scan: op.TableScan) -> str:
         """FROM-clause source text for a base-table scan."""
@@ -70,31 +206,57 @@ class Dialect:
     def compound(self, left_body: str, right_body: str,
                  word: str) -> str:
         """Combine two simple SELECT bodies with a set operation."""
-        return f"({left_body}) {word} ({right_body})"
+        if self.config.parenthesized_compounds:
+            return f"({left_body}) {word} ({right_body})"
+        return f"{left_body} {word} {right_body}"
 
     def cte_item(self, name: str, body: str) -> str:
         """One ``name AS (body)`` item of a WITH clause (only reached
-        when :attr:`use_ctes` is set)."""
+        when :attr:`use_ctes` is set), with the config's
+        materialization barrier if it declares one."""
+        barrier = self.config.cte_materialization
+        if barrier:
+            return f"{self.quote(name)} AS {barrier} ({body})"
         return f"{self.quote(name)} AS ({body})"
 
     def gen_annotate_rowid(self, gen: "_Generator",
                            node: op.AnnotateRowId
                            ) -> Tuple[str, Dict[str, str]]:
         """Render synthetic row-id annotation, or raise if the dialect
-        cannot express it."""
-        raise ReenactmentError(
-            "plan contains synthetic row-id annotation over a dynamic "
-            "input (reenacted INSERT ... SELECT); it cannot be printed "
-            "as SQL — evaluate the plan directly instead")
+        cannot express it.
+
+        Synthetic negative ids in input order, mirroring the
+        evaluator's ``-(seed * 1_000_000 + i + 1)`` scheme.  Engines
+        keep a deterministic scan order over materialized snapshots,
+        but ``ROW_NUMBER`` without ``ORDER BY`` is formally
+        unordered — row identity assignment for ``INSERT ... SELECT``
+        should be compared on data columns, not annotation columns
+        (the differential harness does exactly that)."""
+        if not self.config.window_functions:
+            raise ReenactmentError(
+                "plan contains synthetic row-id annotation over a "
+                "dynamic input (reenacted INSERT ... SELECT); it "
+                "cannot be printed as SQL — evaluate the plan "
+                "directly instead")
+        sql, colmap = gen.gen(node.child)
+        alias = gen.fresh("t")
+        flat = gen.fresh("c")
+        columns = ", ".join(colmap[a] for a in node.child.attrs)
+        offset = node.seed * 1_000_000
+        out = dict(colmap)
+        out[node.name] = flat
+        return (f"SELECT {columns}, -({offset} + ROW_NUMBER() OVER ()) "
+                f"AS {flat} FROM {gen.derived(sql)} AS {alias}", out)
 
     # -- window-compiled timeline scans ------------------------------
     #
     # A timeline scan asks for one table's state at N committed
-    # timestamps.  Backends with window functions can answer all N from
-    # a single pass over an *event* table holding the base state plus
+    # timestamps.  Dialects with window functions answer all N from a
+    # single pass over an *event* table holding the base state plus
     # the commit-log delta chain, instead of N per-probe snapshot
-    # executions.  Like :meth:`gen_annotate_rowid`, the base dialect
-    # raises and callers fall back to the per-probe pipeline.
+    # executions.  The rendering is shared ANSI window SQL; dialects
+    # without the capability raise and callers fall back to the
+    # per-probe pipeline.
 
     def gen_window_states(self, events: str, ticks: str,
                           data_columns: List[str]) -> str:
@@ -104,28 +266,65 @@ class Dialect:
         __rowid__, __xid__)`` — the base state stamped at the first
         tick plus one row per delta-chain change (``__live__`` = 0
         marks a deletion tombstone).  ``ticks`` is a table
-        ``(__qts__)`` of query timestamps.  The query must return, for
+        ``(__qts__)`` of query timestamps.  The query returns, for
         every tick, the latest version ≤ that tick of every live row:
-        rows ``(__qts__, *data_columns)``.
+        rows ``(__qts__, *data_columns)`` — "latest version ≤ tick,
+        per row id" via ``ROW_NUMBER()`` descending by write timestamp
+        within each (tick, rowid) partition.
         """
-        raise ReenactmentError(
-            "timeline window scan needs ROW_NUMBER()-over-partition "
-            "machinery the native dialect does not have — walk the "
-            "per-probe snapshot pipeline instead")
+        if not self.config.window_functions:
+            raise ReenactmentError(
+                "timeline window scan needs ROW_NUMBER()-over-"
+                "partition machinery the "
+                f"{self.name!r} dialect does not have — walk the "
+                "per-probe snapshot pipeline instead")
+        q = self.quote
+        picked = ", ".join(f"e.{q(c)} AS {q(c)}" for c in data_columns)
+        out = ", ".join(q(c) for c in data_columns)
+        return (
+            f"SELECT {q('__qts__')}, {out} FROM ("
+            f"SELECT t.{q('__qts__')} AS {q('__qts__')}, {picked}, "
+            f"e.{q('__live__')} AS {q('__live__')}, "
+            f"ROW_NUMBER() OVER ("
+            f"PARTITION BY t.{q('__qts__')}, e.{q(op.ROWID_SUFFIX)} "
+            f"ORDER BY e.{q('__wts__')} DESC) AS {q('__rn__')} "
+            f"FROM {q(ticks)} AS t JOIN {q(events)} AS e "
+            f"ON e.{q('__wts__')} <= t.{q('__qts__')}) AS w "
+            f"WHERE {q('__rn__')} = 1 AND {q('__live__')} = 1 "
+            f"ORDER BY {q('__qts__')}")
 
     def gen_window_counts(self, events: str, ticks: str) -> str:
         """Render sparkline cardinalities as one running aggregate.
 
         ``events`` is a table ``(__wts__, __delta__)`` of +1/-1
         cardinality changes relative to the base state.  The query
-        must return one row ``(__qts__, net)`` per tick in ``ticks``,
+        returns one row ``(__qts__, net)`` per tick in ``ticks``,
         where ``net`` is the running ``SUM(__delta__)`` over all
-        events at or before that tick (0 when none apply).
+        events at or before that tick (0 when none apply): nets per
+        write timestamp, one running ``SUM() OVER (ORDER BY ts)``,
+        then each tick reads the latest running total at or before it.
         """
-        raise ReenactmentError(
-            "sparkline window scan needs SUM() OVER (ORDER BY ...) "
-            "running aggregates the native dialect does not have — "
-            "walk the per-probe snapshot pipeline instead")
+        if not self.config.window_functions:
+            raise ReenactmentError(
+                "sparkline window scan needs SUM() OVER (ORDER BY ...) "
+                f"running aggregates the {self.name!r} dialect does "
+                "not have — walk the per-probe snapshot pipeline "
+                "instead")
+        q = self.quote
+        return (
+            f"WITH {q('__net__')} AS ("
+            f"SELECT {q('__wts__')} AS {q('__wts__')}, "
+            f"SUM({q('__delta__')}) AS {q('__d__')} "
+            f"FROM {q(events)} GROUP BY {q('__wts__')}), "
+            f"{q('__run__')} AS ("
+            f"SELECT {q('__wts__')} AS {q('__wts__')}, "
+            f"SUM({q('__d__')}) OVER (ORDER BY {q('__wts__')}) "
+            f"AS {q('__n__')} FROM {q('__net__')}) "
+            f"SELECT t.{q('__qts__')}, COALESCE(("
+            f"SELECT r.{q('__n__')} FROM {q('__run__')} AS r "
+            f"WHERE r.{q('__wts__')} <= t.{q('__qts__')} "
+            f"ORDER BY r.{q('__wts__')} DESC LIMIT 1), 0) "
+            f"FROM {q(ticks)} AS t ORDER BY t.{q('__qts__')}")
 
 
 class _Generator:
@@ -182,7 +381,7 @@ class _Generator:
         if isinstance(plan, op.Limit):
             sql, colmap = self.gen(plan.child)
             alias = self.fresh("t")
-            count = format_expr(plan.count)
+            count = format_expr(_remap(plan.count, colmap, self))
             return (f"SELECT * FROM {self.derived(sql)} AS {alias} "
                     f"LIMIT {count}", colmap)
         if isinstance(plan, op.AnnotateRowId):
@@ -219,7 +418,7 @@ class _Generator:
         selects = []
         for row in const.rows:
             items = ", ".join(
-                f"{format_expr(value)} AS {flat}"
+                f"{format_expr(_remap(value, {}, self))} AS {flat}"
                 for value, flat in zip(row, flats))
             selects.append(f"SELECT {items}")
         return " UNION ALL ".join(selects), colmap
@@ -364,6 +563,13 @@ def _remap(expr: Expr, colmap: Dict[str, str],
             key = node.key or node.display
             if key in colmap:
                 return Column(name=colmap[key], key=colmap[key])
+        if isinstance(node, Param) and gen is not None:
+            # named-parameter markers are dialect policy; the default
+            # formatter prints the native ":name", so only divergent
+            # styles need a literal rewrite
+            marker = gen.dialect.param_marker(node.name)
+            if marker != f":{node.name}":
+                return RawSQL(marker)
         if isinstance(node, SubqueryExpr) and node.plan is not None:
             plan = _remap_plan(_copy.deepcopy(node.plan), colmap)
             if gen is None:

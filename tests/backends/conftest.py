@@ -12,8 +12,26 @@ from collections import Counter
 import pytest
 
 from repro import Database
+from repro.backends import HAVE_DUCKDB, DuckDBBackend, SQLiteBackend
 from repro.core.reenactor import ReenactmentOptions, Reenactor
 from repro.workloads import WorkloadConfig, WorkloadGenerator
+
+#: skip marker for every test that needs the optional duckdb driver.
+requires_duckdb = pytest.mark.skipif(
+    not HAVE_DUCKDB, reason="optional 'duckdb' driver not installed")
+
+#: the SQL engines the differential sweeps cross-validate against the
+#: in-memory interpreter; duckdb rides along whenever its driver is
+#: installed and skips cleanly otherwise.
+SQL_ENGINES = ["sqlite",
+               pytest.param("duckdb", marks=requires_duckdb)]
+
+_ENGINE_BACKENDS = {"sqlite": SQLiteBackend, "duckdb": DuckDBBackend}
+
+
+def sql_backend(engine, **kwargs):
+    """Construct a SQL backend by differential-harness engine name."""
+    return _ENGINE_BACKENDS[engine](**kwargs)
 
 
 def typed_rows(relation):

@@ -3,10 +3,11 @@
 This is the permanent cross-validation oracle for the execution
 backends (and, transitively, for every future optimization of either
 path): seeded random concurrent histories from the workload generator
-are reenacted on the in-memory interpreter *and* on SQLite, and the
-results must be multiset-identical — including annotation columns and
-tombstones — and what-if scenarios must produce identical
-``TableDiff``s.
+are reenacted on the in-memory interpreter *and* on every registered
+SQL engine (SQLite always; DuckDB whenever its optional driver is
+installed — see ``conftest.SQL_ENGINES``), and the results must be
+multiset-identical — including annotation columns and tombstones — and
+what-if scenarios must produce identical ``TableDiff``s.
 
 Comparison is type-strict (see ``conftest.typed_rows``): ``True == 1``
 in Python, so a sloppy comparison would hide boolean-coercion bugs.
@@ -50,8 +51,8 @@ from repro.backends import SQLiteBackend, resolve_backend
 from repro.core.reenactor import ReenactmentOptions, Reenactor
 from repro.core.whatif import WhatIfScenario
 
-from conftest import (assert_relations_match, build_history,
-                      committed_xids)
+from conftest import (SQL_ENGINES, assert_relations_match,
+                      build_history, committed_xids, sql_backend)
 
 SMOKE_SEEDS = list(range(3))
 FULL_SEEDS = list(range(25))
@@ -83,20 +84,20 @@ def _inplace_moves_expected(snapshot_sets):
                for i in range(len(tables_by_set) - 1))
 
 
-def check_inplace_differential(db, reenactor, seed, isolation):
+def check_inplace_differential(db, reenactor, seed, isolation,
+                               engine="sqlite"):
     """The ``inplace`` mode body: compile every committed transaction
     first, hand the ordered snapshot-set series to the session's
     snapshot pipeline on a capacity-1 cache with moves forced
     (``pipeline="always"``), execute each compile un-primed, and
     require every result to match the in-memory interpreter's."""
     xids = committed_xids(db)
-    sqlite_options = dataclasses.replace(STRICT_OPTIONS,
-                                         backend="sqlite")
+    sql_options = dataclasses.replace(STRICT_OPTIONS, backend=engine)
     compiles = [reenactor.compile(reenactor.transaction_record(xid),
-                                  sqlite_options)
+                                  sql_options)
                 for xid in xids]
-    backend = SQLiteBackend(delta="always", pipeline="always",
-                            cache_capacity=1)
+    backend = sql_backend(engine, delta="always", pipeline="always",
+                          cache_capacity=1)
     checked = 0
     with resolve_backend("memory").open_session() as mem_session, \
             backend.open_session() as sq_session:
@@ -115,7 +116,8 @@ def check_inplace_differential(db, reenactor, seed, isolation):
                     assert_relations_match(
                         mem.tables[table], sq.tables[table],
                         context=f"seed={seed} isolation={isolation} "
-                                f"mode=inplace xid={xid} table={table}")
+                                f"engine={engine} mode=inplace "
+                                f"xid={xid} table={table}")
                 checked += 1
         stats = sq_session.stats
     if checked and _inplace_moves_expected(sets):
@@ -125,14 +127,15 @@ def check_inplace_differential(db, reenactor, seed, isolation):
     return checked
 
 
-def check_windowscan_differential(db, seed, isolation):
+def check_windowscan_differential(db, seed, isolation,
+                                  engine="sqlite"):
     """The ``windowscan`` mode body: every commit timestamp of the
     history becomes a timeline tick, and each table of the catalog is
     scanned — in both ``full`` and ``sparkline`` mode — three ways:
     window-compiled SQL forced on (``windowscan="always"``), the
-    per-probe SQLite path (``windowscan="off"``), and the in-memory
-    interpreter.  All three must agree tick for tick, and the stats
-    prove the forced run took the window path for every scan
+    per-probe path on the same engine (``windowscan="off"``), and the
+    in-memory interpreter.  All three must agree tick for tick, and
+    the stats prove the forced run took the window path for every scan
     (``plans_executed`` stays zero) while the probe run never did."""
     from repro.db.auditlog import AuditEventKind
     from repro.debugger.timeline import timeline_states
@@ -143,8 +146,8 @@ def check_windowscan_differential(db, seed, isolation):
         return 0
     tables = sorted(db.catalog.table_names())
     checked = 0
-    win_backend = SQLiteBackend(windowscan="always")
-    probe_backend = SQLiteBackend(windowscan="off")
+    win_backend = sql_backend(engine, windowscan="always")
+    probe_backend = sql_backend(engine, windowscan="off")
     with win_backend.open_session() as win_session, \
             probe_backend.open_session() as probe_session, \
             resolve_backend("memory").open_session() as mem_session:
@@ -161,8 +164,9 @@ def check_windowscan_differential(db, seed, isolation):
                                       mode=scan_mode)
                 for ts in ticks:
                     context = (f"seed={seed} isolation={isolation} "
-                               f"mode=windowscan scan={scan_mode} "
-                               f"table={table} ts={ts}")
+                               f"engine={engine} mode=windowscan "
+                               f"scan={scan_mode} table={table} "
+                               f"ts={ts}")
                     assert_relations_match(win[ts], probe[ts],
                                            context=context)
                     assert_relations_match(win[ts], mem[ts],
@@ -172,26 +176,29 @@ def check_windowscan_differential(db, seed, isolation):
         probe_stats = probe_session.stats
     assert win_stats.window_scans == len(tables) * 2, \
         f"forced window sweep fell back: seed={seed} " \
-        f"isolation={isolation} stats={win_stats.as_dict()}"
+        f"isolation={isolation} engine={engine} " \
+        f"stats={win_stats.as_dict()}"
     assert win_stats.plans_executed == 0, \
         f"forced window sweep executed per-probe plans: seed={seed} " \
-        f"isolation={isolation} stats={win_stats.as_dict()}"
+        f"isolation={isolation} engine={engine} " \
+        f"stats={win_stats.as_dict()}"
     assert probe_stats.window_scans == 0, \
         f"windowscan='off' still window-scanned: seed={seed} " \
-        f"isolation={isolation}"
+        f"isolation={isolation} engine={engine}"
     return checked
 
 
-def check_history_differential(seed, isolation, mode="oneshot"):
+def check_history_differential(seed, isolation, mode="oneshot",
+                               engine="sqlite"):
     """Reenact every committed transaction of one seeded history on
-    both backends and compare; returns the number of transactions
-    checked (the harness is vacuous on a history that commits
-    nothing, so callers assert on the count).
+    the in-memory interpreter and on ``engine``, and compare; returns
+    the number of transactions checked (the harness is vacuous on a
+    history that commits nothing, so callers assert on the count).
 
     ``mode="session"`` runs each backend's whole sweep through one
     open session, so snapshots memoized for earlier transactions are
     reused (and must not leak into) later ones; ``mode="delta"`` is the
-    same sweep with incremental materialization forced on the SQLite
+    same sweep with incremental materialization forced on the SQL
     side — every snapshot that *can* be a delta patch must be one, and
     nothing may change; ``mode="inplace"`` forces the snapshot
     pipeline's destructive moves on a capacity-1 cache (see
@@ -202,11 +209,12 @@ def check_history_differential(seed, isolation, mode="oneshot"):
     reenactor = Reenactor(db)
     if mode == "inplace":
         return db, check_inplace_differential(db, reenactor, seed,
-                                              isolation)
+                                              isolation, engine)
     if mode == "windowscan":
-        return db, check_windowscan_differential(db, seed, isolation)
+        return db, check_windowscan_differential(db, seed, isolation,
+                                                 engine)
     with contextlib.ExitStack() as stack:
-        sessions = {"memory": None, "sqlite": None}
+        sessions = {"memory": None, "sql": None}
         if mode in ("session", "delta"):
             # unbounded cache: these sweeps assert materialization
             # *identity* invariants (each key exactly once; every
@@ -214,7 +222,8 @@ def check_history_differential(seed, isolation, mode="oneshot"):
             # break — the eviction policy has its own tests
             backends = {
                 "memory": resolve_backend("memory"),
-                "sqlite": SQLiteBackend(
+                "sql": sql_backend(
+                    engine,
                     delta="always" if mode == "delta" else "auto",
                     cache_capacity=None),
             }
@@ -227,21 +236,22 @@ def check_history_differential(seed, isolation, mode="oneshot"):
                                     session=sessions["memory"])
             sq = reenactor.reenact(
                 xid,
-                dataclasses.replace(STRICT_OPTIONS, backend="sqlite"),
-                session=sessions["sqlite"])
+                dataclasses.replace(STRICT_OPTIONS, backend=engine),
+                session=sessions["sql"])
             assert set(mem.tables) == set(sq.tables)
             for table in mem.tables:
                 assert_relations_match(
                     mem.tables[table], sq.tables[table],
                     context=f"seed={seed} isolation={isolation} "
-                            f"mode={mode} xid={xid} table={table}")
+                            f"engine={engine} mode={mode} xid={xid} "
+                            f"table={table}")
             checked += 1
         if mode in ("session", "delta") and checked:
-            stats = sessions["sqlite"].stats
+            stats = sessions["sql"].stats
             assert all(count == 1
                        for count in stats.materializations.values()), \
                 f"snapshot re-materialized: seed={seed} " \
-                f"isolation={isolation}"
+                f"isolation={isolation} engine={engine}"
         if mode == "delta" and checked:
             # forced-delta accounting: for every table, the first plain
             # (table, ts) snapshot is a full build and every later one
@@ -255,7 +265,7 @@ def check_history_differential(seed, isolation, mode="oneshot"):
                                   for ts_set in plain_ts.values())
             assert stats.delta_materializations == expected_deltas, \
                 f"delta sweep fell back to full rebuilds: seed={seed} " \
-                f"isolation={isolation}"
+                f"isolation={isolation} engine={engine}"
     return db, checked
 
 
@@ -389,7 +399,7 @@ def check_crash_recover_differential(seed, isolation, tmp_path):
     return checked
 
 
-def check_whatif_differential(db, seed, isolation):
+def check_whatif_differential(db, seed, isolation, engine="sqlite"):
     """The same modification applied on both backends must yield
     identical diffs.  Picks the first committed multi-statement
     transaction and drops its first statement; falls back to appending
@@ -403,7 +413,7 @@ def check_whatif_differential(db, seed, isolation):
     if target is None:
         target = committed_xids(db)[0]
     diffs = {}
-    for backend in ("memory", "sqlite"):
+    for backend in ("memory", engine):
         scenario = WhatIfScenario(db, target, backend=backend)
         if len(scenario.statements) >= 2:
             scenario.delete_statement(0)
@@ -415,31 +425,38 @@ def check_whatif_differential(db, seed, isolation):
         diffs[backend] = {
             table: (sorted(diff.added), sorted(diff.removed))
             for table, diff in result.diffs.items()}
-    assert diffs["memory"] == diffs["sqlite"], \
-        f"what-if diff mismatch seed={seed} isolation={isolation}"
+    assert diffs["memory"] == diffs[engine], \
+        f"what-if diff mismatch seed={seed} isolation={isolation} " \
+        f"engine={engine}"
 
 
+@pytest.mark.parametrize("engine", SQL_ENGINES)
 @pytest.mark.parametrize("mode", MODES)
 @pytest.mark.parametrize("isolation", ISOLATION_LEVELS)
 @pytest.mark.parametrize("seed", SMOKE_SEEDS)
-def test_differential_smoke(seed, isolation, mode):
+def test_differential_smoke(seed, isolation, mode, engine):
     """Quick slice for CI: a few seeds, full checks, both modes."""
-    db, checked = check_history_differential(seed, isolation, mode)
+    db, checked = check_history_differential(seed, isolation, mode,
+                                             engine)
     assert checked > 0
-    check_whatif_differential(db, seed, isolation)
+    check_whatif_differential(db, seed, isolation, engine)
 
 
+@pytest.mark.parametrize("engine", SQL_ENGINES)
 @pytest.mark.parametrize("mode", MODES)
 @pytest.mark.parametrize("isolation", ISOLATION_LEVELS)
 @pytest.mark.parametrize("seed",
                          [s for s in FULL_SEEDS if s not in SMOKE_SEEDS])
-def test_differential_full(seed, isolation, mode):
+def test_differential_full(seed, isolation, mode, engine):
     """Full sweep: together with the smoke slice this covers
     len(FULL_SEEDS) × 2 isolation levels = 50 seeded histories, each
-    reenacted one-shot *and* through long-lived sessions."""
-    db, checked = check_history_differential(seed, isolation, mode)
+    reenacted one-shot *and* through long-lived sessions — on every
+    registered SQL engine, so three backends cross-validate whenever
+    the duckdb driver is present."""
+    db, checked = check_history_differential(seed, isolation, mode,
+                                             engine)
     assert checked > 0
-    check_whatif_differential(db, seed, isolation)
+    check_whatif_differential(db, seed, isolation, engine)
 
 
 @pytest.mark.parametrize("isolation", ISOLATION_LEVELS)
@@ -525,6 +542,10 @@ def test_sweep_covers_fifty_histories():
     assert len(FULL_SEEDS) * len(ISOLATION_LEVELS) >= 50
     assert set(MODES) == {"oneshot", "session", "delta", "inplace",
                           "windowscan"}
+    # every registered SQL engine rides the whole sweep; with the
+    # duckdb driver installed that is three backends cross-validating
+    engines = [getattr(p, "values", (p,))[0] for p in SQL_ENGINES]
+    assert engines == ["sqlite", "duckdb"]
     assert check_history_service_differential.__doc__ is not None
     assert check_inplace_differential.__doc__ is not None
     assert check_windowscan_differential.__doc__ is not None

@@ -22,6 +22,8 @@ Pins the single-pass window compilation's observable contract:
   constructs and refuses caller-owned or incapable backends.
 """
 
+import dataclasses
+
 import pytest
 
 from repro import Database, ReenactmentService
@@ -64,6 +66,19 @@ def history(n_rows=30, n_commits=8):
         conn.commit()
         timestamps.append(db.clock.now())
     return db, timestamps
+
+
+def _no_window_backend(**kwargs):
+    """A SQLite backend whose dialect config has the window-function
+    hooks stripped — the shape of any future SQL engine that cannot
+    express the single-pass timeline scan."""
+    class NoWindowBackend(SQLiteBackend):
+        dialect_config = dataclasses.replace(
+            SQLiteBackend.dialect_config, name="sqlite-nowindow",
+            window_functions=False)
+        capabilities = dict(SQLiteBackend.capabilities,
+                            windowscan=False)
+    return NoWindowBackend(**kwargs)
 
 
 def scan(db, timestamps, mode, windowscan):
@@ -285,6 +300,44 @@ class TestValidation:
         with resolve_backend("memory").open_session() as session:
             assert session.window_scan("acct", timestamps, ctx,
                                        windowscan="always") is None
+
+    def test_forced_windowscan_without_hooks_raises(self):
+        """Satellite regression: ``windowscan="always"`` on a SQL
+        backend whose dialect has no window-function hooks must raise
+        up front, never silently degrade to per-probe."""
+        db, timestamps = history(n_commits=4)
+        ctx = db.context(params={})
+        with _no_window_backend().open_session() as session:
+            with pytest.raises(ReenactmentError, match="window"):
+                session.window_scan("acct", timestamps, ctx,
+                                    windowscan="always")
+
+    def test_forced_windowscan_without_hooks_raises_via_backend_knob(
+            self):
+        db, timestamps = history(n_commits=4)
+        backend = _no_window_backend(windowscan="always")
+        with backend.open_session() as session:
+            with pytest.raises(ReenactmentError, match="window"):
+                timeline_states(db, "acct", timestamps,
+                                session=session)
+
+    def test_auto_windowscan_without_hooks_falls_back_cleanly(self):
+        """``"auto"`` on the same hook-less dialect is a clean
+        per-probe fallback — identical answers, zero window scans."""
+        db, timestamps = history(n_commits=4)
+        reference = timeline_states(db, "acct", timestamps,
+                                    mode="sparkline")
+        with _no_window_backend().open_session() as session:
+            ctx = db.context(params={})
+            assert session.window_scan("acct", timestamps, ctx,
+                                       mode="sparkline") is None
+            states = timeline_states(db, "acct", timestamps,
+                                     session=session, mode="sparkline")
+            assert session.stats.window_scans == 0
+            assert session.stats.plans_executed > 0
+        for ts in timestamps:
+            assert_relations_match(states[ts], reference[ts],
+                                   context=f"ts={ts}")
 
 
 class TestStats:

@@ -1,0 +1,108 @@
+"""Observability overhead: tracing must be (nearly) free when off and
+cheap when on.
+
+Two acceptance bars over the 40k-row mixed service workload (the same
+16-job burst ``bench_service_throughput`` measures):
+
+* **disabled ≤ 5%** — with tracing off, every instrumentation point
+  costs one module-global read and a branch.  The bar is asserted on
+  an honest worst-case estimate: the measured per-call cost of the
+  disabled ``span()`` path times the number of spans the workload
+  emits when enabled, as a fraction of the untraced runtime.  (The
+  estimate is stable where a direct A/B timing of an unmeasurably
+  small delta is pure noise.)
+* **enabled ≤ 15%** — with tracing on (ring-buffer sink), the
+  measured wall-clock overhead of the same workload, interleaved
+  min-of-reps against the disabled baseline.
+"""
+
+import time
+
+from conftest import bench_rounds, record_result, report
+
+from bench_service_throughput import (N_JOBS, N_WORKERS, job_mix,
+                                      make_history, measure_service)
+
+from repro.obs.trace import (RingBufferSink, disable_tracing,
+                             enable_tracing, span, tracing_enabled)
+
+N_ROWS = 40000
+MAX_DISABLED_OVERHEAD_PCT = 5.0
+MAX_ENABLED_OVERHEAD_PCT = 15.0
+NOOP_CALIBRATION_CALLS = 200_000
+
+
+def measure_noop_span_cost(calls=NOOP_CALIBRATION_CALLS):
+    """Per-call cost of the disabled instrumentation path, including
+    the keyword-attrs build the call sites pay."""
+    assert not tracing_enabled()
+    started = time.perf_counter()
+    for _ in range(calls):
+        with span("calibration", table="bench_account", ts=1):
+            pass
+    return (time.perf_counter() - started) / calls
+
+
+def test_tracing_overhead_bars(benchmark, request):
+    reps = max(2, bench_rounds(request, 3))
+    db, suspect, probes, probe_ts = make_history(N_ROWS)
+    jobs = job_mix(suspect, probes, probe_ts)
+
+    def sweep():
+        disabled_runs, enabled_runs, span_counts = [], [], []
+        for _ in range(reps):
+            disable_tracing()
+            elapsed, _ = measure_service(db, jobs)
+            disabled_runs.append(elapsed)
+            sink = RingBufferSink(capacity=1_000_000)
+            enable_tracing(sink)
+            try:
+                elapsed, _ = measure_service(db, jobs)
+            finally:
+                disable_tracing()
+            enabled_runs.append(elapsed)
+            span_counts.append(len(sink.spans()))
+        noop_cost_s = measure_noop_span_cost()
+        return disabled_runs, enabled_runs, span_counts, noop_cost_s
+
+    disabled_runs, enabled_runs, span_counts, noop_cost_s = \
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    disabled_s = min(disabled_runs)
+    enabled_s = min(enabled_runs)
+    spans_emitted = max(span_counts)
+    enabled_overhead_pct = max(
+        0.0, (enabled_s - disabled_s) / disabled_s * 100.0)
+    disabled_overhead_pct = \
+        spans_emitted * noop_cost_s / disabled_s * 100.0
+
+    record_result(
+        "observability", f"overhead_{N_ROWS}",
+        n_rows=N_ROWS, jobs=N_JOBS, workers=N_WORKERS, reps=reps,
+        disabled_ms=round(disabled_s * 1000, 1),
+        enabled_ms=round(enabled_s * 1000, 1),
+        spans_emitted=spans_emitted,
+        noop_span_cost_ns=round(noop_cost_s * 1e9, 1),
+        disabled_overhead_pct=round(disabled_overhead_pct, 3),
+        enabled_overhead_pct=round(enabled_overhead_pct, 2),
+        max_disabled_overhead_pct=MAX_DISABLED_OVERHEAD_PCT,
+        max_enabled_overhead_pct=MAX_ENABLED_OVERHEAD_PCT)
+    report(
+        f"observability overhead: {N_JOBS} mixed jobs at {N_ROWS} "
+        f"rows, {N_WORKERS} workers",
+        [f"untraced      {disabled_s * 1000:8.1f} ms (min of {reps})",
+         f"traced        {enabled_s * 1000:8.1f} ms "
+         f"({spans_emitted} spans to ring sink)",
+         f"enabled overhead   {enabled_overhead_pct:5.2f}% "
+         f"(bar <= {MAX_ENABLED_OVERHEAD_PCT}%)",
+         f"disabled path      {noop_cost_s * 1e9:6.1f} ns/call -> "
+         f"{disabled_overhead_pct:5.3f}% of untraced runtime "
+         f"(bar <= {MAX_DISABLED_OVERHEAD_PCT}%)"])
+
+    assert disabled_overhead_pct <= MAX_DISABLED_OVERHEAD_PCT, \
+        (f"disabled-tracing overhead {disabled_overhead_pct:.3f}% "
+         f"exceeds {MAX_DISABLED_OVERHEAD_PCT}%")
+    assert enabled_overhead_pct <= MAX_ENABLED_OVERHEAD_PCT, \
+        (f"enabled-tracing overhead {enabled_overhead_pct:.2f}% "
+         f"exceeds {MAX_ENABLED_OVERHEAD_PCT}%")
+    assert spans_emitted > 0, "the traced run emitted no spans"

@@ -1,0 +1,143 @@
+"""The shared schema for ``BENCH_<name>.json`` files.
+
+Every benchmark module writes its measurements through
+:func:`conftest.record_result`, which produces one JSON document per
+module::
+
+    {"bench": "<name>", "results": {"<key>": {...payload...}, ...}}
+
+This module is the single place that says what a valid document looks
+like, so the files stay machine-readable across commits:
+
+* :func:`validate_bench_dict` checks one loaded document;
+* :func:`validate_bench_file` checks one file on disk;
+* :func:`validate_all` sweeps every ``BENCH_*.json`` at the repo root
+  (what CI runs, and what ``python benchmarks/bench_schema.py`` runs).
+
+``conftest.record_result`` validates each document as it writes it, so
+a malformed payload fails the benchmark that produced it instead of
+surfacing later as an unreadable trend point.
+"""
+
+import glob
+import json
+import numbers
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: payload keys with a schema-enforced shape, when present.  Everything
+#: else in a payload is free-form (but must be JSON by construction).
+NUMERIC_KEYS = ("mean_s", "min_s", "max_s", "naive_ms", "service_ms",
+                "speedup", "min_required_x")
+
+
+class BenchSchemaError(AssertionError):
+    """A BENCH json document violated the shared schema."""
+
+
+def _fail(context, message):
+    raise BenchSchemaError(f"{context}: {message}")
+
+
+def _check_flat_numeric_map(mapping, context):
+    if not isinstance(mapping, dict):
+        _fail(context, f"expected an object, got {type(mapping).__name__}")
+    for key, value in mapping.items():
+        if not isinstance(key, str):
+            _fail(context, f"non-string key {key!r}")
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            _fail(context, f"{key!r} must be numeric, got {value!r}")
+
+
+def validate_payload(payload, context):
+    """One ``results`` entry: an object; known keys have known shapes."""
+    if not isinstance(payload, dict):
+        _fail(context, f"payload must be an object, "
+                       f"got {type(payload).__name__}")
+    for key in NUMERIC_KEYS:
+        if key in payload:
+            value = payload[key]
+            if not isinstance(value, numbers.Real) \
+                    or isinstance(value, bool):
+                _fail(context, f"{key!r} must be numeric, got {value!r}")
+            if value < 0:
+                _fail(context, f"{key!r} must be >= 0, got {value!r}")
+    if "rounds" in payload:
+        rounds = payload["rounds"]
+        if not isinstance(rounds, int) or isinstance(rounds, bool) \
+                or rounds < 1:
+            _fail(context, f"'rounds' must be a positive int, "
+                           f"got {rounds!r}")
+    if "session_stats" in payload:
+        _check_flat_numeric_map(payload["session_stats"],
+                                context + ".session_stats")
+    if "metrics_registry" in payload:
+        _check_flat_numeric_map(payload["metrics_registry"],
+                                context + ".metrics_registry")
+
+
+def validate_bench_dict(data, context="BENCH document"):
+    """One loaded ``BENCH_<name>.json`` document."""
+    if not isinstance(data, dict):
+        _fail(context, "document must be an object")
+    extra = set(data) - {"bench", "results"}
+    if extra:
+        _fail(context, f"unexpected top-level keys {sorted(extra)}")
+    bench = data.get("bench")
+    if not isinstance(bench, str) or not bench:
+        _fail(context, f"'bench' must be a non-empty string, "
+                       f"got {bench!r}")
+    results = data.get("results")
+    if not isinstance(results, dict) or not results:
+        _fail(context, "'results' must be a non-empty object")
+    for key, payload in results.items():
+        if not isinstance(key, str) or not key:
+            _fail(context, f"result key must be a non-empty string, "
+                           f"got {key!r}")
+        validate_payload(payload, f"{context}.results[{key!r}]")
+    return data
+
+
+def validate_bench_file(path):
+    """One file on disk; the filename must match its ``bench`` field."""
+    name = os.path.basename(path)
+    with open(path) as fh:
+        try:
+            data = json.load(fh)
+        except ValueError as exc:
+            _fail(name, f"not valid JSON ({exc})")
+    validate_bench_dict(data, name)
+    expected = f"BENCH_{data['bench']}.json"
+    if name != expected:
+        _fail(name, f"filename does not match bench field "
+                    f"(expected {expected})")
+    return data
+
+
+def validate_all(root=REPO_ROOT):
+    """Every ``BENCH_*.json`` under ``root``; returns the valid paths."""
+    paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    for path in paths:
+        validate_bench_file(path)
+    return paths
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    paths = [p for p in argv if not p.startswith("-")]
+    if paths:
+        for path in paths:
+            validate_bench_file(path)
+    else:
+        paths = validate_all()
+        if not paths:
+            print("no BENCH_*.json files found", file=sys.stderr)
+            return 1
+    print(f"{len(paths)} BENCH file(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

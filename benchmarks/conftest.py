@@ -62,14 +62,20 @@ def record_result(bench, key, **payload):
 
     ``payload`` must be JSON-serializable (non-serializable values are
     stringified).  Calling repeatedly within one run accumulates;
-    recording a key twice overwrites it.
+    recording a key twice overwrites it.  Every write is validated
+    against the shared schema (``bench_schema.py``) so a malformed
+    payload fails the benchmark that produced it, not a later reader.
     """
+    from bench_schema import validate_bench_dict
     results = _ACCUMULATED.setdefault(bench, {})
     results[key] = payload
     path = os.path.join(REPO_ROOT, f"BENCH_{bench}.json")
+    document = json.loads(json.dumps(
+        {"bench": bench, "results": results},
+        sort_keys=True, default=str))
+    validate_bench_dict(document, f"BENCH_{bench}.json")
     with open(path, "w") as fh:
-        json.dump({"bench": bench, "results": results}, fh,
-                  indent=2, sort_keys=True, default=str)
+        json.dump(document, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
 
@@ -131,7 +137,23 @@ def bench_json(request, _session_stats_tracker):
             rounds=timing.rounds)
     payload["session_stats"] = \
         aggregate_session_stats(_session_stats_tracker)
+    payload["metrics_registry"] = _metrics_snapshot(payload)
     record_result(_bench_name(request), request.node.name, **payload)
+
+
+def _metrics_snapshot(payload):
+    """The run's counters as a flat metrics-registry snapshot: the
+    session stats (and timing, when present) published through
+    :func:`repro.obs.metrics.publish_stats`, exactly the projection
+    ``ReenactmentService.metrics()`` serves live."""
+    from repro.obs.metrics import MetricsRegistry, publish_stats
+    registry = MetricsRegistry()
+    publish_stats(registry, "bench_sessions", payload["session_stats"])
+    timing = {k: payload[k] for k in ("mean_s", "min_s", "max_s",
+                                      "rounds") if k in payload}
+    if timing:
+        publish_stats(registry, "bench_timing", timing)
+    return registry.snapshot()
 
 
 def delta_probe_history(n_rows, n_probes, seed=4, stmts_per_probe=2,

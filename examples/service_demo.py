@@ -5,7 +5,11 @@ burst of concurrent requests against it — the same four job kinds a
 population of analysts would issue (reenact, what-if fleet,
 equivalence certification, timeline scan), with repeats on purpose so
 deduplication and the result cache have something to do.  At the end
-the service's stats snapshot shows where the answers came from.
+the service's stats snapshot shows where the answers came from —
+followed by the observability surfaces over the same burst: the
+Prometheus text exposition of the service's metrics registry, one
+rendered trace (the timeline scan's span tree), and the plan-explain
+events saying why each snapshot decision was made.
 
 Run with::
 
@@ -15,6 +19,8 @@ Run with::
 from repro import Database, ReenactmentService
 from repro.core.equivalence import check_history_equivalence
 from repro.core.reenactor import ReenactmentOptions, Reenactor
+from repro.obs import (disable_tracing, enable_tracing, render_explain,
+                       render_trace)
 from repro.workloads import run_write_skew_history, setup_bank
 
 
@@ -24,6 +30,7 @@ def main() -> None:
     t1, t2 = run_write_skew_history(db)
     now = db.clock.now()
 
+    sink = enable_tracing()     # ring-buffer sink; rendered at the end
     with ReenactmentService(db, backend="sqlite", workers=3,
                             cache_capacity=4) as service:
         # -- a burst of concurrent requests, repeats included ---------
@@ -96,6 +103,9 @@ def main() -> None:
         assert sorted(again.tables) == sorted(first.tables)
 
         stats = service.stats()
+        exposition = service.prometheus()
+        timeline_explain = timeline.explain()
+    disable_tracing()
 
     print("\nservice stats:")
     print(f"  submitted={stats.jobs_submitted} "
@@ -105,6 +115,21 @@ def main() -> None:
     print(f"  sessions: {stats.sessions}")
     if stats.store:
         print(f"  store: {stats.store}")
+
+    # -- observability: the same burst, three ways ---------------------
+    print("\nmetrics registry (Prometheus exposition, excerpt):")
+    for line in exposition.splitlines():
+        if "reenact_service_jobs" in line \
+                or "reenact_job_duration_seconds_count" in line:
+            print("  " + line)
+
+    print("\ntrace of the timeline scan (span tree from the ring "
+          "sink):")
+    print(render_trace(sink.spans(), trace_id=timeline.trace_id))
+
+    print("\nwhy the timeline scan did what it did "
+          "(JobHandle.explain()):")
+    print(render_explain(timeline_explain))
 
 
 if __name__ == "__main__":

@@ -163,12 +163,19 @@ PLAN_OPS = ("reuse-cached", "patch-in-place", "clone-delta",
 class SnapshotPlanStep:
     """One planned materialization: produce ``(table, ts)`` via ``op``
     (``source_ts`` names the cached version a move/clone starts
-    from)."""
+    from).  ``reason`` is the planner's own account of why this op won
+    — the explain surface; it is excluded from equality so plans
+    compare on what they *do*, not how they were justified."""
 
     op: str
     table: str
     ts: int
     source_ts: Optional[int] = None
+    reason: Optional[str] = field(default=None, compare=False)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"op": self.op, "table": self.table, "ts": self.ts,
+                "source_ts": self.source_ts, "reason": self.reason}
 
 
 @dataclass

@@ -59,6 +59,7 @@ from repro.backends.sqlbase import (BoundDialect, SnapshotBinder,
                                     SQLBackend, SQLPipeline,
                                     SQLSession)
 from repro.errors import ExecutionError
+from repro.obs.trace import span
 
 #: the ``$name`` parameter markers a generated statement references.
 _PARAM_RE = re.compile(r"\$([A-Za-z_][A-Za-z0-9_]*)")
@@ -88,7 +89,9 @@ class DuckDBSession(SQLSession):
     _pipeline_class = DuckDBPipeline
 
     def _connect(self):
-        return duckdb.connect(self.backend.database)
+        with span("session.open", engine="duckdb",
+                  database=self.backend.database):
+            return duckdb.connect(self.backend.database)
 
     def _dialect(self, binder: SnapshotBinder) -> Dialect:
         return DuckDBDialect(binder)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.algebra import operators as op
 from repro.algebra.evaluator import EvalContext, Evaluator, Relation
 from repro.backends.base import ExecutionBackend
+from repro.obs.trace import span
 
 
 class InMemoryBackend(ExecutionBackend):
@@ -35,4 +36,5 @@ class InMemoryBackend(ExecutionBackend):
 
     def execute_plan(self, plan: op.Operator,
                      ctx: EvalContext) -> Relation:
-        return Evaluator(ctx).evaluate(plan)
+        with span("backend.execute_plan", engine="memory"):
+            return Evaluator(ctx).evaluate(plan)

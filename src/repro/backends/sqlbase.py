@@ -44,6 +44,8 @@ from repro.backends.base import (BackendSession, ExecutionBackend,
 from repro.db.types import DataType, infer_type
 from repro.errors import (ExecutionError, ReenactmentError,
                           TimeTravelError)
+from repro.obs.explain import explain_active, record_explain
+from repro.obs.trace import NOOP_SPAN, span
 
 
 def quote_ident(ident: str) -> str:
@@ -574,7 +576,10 @@ class SnapshotBinder:
             else:
                 rest.append((key, SnapshotPlanStep(
                     op="full-build", table=table,
-                    ts=ts if ts is not None else -1)))
+                    ts=ts if ts is not None else -1,
+                    reason="what-if override / snapshot provider "
+                           "state: only a fresh full build is "
+                           "correct")))
         out: List[Tuple[SnapshotKey, SnapshotPlanStep]] = []
         for table in sorted(plain):
             budget = int(db.table_cardinality(table)
@@ -607,9 +612,20 @@ class SnapshotBinder:
                         if self._pipeline_mode == "always" \
                                 or self._delta_mode == "always" \
                                 or estimate <= budget:
+                            if estimate <= budget:
+                                why = (f"cached @{best[0]} has no "
+                                       f"later reader; ~{estimate} "
+                                       f"delta row(s) within budget "
+                                       f"{budget}")
+                            else:
+                                why = (f"cached @{best[0]} has no "
+                                       f"later reader; ~{estimate} "
+                                       f"delta row(s) over budget "
+                                       f"{budget}, forced by "
+                                       f"pipeline/delta 'always'")
                             step = SnapshotPlanStep(
                                 op="patch-in-place", table=table,
-                                ts=ts, source_ts=best[0])
+                                ts=ts, source_ts=best[0], reason=why)
                             sources.remove(best)
                     if step is None:
                         best = min(sources, key=cost)
@@ -617,14 +633,33 @@ class SnapshotBinder:
                             table, best[0], ts)
                         if self._delta_mode == "always" \
                                 or estimate <= budget:
+                            if estimate <= budget:
+                                why = (f"nearest cached neighbor "
+                                       f"@{best[0]} still has "
+                                       f"readers; ~{estimate} delta "
+                                       f"row(s) within budget "
+                                       f"{budget}")
+                            else:
+                                why = (f"nearest cached neighbor "
+                                       f"@{best[0]}; ~{estimate} "
+                                       f"delta row(s) over budget "
+                                       f"{budget}, forced by "
+                                       f"delta='always'")
                             step = SnapshotPlanStep(
                                 op="clone-delta", table=table, ts=ts,
-                                source_ts=best[0])
+                                source_ts=best[0], reason=why)
                 if step is None:
-                    op_name = "rehydrate-batch" if storeable \
-                        else "full-build"
+                    if storeable:
+                        op_name = "rehydrate-batch"
+                        why = ("no affordable cached neighbor; spill "
+                               "store attached — batched store read "
+                               "(full build on a store miss)")
+                    else:
+                        op_name = "full-build"
+                        why = ("no affordable cached neighbor and no "
+                               "spill store: storage scan")
                     step = SnapshotPlanStep(op=op_name, table=table,
-                                            ts=ts)
+                                            ts=ts, reason=why)
                 out.append((key, step))
                 if deltable:
                     sources.append((ts, False))
@@ -668,9 +703,22 @@ class SnapshotBinder:
         steps = self._plan_entries()
         self.plan = SnapshotPlan(
             steps=[SnapshotPlanStep(op="reuse-cached", table=table,
-                                    ts=ts)
+                                    ts=ts,
+                                    reason="already resident in the "
+                                           "session snapshot cache")
                    for table, ts in self._reused_pairs]
             + [step for _key, step in steps])
+        if self.plan.steps and explain_active():
+            record_explain(
+                "snapshot-plan", counts=self.plan.counts(),
+                steps=[step.as_dict() for step in self.plan.steps])
+        with span("snapshot.plan", steps=len(self.plan)) as plan_span:
+            if plan_span is not NOOP_SPAN:
+                for op_name, count in self.plan.counts().items():
+                    plan_span.set(op_name, count)
+            self._execute_plan_steps(conn, steps, stats)
+
+    def _execute_plan_steps(self, conn, steps, stats) -> None:
         fetched: Dict[Tuple[str, int], list] = {}
         wanted = [(step.table, step.ts) for _key, step in steps
                   if step.op == "rehydrate-batch"]
@@ -1197,6 +1245,12 @@ class SQLSession(BackendSession):
                 f"windowscan mode must be one of "
                 f"{modes}, got {setting!r}")
         config = self.backend.dialect_config
+
+        def fallback(reason: str) -> None:
+            record_explain("window-scan", table=table, mode=mode,
+                           ticks=len(timestamps),
+                           decision="per-probe", reason=reason)
+
         if not config.window_functions:
             if setting == "always":
                 raise ReenactmentError(
@@ -1205,8 +1259,14 @@ class SQLSession(BackendSession):
                     f"dialect has no window-function hooks — the "
                     f"single-pass scan cannot run; use 'auto'/'off' "
                     f"or a window-capable backend")
+            fallback(f"dialect {config.name!r} has no window-function "
+                     f"hooks")
             return None
-        if setting == "off" or any(ts is None for ts in timestamps):
+        if setting == "off":
+            fallback("windowscan='off' pins the per-probe pipeline")
+            return None
+        if any(ts is None for ts in timestamps):
+            fallback("scan includes a non-committed (None) timestamp")
             return None
         ordered = sorted({int(ts) for ts in timestamps})
         if not ordered:
@@ -1222,23 +1282,47 @@ class SQLSession(BackendSession):
                 (mode != "sparkline" or
                  len(ordered) <
                  type(self.backend).WINDOWSCAN_MIN_TICKS):
+            if mode != "sparkline":
+                fallback("auto cutover: full-mode reconstruction "
+                         "measures slower through the window sort "
+                         "than per-probe delta moves")
+            else:
+                fallback(f"auto cutover: {len(ordered)} tick(s) is "
+                         f"below the "
+                         f"{type(self.backend).WINDOWSCAN_MIN_TICKS}"
+                         f"-tick amortization threshold")
             return None
         db = getattr(ctx, "db", None)
         if db is None or \
                 not getattr(db.config, "timetravel_enabled", False):
+            fallback("context has no time-traveling database; the "
+                     "commit-log delta chain is unavailable")
             return None
         if ctx.overrides.get(table) is not None \
                 or getattr(ctx, "snapshot_provider", None) is not None:
+            fallback("what-if overrides / snapshot provider present: "
+                     "the commit log is not this scan's truth")
             return None
         columns = list(ctx.table_columns(table))
         if WINDOW_RESERVED_COLUMNS.intersection(columns):
+            fallback("table uses window-reserved column name(s): "
+                     + ", ".join(sorted(
+                         WINDOW_RESERVED_COLUMNS.intersection(
+                             columns))))
             return None
-        hops = db.table_delta_chain(table, ordered) \
-            if len(ordered) > 1 else []
-        if mode == "full":
-            return self._window_scan_full(table, ordered, columns,
-                                          hops, ctx)
-        return self._window_scan_counts(table, ordered, hops, ctx)
+        record_explain(
+            "window-scan", table=table, mode=mode,
+            ticks=len(ordered), decision="window-pass",
+            reason=f"single {mode}-mode SQL pass over {len(ordered)} "
+                   f"tick(s) of the commit-log delta chain")
+        with span("backend.window_scan", table=table, mode=mode,
+                  ticks=len(ordered), engine=self.engine_label):
+            hops = db.table_delta_chain(table, ordered) \
+                if len(ordered) > 1 else []
+            if mode == "full":
+                return self._window_scan_full(table, ordered, columns,
+                                              hops, ctx)
+            return self._window_scan_counts(table, ordered, hops, ctx)
 
     def _window_temp_names(self) -> Tuple[str, str]:
         self._ws_counter += 1
@@ -1292,9 +1376,10 @@ class SQLSession(BackendSession):
     def _window_scan_full(self, table: str, ordered, columns,
                           hops, ctx: EvalContext
                           ) -> Optional[Dict[int, Relation]]:
-        dialect = self._dialect(self._binder(ctx))
-        events, ticks = self._window_temp_names()
-        sql = dialect.gen_window_states(events, ticks, columns)
+        with span("windowscan.compile", table=table, mode="full"):
+            dialect = self._dialect(self._binder(ctx))
+            events, ticks = self._window_temp_names()
+            sql = dialect.gen_window_states(events, ticks, columns)
         base = self._window_base(table, ordered[0], ctx)
         width = len(columns)
         try:
@@ -1361,9 +1446,10 @@ class SQLSession(BackendSession):
     def _window_scan_counts(self, table: str, ordered, hops,
                             ctx: EvalContext
                             ) -> Optional[Dict[int, Relation]]:
-        dialect = self._dialect(self._binder(ctx))
-        events, ticks = self._window_temp_names()
-        sql = dialect.gen_window_counts(events, ticks)
+        with span("windowscan.compile", table=table, mode="sparkline"):
+            dialect = self._dialect(self._binder(ctx))
+            events, ticks = self._window_temp_names()
+            sql = dialect.gen_window_counts(events, ticks)
         base_count, live = self._window_base_census(table, ordered[0],
                                                     ctx)
         deltas = []
@@ -1395,17 +1481,18 @@ class SQLSession(BackendSession):
     def execute_plan(self, plan: op.Operator,
                      ctx: EvalContext) -> Relation:
         self._check_open()
-        binder = self._binder(ctx)
-        sql = self._gen_sql(plan, self._dialect(binder))
-        binder.materialize(self.conn)
-        self._ensure_indexes(binder.used_names)
-        try:
-            rows = self._run_query(sql, ctx.params)
-        except self._error_types as exc:
-            raise ExecutionError(
-                f"{self.engine_label} rejected generated reenactment "
-                f"SQL: {exc}\n{sql}") from exc
-        self.stats.plans_executed += 1
+        with span("backend.execute_plan", engine=self.engine_label):
+            binder = self._binder(ctx)
+            sql = self._gen_sql(plan, self._dialect(binder))
+            binder.materialize(self.conn)
+            self._ensure_indexes(binder.used_names)
+            try:
+                rows = self._run_query(sql, ctx.params)
+            except self._error_types as exc:
+                raise ExecutionError(
+                    f"{self.engine_label} rejected generated "
+                    f"reenactment SQL: {exc}\n{sql}") from exc
+            self.stats.plans_executed += 1
         bool_positions = type(self.backend)._bool_positions(
             plan.attrs, ctx, binder.tables_used)
         return _coerce_result(plan.attrs, rows, bool_positions)

@@ -46,6 +46,7 @@ from repro.backends.sqlbase import (DEFAULT_CACHE_CAPACITY,  # noqa: F401
                                     SQLBackend, SQLPipeline,
                                     SQLSession, _coerce_result,
                                     quote_ident, spillable_key)
+from repro.obs.trace import span
 
 #: SQLite's dialect config, with the CTE materialization barrier
 #: dropped on engines too old to parse ``AS MATERIALIZED``.
@@ -76,7 +77,9 @@ class SQLiteSession(SQLSession):
     _pipeline_class = SQLitePipeline
 
     def _connect(self):
-        return sqlite3.connect(self.backend.database)
+        with span("session.open", engine="sqlite",
+                  database=self.backend.database):
+            return sqlite3.connect(self.backend.database)
 
     def _configure_connection(self) -> None:
         # LIKE is case-insensitive for ASCII by default; the paper's

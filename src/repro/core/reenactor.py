@@ -56,6 +56,7 @@ from repro.db.auditlog import TransactionRecord
 from repro.db.engine import Database
 from repro.db.transaction import IsolationLevel
 from repro.errors import ReenactmentError
+from repro.obs.trace import span
 from repro.sql import ast
 from repro.sql.parser import parse_statement
 
@@ -273,12 +274,17 @@ class Reenactor:
         on any backend or session, via :meth:`execute`."""
         options = options or ReenactmentOptions()
         optimizer_stats: Dict[str, int] = {}
-        plans = self.build_plans(record, options, statements=statements,
-                                 optimizer_stats=optimizer_stats)
-        return CompiledReenactment(
-            xid=record.xid, record=record, options=options, plans=plans,
-            snapshots=plan_snapshots(plans),
-            optimizer_stats=optimizer_stats, overrides=overrides)
+        with span("reenactor.compile", xid=record.xid) as sp:
+            plans = self.build_plans(record, options,
+                                     statements=statements,
+                                     optimizer_stats=optimizer_stats)
+            compiled = CompiledReenactment(
+                xid=record.xid, record=record, options=options,
+                plans=plans, snapshots=plan_snapshots(plans),
+                optimizer_stats=optimizer_stats, overrides=overrides)
+            sp.set("tables", len(plans))
+            sp.set("snapshots", len(compiled.snapshots))
+        return compiled
 
     def execute(self, compiled: CompiledReenactment,
                 session=None, prime: bool = True) -> ReenactmentResult:
@@ -302,19 +308,24 @@ class Reenactor:
         result = ReenactmentResult(xid=compiled.xid, plans=compiled.plans)
         ctx = self.db.context(params={}, overrides=compiled.overrides,
                       snapshot_provider=self.snapshot_provider)
-        if session is not None:
-            if prime:
-                session.prime_snapshots(compiled.snapshots, ctx)
-            for table, plan in compiled.plans.items():
-                result.tables[table] = session.execute_plan(plan, ctx)
-            return result
-        backend = resolve_backend(compiled.options.backend
-                                  if compiled.options.backend is not None
-                                  else self.backend)
-        with backend.open_session() as scoped:
-            scoped.prime_snapshots(compiled.snapshots, ctx)
-            for table, plan in compiled.plans.items():
-                result.tables[table] = scoped.execute_plan(plan, ctx)
+        with span("reenactor.execute", xid=compiled.xid,
+                  tables=len(compiled.plans)):
+            if session is not None:
+                if prime:
+                    session.prime_snapshots(compiled.snapshots, ctx)
+                for table, plan in compiled.plans.items():
+                    result.tables[table] = session.execute_plan(plan,
+                                                                ctx)
+                return result
+            backend = resolve_backend(
+                compiled.options.backend
+                if compiled.options.backend is not None
+                else self.backend)
+            with backend.open_session() as scoped:
+                scoped.prime_snapshots(compiled.snapshots, ctx)
+                for table, plan in compiled.plans.items():
+                    result.tables[table] = scoped.execute_plan(plan,
+                                                               ctx)
         return result
 
     def reenactment_sql(self, xid: int, table: Optional[str] = None,

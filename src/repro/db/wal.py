@@ -48,6 +48,7 @@ its commit, so a crash discards uncommitted effects by construction.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import struct
@@ -60,6 +61,7 @@ from repro.db.schema import Column
 from repro.db.transaction import IsolationLevel, Transaction
 from repro.db.types import DataType
 from repro.errors import WALError
+from repro.obs.trace import span
 
 #: frame header: payload length, payload crc32 (little-endian u32 each).
 _FRAME = struct.Struct("<II")
@@ -248,6 +250,13 @@ class WALStats:
             "segments_compacted": self.segments_compacted,
             "checkpoints_compacted": self.checkpoints_compacted,
         }
+
+    def merge(self, other: "WALStats") -> None:
+        """Fold another log's counters into this one (aggregation
+        across reopened/rotated logs)."""
+        for spec in dataclasses.fields(self):
+            setattr(self, spec.name, getattr(self, spec.name)
+                    + getattr(other, spec.name))
 
 
 class WriteAheadLog:
@@ -470,17 +479,20 @@ class WriteAheadLog:
     def _append(self, kind: str, data) -> None:
         if self._closed:
             raise WALError("write-ahead log is closed")
-        frame = _encode_record(kind, data)
-        self._buffer.append(frame)
-        self._buffered_bytes += len(frame)
-        self.stats.records_appended += 1
-        self.stats.bytes_appended += len(frame)
-        if self.fsync == "always":
-            self._flush(sync=True)
-        elif self.fsync == "commit" and kind in _COMMIT_KINDS:
-            self._flush(sync=True)
-        elif self._buffered_bytes >= self.batch_bytes:
-            self._flush(sync=self.fsync == "batch")
+        with span("wal.append") as sp:
+            frame = _encode_record(kind, data)
+            sp.set("kind", kind)
+            sp.set("bytes", len(frame))
+            self._buffer.append(frame)
+            self._buffered_bytes += len(frame)
+            self.stats.records_appended += 1
+            self.stats.bytes_appended += len(frame)
+            if self.fsync == "always":
+                self._flush(sync=True)
+            elif self.fsync == "commit" and kind in _COMMIT_KINDS:
+                self._flush(sync=True)
+            elif self._buffered_bytes >= self.batch_bytes:
+                self._flush(sync=self.fsync == "batch")
 
     def _flush(self, sync: bool) -> None:
         if self._buffer:
@@ -491,7 +503,8 @@ class WriteAheadLog:
             self._dirty = True
             self.stats.flushes += 1
         if sync and self._dirty:
-            os.fsync(self._fh.fileno())
+            with span("wal.fsync"):
+                os.fsync(self._fh.fileno())
             self._dirty = False
             self.stats.fsyncs += 1
 
@@ -562,6 +575,12 @@ class WriteAheadLog:
         checkpoint's index."""
         if self._closed or self._fh is None:
             raise WALError("write-ahead log is not attached")
+        with span("wal.checkpoint") as sp:
+            index = self._do_checkpoint(db)
+            sp.set("index", index)
+        return index
+
+    def _do_checkpoint(self, db) -> int:
         # everything logged so far must be durable before the
         # checkpoint can claim to cover it
         self._flush(sync=True)

@@ -35,6 +35,7 @@ from repro.core.reenactor import (DEL, ROWID, UPD, XID,
 from repro.core.whatif import WhatIfScenario
 from repro.db.engine import Database
 from repro.errors import ReenactmentError
+from repro.obs.explain import ExplainCollector
 
 
 @dataclass
@@ -103,6 +104,10 @@ class TransactionInspector:
         #: `primes_shared` records how many prefix probes were served
         #: by a snapshot an earlier probe in the pipeline paid for.
         self.last_stats = None
+        #: plan-explain events (see :mod:`repro.obs.explain`) recorded
+        #: while the last :meth:`columns` pass materialized its
+        #: snapshots — why each snapshot-plan action was chosen.
+        self.last_explain: List[dict] = []
 
     # -- panel content --------------------------------------------------------
 
@@ -124,7 +129,8 @@ class TransactionInspector:
                         self.record, options,
                         statements=self.statements)))
             states: Dict[Tuple[int, str], TableState] = {}
-            with self.backend.open_session() as session:
+            collector = ExplainCollector()
+            with collector, self.backend.open_session() as session:
                 ctx = self.db.context(params={})
                 sets = [compiled.snapshots for _, _, compiled in probes]
                 with session.snapshot_pipeline(sets, ctx) as pipe:
@@ -137,6 +143,7 @@ class TransactionInspector:
                         states[(k, table)] = self._state_from_relation(
                             table, relation)
                 self.last_stats = session.stats
+            self.last_explain = collector.events
             self._columns = []
             for k in range(-1, len(self.statements)):
                 self._columns.append(

@@ -12,6 +12,7 @@ from typing import List
 
 from repro.debugger.inspector import TransactionInspector
 from repro.debugger.timeline import TimelineRow, TransactionTimeline
+from repro.obs.explain import render_explain
 
 
 def render_timeline(timeline: TransactionTimeline,
@@ -112,6 +113,11 @@ def render_debug_panel(inspector: TransactionInspector,
             lines.append(f"{table}:")
             lines.append(render_table_state(
                 state, inspector.show_unaffected, max_rows=max_rows))
+    if inspector.last_explain:
+        lines.append("")
+        lines.append("--- snapshot planning "
+                     "(why each materialization action was chosen) ---")
+        lines.append(render_explain(inspector.last_explain))
     lines.append("")
     lines.append("(* = row version created by this transaction; click a "
                  "tuple for its provenance graph via "

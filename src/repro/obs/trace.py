@@ -1,0 +1,331 @@
+"""Lightweight tracing: spans, context propagation, pluggable sinks.
+
+Design constraints, in order:
+
+1. **The disabled path is a near-no-op.**  Every instrumentation
+   point in the engine calls :func:`span` (or :func:`span_from`);
+   when tracing is off those return a shared immutable no-op object
+   after one module-global read and a branch.  No allocation, no
+   locking, no clock read.
+2. **Spans are cheap when enabled.**  A span records a name, a
+   monotonic start, a duration, a parent id and a flat attrs dict.
+   Ids are minted from a process-wide counter; the per-thread parent
+   stack lives in a ``threading.local``.
+3. **Sinks are pluggable.**  A completed span is rendered to a plain
+   dict and handed to the active :class:`TraceSink`.  Two sinks ship:
+   an in-memory ring buffer (tests, ``JobHandle``-level inspection)
+   and a JSONL file sink (offline analysis); both are safe under
+   concurrent writers.
+
+Cross-thread propagation is explicit: the submitting thread captures
+``span.context`` (a ``(trace_id, span_id)`` pair) and the worker
+thread adopts it with :func:`span_from`.  Nothing is implicitly
+inherited across threads, which is what keeps 16 concurrent jobs
+from leaking parents into each other.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "JsonlFileSink",
+    "RingBufferSink",
+    "Span",
+    "TraceSink",
+    "current_span",
+    "disable_tracing",
+    "enable_tracing",
+    "render_trace",
+    "span",
+    "span_from",
+    "tracing_enabled",
+]
+
+SpanContext = Tuple[str, str]
+
+_ids = itertools.count(1)
+
+
+def _new_id(prefix: str) -> str:
+    return "%s%08x" % (prefix, next(_ids))
+
+
+# ---------------------------------------------------------------- sinks
+
+class TraceSink:
+    """Receives completed spans as plain dicts."""
+
+    def emit(self, record: Dict[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the most recent ``capacity`` spans in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._buffer: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._buffer.append(record)
+
+    def spans(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._buffer)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buffer.clear()
+
+
+class JsonlFileSink(TraceSink):
+    """Appends one JSON object per completed span to ``path``.
+
+    Writes are serialized under a lock so concurrent workers always
+    produce whole lines; the output is valid JSONL.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._fh is None:
+                return
+            self._fh.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                self._fh.close()
+                self._fh = None
+
+
+# ---------------------------------------------------------------- spans
+
+class Span:
+    """A live span.  Use as a context manager; emitted on exit."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "attrs",
+                 "start", "duration", "thread", "_tracer")
+
+    def __init__(self, tracer: "_Tracer", name: str,
+                 trace_id: str, parent_id: Optional[str],
+                 attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_id("s")
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.start = 0.0
+        self.duration = 0.0
+        self.thread = threading.current_thread().name
+
+    @property
+    def context(self) -> SpanContext:
+        """Portable parent handle for :func:`span_from`."""
+        return (self.trace_id, self.span_id)
+
+    def set(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self.start
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._pop(self)
+        self._tracer.sink.emit({
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start,
+            "duration_s": self.duration,
+            "thread": self.thread,
+            "attrs": self.attrs,
+        })
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    duration = 0.0
+    context = None
+    attrs: Dict[str, Any] = {}
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _Tracer:
+    """Holds the active sink and the per-thread parent stack."""
+
+    def __init__(self, sink: TraceSink) -> None:
+        self.sink = sink
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, sp: Span) -> None:
+        self._stack().append(sp)
+
+    def _pop(self, sp: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is sp:
+            stack.pop()
+        elif sp in stack:        # out-of-order exit; drop through it
+            stack.remove(sp)
+
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+
+_active: Optional[_Tracer] = None
+
+
+# ------------------------------------------------------------------ api
+
+def enable_tracing(sink: Optional[TraceSink] = None) -> TraceSink:
+    """Turn tracing on, routing spans to ``sink`` (default: ring)."""
+    global _active
+    if sink is None:
+        sink = RingBufferSink()
+    _active = _Tracer(sink)
+    return sink
+
+
+def disable_tracing() -> None:
+    """Turn tracing off.  Instrumentation reverts to the no-op path."""
+    global _active
+    tracer, _active = _active, None
+    if tracer is not None:
+        tracer.sink.close()
+
+
+def tracing_enabled() -> bool:
+    return _active is not None
+
+
+def span(name: str, **attrs: Any):
+    """Open a span under the current thread's innermost live span.
+
+    The disabled path — one global read and a branch — is the hot
+    path; everything else only runs when tracing was enabled.
+    """
+    tracer = _active
+    if tracer is None:
+        return NOOP_SPAN
+    parent = tracer.current()
+    if parent is not None:
+        return Span(tracer, name, parent.trace_id, parent.span_id, attrs)
+    return Span(tracer, name, _new_id("t"), None, attrs)
+
+
+def span_from(parent: Optional[SpanContext], name: str, **attrs: Any):
+    """Open a span adopting an explicit cross-thread parent context."""
+    tracer = _active
+    if tracer is None:
+        return NOOP_SPAN
+    if parent is None:
+        return span(name, **attrs)
+    trace_id, parent_id = parent
+    return Span(tracer, name, trace_id, parent_id, attrs)
+
+
+def current_span():
+    """The innermost live span on this thread (None when untraced)."""
+    tracer = _active
+    if tracer is None:
+        return None
+    return tracer.current()
+
+
+def current_context() -> Optional[SpanContext]:
+    """Context of the innermost live span, for cross-thread handoff."""
+    tracer = _active
+    if tracer is None:
+        return None
+    sp = tracer.current()
+    return sp.context if sp is not None else None
+
+
+# ------------------------------------------------------------ rendering
+
+def render_trace(records: Iterable[Dict[str, Any]],
+                 trace_id: Optional[str] = None) -> str:
+    """Render completed span records as an indented ASCII tree.
+
+    ``records`` is what a sink collected (e.g. ``RingBufferSink
+    .spans()``); pass ``trace_id`` to restrict to one trace.
+    """
+    rows = [r for r in records
+            if trace_id is None or r.get("trace_id") == trace_id]
+    if not rows:
+        return "(no spans)"
+    by_id = {r["span_id"]: r for r in rows}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for r in rows:
+        parent = r.get("parent_id")
+        if parent not in by_id:
+            parent = None
+        children.setdefault(parent, []).append(r)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: r.get("start_s", 0.0))
+
+    lines: List[str] = []
+
+    def walk(record: Dict[str, Any], depth: int) -> None:
+        attrs = record.get("attrs") or {}
+        extra = " ".join("%s=%s" % (k, attrs[k]) for k in sorted(attrs))
+        lines.append("%s%s  %.3fms%s" % (
+            "  " * depth, record["name"],
+            record.get("duration_s", 0.0) * 1000.0,
+            ("  [%s]" % extra) if extra else ""))
+        for child in children.get(record["span_id"], ()):
+            walk(child, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+    return "\n".join(lines)

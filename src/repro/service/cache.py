@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Any, Dict, Hashable, Optional, Tuple
 
 from repro.errors import ServiceError
@@ -37,6 +37,12 @@ class ResultCacheStats:
     def as_dict(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions}
+
+    def merge(self, other: "ResultCacheStats") -> None:
+        """Accumulate ``other``'s counters into this instance."""
+        for spec in fields(self):
+            setattr(self, spec.name,
+                    getattr(self, spec.name) + getattr(other, spec.name))
 
 
 class ResultCache:

@@ -34,6 +34,7 @@ from typing import (Any, Callable, Dict, Hashable, List, Optional,
 from repro.algebra.evaluator import Relation
 from repro.core.reenactor import ReenactmentOptions
 from repro.errors import ServiceError
+from repro.obs.trace import span
 
 #: priority bands (smaller runs first; ties run in submission order).
 PRIORITY_HIGH = 0
@@ -94,8 +95,9 @@ class ReenactJob(Job):
                 history_version(db))
 
     def run(self, worker):
-        return worker.reenactor.reenact(self.xid, self.options,
-                                        session=worker.session)
+        with span("job.reenact", xid=self.xid):
+            return worker.reenactor.reenact(self.xid, self.options,
+                                            session=worker.session)
 
     def describe(self) -> str:
         return f"reenact(xid={self.xid})"
@@ -177,7 +179,9 @@ class WhatIfFleetJob(Job):
                     edit(scenario)
                 else:
                     apply_variant_spec(scenario, edit)
-        return fleet.run(self.options, session=worker.session)
+        with span("job.whatif_fleet", xid=self.xid,
+                  variants=len(fleet)):
+            return fleet.run(self.options, session=worker.session)
 
     def describe(self) -> str:
         n = len(self.variants) if self.fleet is None else len(self.fleet)
@@ -199,9 +203,10 @@ class EquivalenceJob(Job):
 
     def run(self, worker):
         from repro.core.equivalence import check_transaction_equivalence
-        return check_transaction_equivalence(
-            worker.db, self.xid, optimize=self.optimize,
-            backend=worker.backend, session=worker.session)
+        with span("job.equivalence", xid=self.xid):
+            return check_transaction_equivalence(
+                worker.db, self.xid, optimize=self.optimize,
+                backend=worker.backend, session=worker.session)
 
     def describe(self) -> str:
         return f"equivalence(xid={self.xid})"
@@ -246,10 +251,13 @@ class TimelineScanJob(Job):
 
     def run(self, worker) -> Dict[int, Relation]:
         from repro.debugger.timeline import timeline_states
-        return timeline_states(worker.db, self.table,
-                               list(self.timestamps),
-                               session=worker.session, mode=self.mode,
-                               windowscan=self.windowscan)
+        with span("job.timeline_scan", table=self.table,
+                  ticks=len(self.timestamps), mode=self.mode):
+            return timeline_states(worker.db, self.table,
+                                   list(self.timestamps),
+                                   session=worker.session,
+                                   mode=self.mode,
+                                   windowscan=self.windowscan)
 
     def describe(self) -> str:
         return (f"timeline_scan(table={self.table!r}, "

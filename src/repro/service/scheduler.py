@@ -42,13 +42,17 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.backends import BackendSpec, resolve_backend
 from repro.backends.base import SessionStats
 from repro.core.reenactor import ReenactmentOptions, Reenactor
 from repro.errors import ServiceError
+from repro.obs.explain import ExplainCollector
+from repro.obs.metrics import MetricsRegistry, publish_stats
+from repro.obs.trace import span, span_from
 from repro.service.cache import ResultCache
 from repro.service.jobs import (PRIORITY_HIGH, PRIORITY_NORMAL,
                                 EquivalenceJob, Job, ReenactJob,
@@ -78,6 +82,13 @@ class JobHandle:
         self.key = key
         self.source = "pending"
         self.dedup_count = 0
+        #: trace id of the submitting span (None when tracing is off);
+        #: the worker adopts ``_trace_parent`` so the whole execution
+        #: lands in the submitter's trace.
+        self.trace_id: Optional[str] = None
+        self._trace_parent = None
+        self._enqueued_at = time.perf_counter()
+        self._explain: List[Dict[str, Any]] = []
         self._event = threading.Event()
         self._result: Any = None
         self._error: Optional[BaseException] = None
@@ -106,6 +117,19 @@ class JobHandle:
             raise ServiceError(
                 f"timed out waiting for {self.job.describe()}")
         return self._error
+
+    def explain(self, timeout: Optional[float] = None
+                ) -> List[Dict[str, Any]]:
+        """Block like :meth:`result`, then return the explain events
+        the job's execution recorded (snapshot-plan step reasons,
+        window-scan cutover decisions).  A handle answered straight
+        from the result cache ran nothing and returns ``[]``; a
+        deduplicated handle shares the executing submission's
+        events."""
+        if not self._event.wait(timeout):
+            raise ServiceError(
+                f"timed out waiting for {self.job.describe()}")
+        return list(self._explain)
 
     def _resolve(self, value: Any, source: str = "executed") -> None:
         self._result = value
@@ -157,6 +181,31 @@ class ServiceStats:
             "store": dict(self.store) if self.store else None,
             "sessions": dict(self.sessions),
         }
+
+    def merge(self, other: "ServiceStats") -> None:
+        """Fold another snapshot into this one: numeric fields sum,
+        dict fields accumulate per key (one nesting level deep), a
+        ``store`` of ``None`` adopts the other side's dict."""
+        for spec in fields(self):
+            theirs = getattr(other, spec.name)
+            if theirs is None:
+                continue
+            mine = getattr(self, spec.name)
+            if isinstance(theirs, dict):
+                if mine is None:
+                    mine = {}
+                    setattr(self, spec.name, mine)
+                for key, value in theirs.items():
+                    if isinstance(value, dict):
+                        sub = mine.setdefault(key, {})
+                        for k, v in value.items():
+                            sub[k] = sub.get(k, 0) + (v or 0)
+                    elif isinstance(value, (int, float)):
+                        mine[key] = mine.get(key, 0) + value
+                    else:
+                        mine[key] = value
+            elif isinstance(theirs, (int, float)):
+                setattr(self, spec.name, (mine or 0) + theirs)
 
 
 class _WorkerContext:
@@ -299,6 +348,13 @@ class ReenactmentService:
         self._inflight: Dict[Any, JobHandle] = {}
         self._result_cache = ResultCache(capacity=result_cache_capacity)
         self._stats = ServiceStats(workers=workers)
+        self._metrics = MetricsRegistry()
+        self._hist_duration = self._metrics.histogram(
+            "reenact_job_duration_seconds",
+            "wall-clock job execution time on a worker, by job kind")
+        self._hist_queue_wait = self._metrics.histogram(
+            "reenact_job_queue_wait_seconds",
+            "time between submission and a worker claiming the job")
         self._session_totals = SessionStats()
         self._live_sessions: List = []
         self._closed = False
@@ -343,36 +399,46 @@ class ReenactmentService:
         coalesced onto the in-flight handle when currently running or
         queued."""
         key = job.cache_key(self.db)
-        with self._lock:
-            if self._closed:
-                raise ServiceError("service is closed")
-            self._stats.jobs_submitted += 1
-            if key is not None:
-                hit, value = self._result_cache.get(key)
-                if hit:
-                    self._stats.jobs_from_cache += 1
-                    handle = JobHandle(job, priority, key=key)
-                    handle._resolve(value, source="result-cache")
-                    return handle
-                existing = self._inflight.get(key)
-                if existing is not None:
-                    self._stats.jobs_deduplicated += 1
-                    existing.dedup_count += 1
-                    if priority < existing.priority \
-                            and not existing._claimed:
-                        # priority escalation: a more urgent duplicate
-                        # must not wait behind the original's queue
-                        # position — re-enqueue the same handle at the
-                        # higher band (the claimed flag makes the
-                        # stale entry a no-op when a worker reaches it)
-                        existing.priority = priority
-                        self._queue.put((priority, next(self._seq),
-                                         existing.job, existing))
-                    return existing
-            handle = JobHandle(job, priority, key=key)
-            if key is not None:
-                self._inflight[key] = handle
-            self._queue.put((priority, next(self._seq), job, handle))
+        with span("service.submit", kind=job.kind,
+                  priority=priority) as sub:
+            with self._lock:
+                if self._closed:
+                    raise ServiceError("service is closed")
+                self._stats.jobs_submitted += 1
+                if key is not None:
+                    hit, value = self._result_cache.get(key)
+                    if hit:
+                        self._stats.jobs_from_cache += 1
+                        handle = JobHandle(job, priority, key=key)
+                        handle.trace_id = sub.trace_id or None
+                        sub.set("source", "result-cache")
+                        handle._resolve(value, source="result-cache")
+                        return handle
+                    existing = self._inflight.get(key)
+                    if existing is not None:
+                        self._stats.jobs_deduplicated += 1
+                        existing.dedup_count += 1
+                        sub.set("source", "deduplicated")
+                        if priority < existing.priority \
+                                and not existing._claimed:
+                            # priority escalation: a more urgent
+                            # duplicate must not wait behind the
+                            # original's queue position — re-enqueue
+                            # the same handle at the higher band (the
+                            # claimed flag makes the stale entry a
+                            # no-op when a worker reaches it)
+                            existing.priority = priority
+                            self._queue.put((priority, next(self._seq),
+                                             existing.job, existing))
+                        return existing
+                handle = JobHandle(job, priority, key=key)
+                handle.trace_id = sub.trace_id or None
+                handle._trace_parent = sub.context
+                handle._enqueued_at = time.perf_counter()
+                if key is not None:
+                    self._inflight[key] = handle
+                self._queue.put((priority, next(self._seq), job,
+                                 handle))
         return handle
 
     # convenience entry points, one per job kind ---------------------------
@@ -500,24 +566,43 @@ class ReenactmentService:
                     if handle._claimed:
                         continue  # stale duplicate queue entry
                     handle._claimed = True
-                try:
-                    result = job.run(worker)
-                except BaseException as exc:
-                    # BaseException included: a KeyboardInterrupt in a
-                    # worker must reject the handle, not strand every
-                    # waiter (concurrent.futures does the same)
-                    with self._lock:
-                        self._stats.jobs_failed += 1
-                        if handle.key is not None:
-                            self._inflight.pop(handle.key, None)
-                    handle._reject(exc)
-                else:
-                    with self._lock:
-                        self._stats.jobs_executed += 1
-                        if handle.key is not None:
-                            self._inflight.pop(handle.key, None)
-                            self._result_cache.put(handle.key, result)
-                    handle._resolve(result)
+                self._hist_queue_wait.observe(
+                    time.perf_counter() - handle._enqueued_at,
+                    kind=job.kind)
+                collector = ExplainCollector()
+                started = time.perf_counter()
+                with span_from(handle._trace_parent,
+                               "service.schedule", kind=job.kind,
+                               worker=index) as sched:
+                    try:
+                        with collector:
+                            result = job.run(worker)
+                    except BaseException as exc:
+                        # BaseException included: a KeyboardInterrupt
+                        # in a worker must reject the handle, not
+                        # strand every waiter (concurrent.futures does
+                        # the same)
+                        handle._explain = collector.events
+                        sched.set("outcome", "error")
+                        with self._lock:
+                            self._stats.jobs_failed += 1
+                            if handle.key is not None:
+                                self._inflight.pop(handle.key, None)
+                        with span("service.result", outcome="error"):
+                            handle._reject(exc)
+                    else:
+                        self._hist_duration.observe(
+                            time.perf_counter() - started,
+                            kind=job.kind)
+                        handle._explain = collector.events
+                        with self._lock:
+                            self._stats.jobs_executed += 1
+                            if handle.key is not None:
+                                self._inflight.pop(handle.key, None)
+                                self._result_cache.put(handle.key,
+                                                       result)
+                        with span("service.result", outcome="ok"):
+                            handle._resolve(result)
         finally:
             with self._lock:
                 if session in self._live_sessions:
@@ -573,6 +658,30 @@ class ReenactmentService:
                 if self._store is not None else None,
                 sessions=merged.as_dict())
         return snapshot
+
+    def metrics(self,
+                registry: Optional[MetricsRegistry] = None
+                ) -> MetricsRegistry:
+        """Publish the current :meth:`stats` snapshot into a metrics
+        registry as gauges and return it.  The default registry is the
+        service's own, which also carries the live job-duration and
+        queue-wait histograms the worker loop maintains; when the
+        database has a write-ahead log attached its counters are
+        published too."""
+        if registry is None:
+            registry = self._metrics
+        publish_stats(registry, "reenact_service",
+                      self.stats().as_dict())
+        wal = getattr(self.db, "wal", None)
+        wal_stats = getattr(wal, "stats", None)
+        if wal_stats is not None:
+            publish_stats(registry, "reenact_wal",
+                          wal_stats.as_dict())
+        return registry
+
+    def prometheus(self) -> str:
+        """Prometheus-style text exposition of :meth:`metrics`."""
+        return self.metrics().render()
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -44,10 +44,11 @@ import pickle
 import sqlite3
 import tempfile
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ServiceError
+from repro.obs.trace import span
 
 
 @dataclass
@@ -93,6 +94,13 @@ class StoreStats:
             "queue_flushes": self.queue_flushes,
             "pending_hits": self.pending_hits,
         }
+
+    def merge(self, other: "StoreStats") -> None:
+        """Accumulate ``other``'s counters into this instance (all
+        fields are additive event counts)."""
+        for spec in fields(self):
+            setattr(self, spec.name,
+                    getattr(self, spec.name) + getattr(other, spec.name))
 
 
 class SnapshotStore:
@@ -188,6 +196,13 @@ class SnapshotStore:
         when :meth:`flush` or :meth:`close` runs).  A caller that
         lands on a full queue drains it inline, so the queue stays
         bounded under bursts."""
+        with span("store.spill", table=table, ts=ts,
+                  mode="async" if self.async_publish else "sync") as sp:
+            sp.set("rows", len(rows))
+            self._put(realm, table, ts, rows)
+
+    def _put(self, realm, table: str, ts: int,
+             rows: List[Tuple]) -> None:
         if self.async_publish:
             overflow = False
             with self._drain:
@@ -231,6 +246,15 @@ class SnapshotStore:
         outside the lock, like :meth:`put`'s serialization, so
         concurrent rehydrations of large snapshots don't convoy behind
         it."""
+        with span("store.rehydrate", table=table, ts=ts) as sp:
+            rows = self._get(realm, table, ts)
+            sp.set("outcome", "miss" if rows is None else "hit")
+            if rows is not None:
+                sp.set("rows", len(rows))
+            return rows
+
+    def _get(self, realm, table: str,
+             ts: int) -> Optional[List[Tuple]]:
         skey = self._skey(realm, table, ts)
         with self._lock:
             self._check_open()
@@ -266,6 +290,13 @@ class SnapshotStore:
         store-aware half of pipelined priming, vs one :meth:`get`
         round-trip per snapshot.  Absent pairs are simply missing from
         the result.  In-flight write-behind spills are included."""
+        with span("store.rehydrate_batch") as sp:
+            out = self._fetch_many(realm, pairs)
+            sp.set("found", len(out))
+            return out
+
+    def _fetch_many(self, realm, pairs
+                    ) -> Dict[Tuple[str, int], List[Tuple]]:
         wanted = {self._skey(realm, table, ts): (table, int(ts))
                   for table, ts in pairs}
         out: Dict[Tuple[str, int], List[Tuple]] = {}

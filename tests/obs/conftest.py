@@ -1,0 +1,14 @@
+"""Fixtures for the observability suite."""
+
+import pytest
+
+from repro.obs.trace import disable_tracing
+
+
+@pytest.fixture(autouse=True)
+def _tracer_hygiene():
+    """Tracing is process-global; never leak an enabled tracer into
+    other tests (the disabled path is the default everywhere else)."""
+    disable_tracing()
+    yield
+    disable_tracing()

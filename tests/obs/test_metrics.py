@@ -1,0 +1,185 @@
+"""Metrics registry: instruments, exposition format, stats
+projection, and the service-level surface."""
+
+import pytest
+
+from repro import Database
+from repro.obs.metrics import (DEFAULT_BUCKETS, Counter, Gauge,
+                               Histogram, MetricsRegistry, metric_name,
+                               publish_stats)
+from repro.service import ReenactmentService
+
+
+def run_txn(db, statements):
+    session = db.connect(user="app")
+    session.begin()
+    for sql in statements:
+        session.execute(sql)
+    xid = session.txn.xid
+    session.commit()
+    return xid
+
+
+# -- instruments -----------------------------------------------------------
+
+def test_counter_accumulates_and_rejects_negative():
+    c = Counter("jobs_total", "jobs")
+    c.inc()
+    c.inc(2.5)
+    assert c.value() == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_counter_labels_are_independent_series():
+    c = Counter("jobs_total")
+    c.inc(kind="reenact")
+    c.inc(3, kind="timeline_scan")
+    assert c.value(kind="reenact") == 1
+    assert c.value(kind="timeline_scan") == 3
+    assert c.value(kind="other") == 0
+
+
+def test_gauge_set_inc_dec():
+    g = Gauge("queue_depth")
+    g.set(4)
+    g.inc()
+    g.dec(2)
+    assert g.value() == 3
+
+
+def test_histogram_bucket_placement_and_totals():
+    h = Histogram("latency_seconds", buckets=(0.01, 0.1, 1.0))
+    h.observe(0.005)    # first bucket
+    h.observe(0.05)     # second
+    h.observe(0.5)      # third
+    h.observe(5.0)      # overflow (+Inf)
+    assert h.count() == 4
+    assert h.sum() == pytest.approx(5.555)
+
+
+def test_histogram_render_is_cumulative_with_inf():
+    h = Histogram("latency_seconds", buckets=(0.01, 0.1))
+    h.observe(0.005)
+    h.observe(0.05)
+    h.observe(9.0)
+    lines = h.render()
+    assert "# TYPE latency_seconds histogram" in lines
+    assert 'latency_seconds_bucket{le="0.01"} 1' in lines
+    assert 'latency_seconds_bucket{le="0.1"} 2' in lines
+    assert 'latency_seconds_bucket{le="+Inf"} 3' in lines
+    assert "latency_seconds_count 3" in lines
+
+
+def test_histogram_requires_buckets():
+    with pytest.raises(ValueError):
+        Histogram("empty", buckets=())
+
+
+def test_metric_name_sanitizes():
+    assert metric_name("reenact service", "jobs.executed") \
+        == "reenact_service_jobs_executed"
+
+
+# -- registry --------------------------------------------------------------
+
+def test_registry_get_or_create_and_type_conflict():
+    reg = MetricsRegistry()
+    c1 = reg.counter("jobs_total", "help text")
+    assert reg.counter("jobs_total") is c1
+    with pytest.raises(ValueError):
+        reg.gauge("jobs_total")
+
+
+def test_registry_render_full_exposition():
+    reg = MetricsRegistry()
+    reg.counter("b_total", "a counter").inc(2)
+    reg.gauge("a_gauge", "a gauge").set(7, backend="sqlite")
+    text = reg.render()
+    assert text.endswith("\n")
+    lines = text.splitlines()
+    # metrics render sorted by name, headers before samples
+    assert lines[0] == "# HELP a_gauge a gauge"
+    assert lines[1] == "# TYPE a_gauge gauge"
+    assert lines[2] == 'a_gauge{backend="sqlite"} 7'
+    assert "# TYPE b_total counter" in lines
+    assert "b_total 2" in lines
+
+
+def test_registry_snapshot_is_flat():
+    reg = MetricsRegistry()
+    reg.counter("jobs_total").inc(kind="reenact")
+    reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+    snap = reg.snapshot()
+    assert snap['jobs_total{kind="reenact"}'] == 1
+    assert snap["lat_count"] == 1
+    assert snap["lat_sum"] == 0.5
+
+
+def test_publish_stats_projects_nested_dicts():
+    reg = MetricsRegistry()
+    publish_stats(reg, "svc", {
+        "jobs": 3,
+        "enabled": True,
+        "label": "ignored-not-numeric",
+        "sessions": {"plans_executed": 9},
+    })
+    snap = reg.snapshot()
+    assert snap["svc_jobs"] == 3.0
+    assert snap["svc_enabled"] == 1.0
+    assert snap["svc_sessions_plans_executed"] == 9.0
+    assert not any("label" in k for k in snap)
+    # idempotent republication overwrites in place
+    publish_stats(reg, "svc", {"jobs": 5})
+    assert reg.snapshot()["svc_jobs"] == 5.0
+
+
+# -- service surface -------------------------------------------------------
+
+@pytest.fixture
+def service_db():
+    db = Database()
+    db.execute("CREATE TABLE account (cust TEXT, bal INT)")
+    db.execute("INSERT INTO account VALUES ('Alice', 100)")
+    for k in range(3):
+        run_txn(db, ["UPDATE account SET bal = bal + %d "
+                     "WHERE cust = 'Alice'" % (k + 1)])
+    return db
+
+
+def test_service_metrics_merge_stats_and_live_histograms(service_db):
+    db = service_db
+    xids = [x for x in db.audit_log.transaction_ids()
+            if db.audit_log.transaction_record(x).committed
+            and db.audit_log.transaction_record(x).statements]
+    with ReenactmentService(db, workers=2) as svc:
+        for xid in xids:
+            svc.reenact(xid).result(timeout=30)
+        registry = svc.metrics()
+        snap = registry.snapshot()
+        assert snap["reenact_service_jobs_executed"] == len(xids)
+        assert snap["reenact_service_workers"] == 2.0
+        # the scheduler's own latency histograms observed each job
+        assert snap['reenact_job_duration_seconds'
+                    '{kind="reenact"}_count'] == len(xids)
+        assert snap['reenact_job_queue_wait_seconds'
+                    '{kind="reenact"}_count'] == len(xids)
+
+
+def test_service_prometheus_exposition(service_db):
+    db = service_db
+    with ReenactmentService(db, workers=1) as svc:
+        xid = next(x for x in db.audit_log.transaction_ids()
+                   if db.audit_log.transaction_record(x).statements)
+        svc.reenact(xid).result(timeout=30)
+        text = svc.prometheus()
+    assert "# TYPE reenact_service_jobs_executed gauge" in text
+    assert "# TYPE reenact_job_duration_seconds histogram" in text
+    assert "reenact_service_sessions_plans_executed" in text
+
+
+def test_service_metrics_accepts_external_registry(service_db):
+    with ReenactmentService(service_db, workers=1) as svc:
+        mine = MetricsRegistry()
+        assert svc.metrics(mine) is mine
+        assert "reenact_service_workers" in mine.snapshot()

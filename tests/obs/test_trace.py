@@ -1,0 +1,234 @@
+"""Tracer unit behavior: the disabled no-op path, parent nesting,
+explicit cross-thread propagation, sinks, and rendering."""
+
+import json
+import threading
+
+from repro.obs.trace import (NOOP_SPAN, JsonlFileSink, RingBufferSink,
+                             current_context, current_span,
+                             disable_tracing, enable_tracing,
+                             render_trace, span, span_from,
+                             tracing_enabled)
+
+
+def test_disabled_span_is_the_shared_noop():
+    assert not tracing_enabled()
+    sp = span("anything", key="value")
+    assert sp is NOOP_SPAN
+    assert span_from(("t1", "s1"), "other") is NOOP_SPAN
+    # the noop accepts the whole Span surface without side effects
+    with sp as inner:
+        inner.set("ignored", 1)
+    assert sp.attrs == {}
+    assert current_span() is None
+    assert current_context() is None
+
+
+def test_enable_disable_roundtrip():
+    sink = enable_tracing()
+    assert tracing_enabled()
+    assert isinstance(sink, RingBufferSink)
+    with span("one"):
+        pass
+    assert [r["name"] for r in sink.spans()] == ["one"]
+    disable_tracing()
+    assert not tracing_enabled()
+    assert span("after") is NOOP_SPAN
+
+
+def test_nesting_assigns_parents_within_a_thread():
+    sink = enable_tracing()
+    with span("root") as root:
+        with span("child") as child:
+            with span("grandchild") as grand:
+                assert current_span() is grand
+            assert current_span() is child
+        with span("sibling") as sib:
+            pass
+    by_name = {r["name"]: r for r in sink.spans()}
+    assert by_name["root"]["parent_id"] is None
+    assert by_name["child"]["parent_id"] == root.span_id
+    assert by_name["grandchild"]["parent_id"] == child.span_id
+    assert by_name["sibling"]["parent_id"] == root.span_id
+    # one trace: every span shares the root's trace id
+    assert {r["trace_id"] for r in sink.spans()} == {root.trace_id}
+
+
+def test_separate_roots_get_separate_traces():
+    sink = enable_tracing()
+    with span("a"):
+        pass
+    with span("b"):
+        pass
+    a, b = sink.spans()
+    assert a["trace_id"] != b["trace_id"]
+
+
+def test_attrs_and_error_are_recorded():
+    sink = enable_tracing()
+    try:
+        with span("boom", stage="compile") as sp:
+            sp.set("rows", 7)
+            raise ValueError("no")
+    except ValueError:
+        pass
+    (record,) = sink.spans()
+    assert record["attrs"] == {"stage": "compile", "rows": 7,
+                               "error": "ValueError"}
+    assert record["duration_s"] >= 0.0
+    assert record["thread"] == threading.current_thread().name
+
+
+def test_span_from_adopts_cross_thread_parent():
+    sink = enable_tracing()
+    with span("submit") as parent:
+        ctx = parent.context
+    done = threading.Event()
+
+    def worker():
+        with span_from(ctx, "execute"):
+            with span("inner"):
+                pass
+        done.set()
+
+    threading.Thread(target=worker).start()
+    assert done.wait(5)
+    by_name = {r["name"]: r for r in sink.spans()}
+    assert by_name["execute"]["trace_id"] == parent.trace_id
+    assert by_name["execute"]["parent_id"] == parent.span_id
+    assert by_name["inner"]["parent_id"] == by_name["execute"]["span_id"]
+
+
+def test_span_from_none_context_falls_back_to_plain_span():
+    sink = enable_tracing()
+    with span_from(None, "detached"):
+        pass
+    (record,) = sink.spans()
+    assert record["name"] == "detached"
+    assert record["parent_id"] is None
+
+
+def test_nothing_is_inherited_across_threads_implicitly():
+    """A worker thread with no explicit context starts a fresh trace —
+    the submitting thread's live span must not leak into it."""
+    sink = enable_tracing()
+    done = threading.Event()
+
+    def worker():
+        with span("worker-root"):
+            pass
+        done.set()
+
+    with span("main-root") as root:
+        threading.Thread(target=worker).start()
+        assert done.wait(5)
+    by_name = {r["name"]: r for r in sink.spans()}
+    assert by_name["worker-root"]["parent_id"] is None
+    assert by_name["worker-root"]["trace_id"] != root.trace_id
+
+
+def test_sixteen_threads_no_cross_trace_leakage():
+    sink = enable_tracing()
+    barrier = threading.Barrier(16)
+
+    def worker(index):
+        barrier.wait()
+        with span("root", index=index) as root:
+            with span("child", index=index):
+                pass
+        return root
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(10)
+    records = sink.spans()
+    assert len(records) == 32
+    by_trace = {}
+    for r in records:
+        by_trace.setdefault(r["trace_id"], []).append(r)
+    assert len(by_trace) == 16
+    for members in by_trace.values():
+        by_name = {r["name"]: r for r in members}
+        assert set(by_name) == {"root", "child"}
+        assert by_name["root"]["parent_id"] is None
+        assert by_name["child"]["parent_id"] == by_name["root"]["span_id"]
+        # the pair belongs to one logical job
+        assert by_name["root"]["attrs"]["index"] == \
+            by_name["child"]["attrs"]["index"]
+
+
+def test_ring_buffer_caps_at_capacity():
+    sink = RingBufferSink(capacity=4)
+    enable_tracing(sink)
+    for i in range(10):
+        with span("s%d" % i):
+            pass
+    assert [r["name"] for r in sink.spans()] == \
+        ["s6", "s7", "s8", "s9"]
+    sink.clear()
+    assert sink.spans() == []
+
+
+def test_jsonl_file_sink_valid_under_concurrent_writers(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    enable_tracing(JsonlFileSink(str(path)))
+    barrier = threading.Barrier(8)
+
+    def worker(index):
+        barrier.wait()
+        for k in range(50):
+            with span("w%d" % index, step=k):
+                pass
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+    disable_tracing()   # closes + flushes the sink
+
+    lines = path.read_text().splitlines()
+    assert len(lines) == 8 * 50
+    for line in lines:
+        record = json.loads(line)   # every line is a whole JSON object
+        for key in ("name", "trace_id", "span_id", "parent_id",
+                    "start_s", "duration_s", "thread", "attrs"):
+            assert key in record
+
+
+def test_jsonl_file_sink_ignores_emit_after_close(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlFileSink(str(path))
+    sink.emit({"name": "kept"})
+    sink.close()
+    sink.emit({"name": "dropped"})
+    sink.close()    # idempotent
+    assert len(path.read_text().splitlines()) == 1
+
+
+def test_render_trace_tree_shape():
+    sink = enable_tracing()
+    with span("root", kind="demo") as root:
+        with span("left"):
+            pass
+        with span("right"):
+            pass
+    text = render_trace(sink.spans(), trace_id=root.trace_id)
+    lines = text.splitlines()
+    assert lines[0].startswith("root")
+    assert "[kind=demo]" in lines[0]
+    assert lines[1].startswith("  left")
+    assert lines[2].startswith("  right")
+    # restricting to an unknown trace renders the empty marker
+    assert render_trace(sink.spans(), trace_id="missing") == "(no spans)"
+
+
+def test_render_trace_orphan_parent_becomes_root():
+    records = [{"name": "lost", "trace_id": "t1", "span_id": "s2",
+                "parent_id": "s-unknown", "start_s": 0.0,
+                "duration_s": 0.001, "thread": "x", "attrs": {}}]
+    assert render_trace(records).startswith("lost")

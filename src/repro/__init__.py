@@ -34,10 +34,11 @@ from repro.backends import (BackendSession, DuckDBBackend,
                             SQLiteBackend, available_backends,
                             resolve_backend)
 from repro.errors import ReproError
+from repro.faults import FaultPlan, FaultSpec, armed
 from repro.service import (ReenactmentService, ResultCache,
                            SnapshotStore)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Database", "DatabaseConfig", "IsolationLevel", "Session",
@@ -46,5 +47,6 @@ __all__ = [
     "InMemoryBackend", "SQLiteBackend", "available_backends",
     "resolve_backend",
     "ReenactmentService", "ResultCache", "SnapshotStore",
+    "FaultPlan", "FaultSpec", "armed",
     "ReproError", "__version__",
 ]

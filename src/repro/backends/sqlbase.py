@@ -44,6 +44,7 @@ from repro.backends.base import (BackendSession, ExecutionBackend,
 from repro.db.types import DataType, infer_type
 from repro.errors import (ExecutionError, ReenactmentError,
                           TimeTravelError)
+from repro.faults.inject import fault_point
 from repro.obs.explain import explain_active, record_explain
 from repro.obs.trace import NOOP_SPAN, span
 
@@ -1089,6 +1090,8 @@ class SQLSession(BackendSession):
 
     def __init__(self, backend: "SQLBackend"):
         super().__init__(backend)
+        fault_point("session.open",
+                    backend=getattr(backend, "name", "?"))
         self.conn = self._connect()
         self._configure_connection()
         self.cache = SnapshotCache(self.stats,
@@ -1123,6 +1126,7 @@ class SQLSession(BackendSession):
         return generate_sql(plan, dialect=dialect)
 
     def _run_query(self, sql: str, params) -> list:
+        fault_point("session.execute")
         return self.conn.execute(sql, params or {}).fetchall()
 
     # .....................................................................

@@ -27,7 +27,8 @@ from repro.db.schema import Catalog, Column, TableSchema
 from repro.db.table import VersionedTable
 from repro.db.transaction import IsolationLevel, Transaction
 from repro.db.types import lookup_type
-from repro.errors import CatalogError, TimeTravelError, WALError
+from repro.errors import (CatalogError, ReadOnlyHistoryError,
+                          TimeTravelError, WALError)
 
 
 @dataclass
@@ -74,12 +75,19 @@ class Database:
         #: :class:`~repro.db.wal.RecoveryReport` of the last
         #: :meth:`attach_wal`, if any.
         self.last_recovery = None
+        #: explicit read-only degradation (see :meth:`quarantine`):
+        #: set when the WAL can no longer promise durability.  The
+        #: recorded history stays queryable and reenactable; new
+        #: writes are refused with :class:`ReadOnlyHistoryError`.
+        self.read_only = False
+        self.read_only_reason: Optional[str] = None
 
     # -- durability ---------------------------------------------------------
 
     def attach_wal(self, wal, fsync: str = "batch",
                    batch_bytes: int = 64 * 1024,
-                   checkpoint_every: Optional[int] = None):
+                   checkpoint_every: Optional[int] = None,
+                   checkpoint_async: bool = False):
         """Make this history durable via a write-ahead log.
 
         ``wal`` is a directory path or a prepared
@@ -102,11 +110,28 @@ class Database:
         if not isinstance(wal, WriteAheadLog):
             wal = WriteAheadLog(wal, fsync=fsync,
                                 batch_bytes=batch_bytes,
-                                checkpoint_every=checkpoint_every)
+                                checkpoint_every=checkpoint_every,
+                                checkpoint_async=checkpoint_async)
         self.last_recovery = wal.attach(self)
         # only set after replay: replayed operations must not re-log
         self.wal = wal
         return wal
+
+    def quarantine(self, reason: str) -> None:
+        """Flip the database to explicit read-only degradation.
+
+        Called by the WAL when an append failure exhausts its retry
+        budget: accepting further writes would let in-memory state
+        silently diverge from the durable log, so writes are refused
+        loudly instead.  Reads, time travel and reenactment keep
+        working — degraded, never wrong."""
+        self.read_only = True
+        self.read_only_reason = reason
+
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise ReadOnlyHistoryError(
+                f"database is read-only ({self.read_only_reason})")
 
     @classmethod
     def open(cls, path: str, config: Optional[DatabaseConfig] = None,
@@ -134,6 +159,7 @@ class Database:
     # -- DDL ------------------------------------------------------------------
 
     def create_table(self, name: str, columns: List[Column]) -> None:
+        self._check_writable()
         schema = TableSchema(name, columns)
         self.catalog.create(schema)
         self.tables[name] = VersionedTable(schema)
@@ -150,6 +176,7 @@ class Database:
         self.create_table(name, columns)
 
     def drop_table(self, name: str) -> None:
+        self._check_writable()
         self.catalog.drop(name)
         del self.tables[name]
         if self.wal is not None:
@@ -250,10 +277,15 @@ class Database:
     def begin_transaction(self, isolation: Optional[IsolationLevel] = None,
                           user: str = "app",
                           session_id: int = 0) -> Transaction:
+        self._check_writable()
         level = isolation or self.config.default_isolation
         return self.mvcc.begin(level, user=user, session_id=session_id)
 
     def commit_transaction(self, txn: Transaction) -> int:
+        # refuse before MVCC publishes anything: a quarantine that
+        # landed mid-transaction must not let memory get ahead of the
+        # durable log by yet another commit
+        self._check_writable()
         commit_ts = self.mvcc.commit(
             txn, keep_history=self.config.timetravel_enabled)
         audited = self.config.audit_enabled and getattr(
@@ -285,8 +317,13 @@ class Database:
             if self.wal is not None:
                 # aborted writes never reached the log (physical
                 # effects ride the commit record), so the abort only
-                # matters to the replayed audit stream
-                self.wal.log_abort(txn, txn.end_ts, audited)
+                # matters to the replayed audit stream — and must
+                # never block the abort itself (rolling back after a
+                # quarantine is exactly the degradation path)
+                try:
+                    self.wal.log_abort(txn, txn.end_ts, audited)
+                except WALError:
+                    pass
         for hook in self.on_abort:
             hook(txn, txn.end_ts)
 

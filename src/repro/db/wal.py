@@ -52,6 +52,7 @@ import dataclasses
 import os
 import pickle
 import struct
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 from zlib import crc32
@@ -61,6 +62,8 @@ from repro.db.schema import Column
 from repro.db.transaction import IsolationLevel, Transaction
 from repro.db.types import DataType
 from repro.errors import WALError
+from repro.faults.inject import fault_point
+from repro.faults.retry import RetryPolicy
 from repro.obs.trace import span
 
 #: frame header: payload length, payload crc32 (little-endian u32 each).
@@ -239,6 +242,18 @@ class WALStats:
     checkpoints: int = 0
     segments_compacted: int = 0
     checkpoints_compacted: int = 0
+    #: transient append failures absorbed by the retry policy.
+    appends_retried: int = 0
+    #: transient fsync failures absorbed by the retry policy.
+    fsyncs_retried: int = 0
+    #: append/flush failures that exhausted the retry budget and
+    #: quarantined the log (flipping the database read-only).
+    quarantines: int = 0
+    #: checkpoints whose expensive half ran on the background thread.
+    checkpoints_background: int = 0
+    #: background checkpoints that failed (the covered segments stay
+    #: on disk, so recovery is unaffected — just un-compacted).
+    checkpoint_failures: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -249,6 +264,11 @@ class WALStats:
             "checkpoints": self.checkpoints,
             "segments_compacted": self.segments_compacted,
             "checkpoints_compacted": self.checkpoints_compacted,
+            "appends_retried": self.appends_retried,
+            "fsyncs_retried": self.fsyncs_retried,
+            "quarantines": self.quarantines,
+            "checkpoints_background": self.checkpoints_background,
+            "checkpoint_failures": self.checkpoint_failures,
         }
 
     def merge(self, other: "WALStats") -> None:
@@ -271,7 +291,9 @@ class WriteAheadLog:
 
     def __init__(self, path: str, fsync: str = "batch",
                  batch_bytes: int = 64 * 1024,
-                 checkpoint_every: Optional[int] = None):
+                 checkpoint_every: Optional[int] = None,
+                 checkpoint_async: bool = False,
+                 retry: Optional[RetryPolicy] = None):
         if fsync not in FSYNC_POLICIES:
             raise WALError(
                 f"unknown fsync policy {fsync!r}; expected one of "
@@ -288,9 +310,22 @@ class WriteAheadLog:
         self.fsync = fsync
         self.batch_bytes = batch_bytes
         self.checkpoint_every = checkpoint_every
+        #: automatic checkpoints run their expensive half (pickle,
+        #: tmp-file write + fsync + rename, compaction) on a background
+        #: thread so the append path isn't stalled; the state capture
+        #: and segment rotation stay synchronous for consistency.
+        self.checkpoint_async = checkpoint_async
+        #: absorbs transient append/fsync failures; exhaustion
+        #: quarantines the log (see :meth:`_quarantine`).
+        self.retry = retry if retry is not None \
+            else RetryPolicy(attempts=3, base_delay=0.002,
+                             max_delay=0.05)
+        self.retry.on_retry = self._count_retry
         self.stats = WALStats()
         self.history_id: Optional[str] = None
         self.last_recovery: Optional[RecoveryReport] = None
+        self.quarantine_reason: Optional[str] = None
+        self.last_checkpoint_error: Optional[BaseException] = None
         self._fh = None
         self._segment_index: Optional[int] = None
         self._buffer: List[bytes] = []
@@ -298,6 +333,9 @@ class WriteAheadLog:
         self._dirty = False  # unsynced bytes reached the OS
         self._commits_since_checkpoint = 0
         self._closed = False
+        self._quarantined = False
+        self._db = None  # the attached Database (for quarantine)
+        self._ckpt_thread: Optional[threading.Thread] = None
 
     # -- file layout -----------------------------------------------------
 
@@ -374,6 +412,7 @@ class WriteAheadLog:
         if not had_history and not _db_is_pristine(db):
             # bootstrap a fresh log over an already-populated database
             self.checkpoint(db)
+        self._db = db
         self.last_recovery = report
         return report
 
@@ -476,23 +515,76 @@ class WriteAheadLog:
 
     # -- append path -----------------------------------------------------
 
+    def _count_retry(self, site: str) -> None:
+        if site == "wal.fsync":
+            self.stats.fsyncs_retried += 1
+        else:
+            self.stats.appends_retried += 1
+
+    def _quarantine(self, exc: BaseException) -> None:
+        """An append-path failure survived the whole retry budget: the
+        log can no longer promise durability for new writes, so it is
+        quarantined and the attached database flips to explicit
+        read-only — degraded, never silently divergent.  The recorded
+        history stays fully queryable and reenactable."""
+        if self._quarantined:
+            return
+        self._quarantined = True
+        self.quarantine_reason = repr(exc)
+        self.stats.quarantines += 1
+        db = self._db
+        if db is not None:
+            db.quarantine(f"WAL append failure: {exc!r}")
+
+    @property
+    def quarantined(self) -> bool:
+        return self._quarantined
+
     def _append(self, kind: str, data) -> None:
         if self._closed:
             raise WALError("write-ahead log is closed")
+        if self._quarantined:
+            raise WALError(
+                f"write-ahead log is quarantined "
+                f"({self.quarantine_reason}); the database is "
+                f"read-only")
         with span("wal.append") as sp:
             frame = _encode_record(kind, data)
             sp.set("kind", kind)
             sp.set("bytes", len(frame))
+            try:
+                # the fault point sits before any buffering, so a
+                # retried admission is exactly idempotent
+                self.retry.call(fault_point, "wal.append",
+                                site="wal.append", kind=kind)
+            except Exception as exc:
+                self._quarantine(exc)
+                raise WALError(
+                    f"WAL append of {kind!r} record failed after "
+                    f"{self.retry.attempts} attempts; the log is "
+                    f"quarantined and the database is read-only"
+                ) from exc
             self._buffer.append(frame)
             self._buffered_bytes += len(frame)
             self.stats.records_appended += 1
             self.stats.bytes_appended += len(frame)
-            if self.fsync == "always":
-                self._flush(sync=True)
-            elif self.fsync == "commit" and kind in _COMMIT_KINDS:
-                self._flush(sync=True)
-            elif self._buffered_bytes >= self.batch_bytes:
-                self._flush(sync=self.fsync == "batch")
+            try:
+                if self.fsync == "always":
+                    self._flush(sync=True)
+                elif self.fsync == "commit" and kind in _COMMIT_KINDS:
+                    self._flush(sync=True)
+                elif self._buffered_bytes >= self.batch_bytes:
+                    self._flush(sync=self.fsync == "batch")
+            except Exception as exc:
+                self._quarantine(exc)
+                raise WALError(
+                    f"WAL flush after {kind!r} record failed; the log "
+                    f"is quarantined and the database is read-only"
+                ) from exc
+
+    def _fsync_once(self) -> None:
+        fault_point("wal.fsync")
+        os.fsync(self._fh.fileno())
 
     def _flush(self, sync: bool) -> None:
         if self._buffer:
@@ -504,16 +596,25 @@ class WriteAheadLog:
             self.stats.flushes += 1
         if sync and self._dirty:
             with span("wal.fsync"):
-                os.fsync(self._fh.fileno())
+                # fsync of already-written bytes is idempotent, so the
+                # whole call is the retryable unit
+                self.retry.call(self._fsync_once, site="wal.fsync")
             self._dirty = False
             self.stats.fsyncs += 1
 
     def flush(self, sync: bool = True) -> None:
         """Push buffered records to the file (and, by default, to
-        stable storage)."""
+        stable storage).  A failure that survives the retry budget
+        quarantines the log like an append failure would."""
         if self._closed or self._fh is None:
             return
-        self._flush(sync=sync)
+        try:
+            self._flush(sync=sync)
+        except Exception as exc:
+            self._quarantine(exc)
+            raise WALError(
+                f"WAL flush failed; the log is quarantined and the "
+                f"database is read-only") from exc
 
     # -- capture points (called by the engine) ---------------------------
 
@@ -561,11 +662,15 @@ class WriteAheadLog:
 
     def maybe_checkpoint(self, db) -> bool:
         """Automatic checkpoint when ``checkpoint_every`` commits have
-        accumulated since the last one."""
+        accumulated since the last one.  With ``checkpoint_async`` the
+        expensive half runs on a background thread (at most one in
+        flight — a due checkpoint is skipped while one is running)."""
         if self.checkpoint_every is None:
             return False
         if self._commits_since_checkpoint < self.checkpoint_every:
             return False
+        if self.checkpoint_async:
+            return self.checkpoint_background(db) is not None
         self.checkpoint(db)
         return True
 
@@ -575,26 +680,81 @@ class WriteAheadLog:
         checkpoint's index."""
         if self._closed or self._fh is None:
             raise WALError("write-ahead log is not attached")
+        self._join_background_checkpoint()
         with span("wal.checkpoint") as sp:
             index = self._do_checkpoint(db)
             sp.set("index", index)
         return index
 
-    def _do_checkpoint(self, db) -> int:
-        # everything logged so far must be durable before the
-        # checkpoint can claim to cover it
+    def checkpoint_background(self, db) -> Optional[int]:
+        """Checkpoint without stalling the append path.
+
+        The parts that must see a consistent engine + log (durable
+        flush, :func:`capture_state`, segment rotation) run on the
+        caller's thread; the expensive parts (pickling the state,
+        tmp-file write + fsync + atomic rename, compaction) run on a
+        background thread.  Recovery stays safe in every interleaving:
+        until the rename lands, the superseded segments are still on
+        disk and replayable; compaction only ever deletes what the
+        durable checkpoint covers.  At most one checkpoint is in
+        flight — returns ``None`` (and leaves the commit counter
+        running) when one already is, else the new index."""
+        if self._closed or self._fh is None:
+            raise WALError("write-ahead log is not attached")
+        thread = self._ckpt_thread
+        if thread is not None and thread.is_alive():
+            return None
         self._flush(sync=True)
         next_index = self._segment_index + 1
-        frame = _encode_record("checkpoint", capture_state(db))
-        final_path = self._checkpoint_path(next_index)
+        state = capture_state(db)
+        self._rotate_segment(next_index)
+        self._commits_since_checkpoint = 0
+        thread = threading.Thread(
+            target=self._background_checkpoint,
+            args=(next_index, state),
+            name="wal-checkpoint", daemon=True)
+        self._ckpt_thread = thread
+        thread.start()
+        return next_index
+
+    def _background_checkpoint(self, index: int, state: Dict) -> None:
+        try:
+            with span("wal.checkpoint") as sp:
+                fault_point("wal.checkpoint")
+                self._write_checkpoint(index, state)
+                self._compact_below(index)
+                sp.set("index", index)
+                sp.set("mode", "background")
+            self.stats.checkpoints += 1
+            self.stats.checkpoints_background += 1
+        except Exception as exc:
+            # nothing is lost: the segments this checkpoint would have
+            # superseded are still on disk, recovery replays them
+            self.last_checkpoint_error = exc
+            self.stats.checkpoint_failures += 1
+
+    def _join_background_checkpoint(self,
+                                    timeout: float = 30.0) -> None:
+        thread = self._ckpt_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=timeout)
+        self._ckpt_thread = None
+
+    def _write_checkpoint(self, index: int, state: Dict) -> None:
+        """Durably publish a checkpoint file: tmp write, fsync, atomic
+        rename."""
+        frame = _encode_record("checkpoint", state)
+        final_path = self._checkpoint_path(index)
         tmp_path = final_path + ".tmp"
         with open(tmp_path, "wb") as fh:
             fh.write(frame)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp_path, final_path)
-        # rotate: further appends land in the segment the checkpoint
-        # does not cover
+
+    def _rotate_segment(self, next_index: int) -> None:
+        """Further appends land in the segment the checkpoint does not
+        cover."""
         self._fh.close()
         self._segment_index = next_index
         self._fh = open(self._segment_path(next_index), "ab")
@@ -605,6 +765,8 @@ class WriteAheadLog:
             "segment": next_index,
         })
         self._flush(sync=self.fsync != "never")
+
+    def _compact_below(self, next_index: int) -> None:
         for index in self.segment_indexes():
             if index < next_index:
                 os.unlink(self._segment_path(index))
@@ -613,6 +775,16 @@ class WriteAheadLog:
             if index < next_index:
                 os.unlink(self._checkpoint_path(index))
                 self.stats.checkpoints_compacted += 1
+
+    def _do_checkpoint(self, db) -> int:
+        # everything logged so far must be durable before the
+        # checkpoint can claim to cover it
+        self._flush(sync=True)
+        next_index = self._segment_index + 1
+        fault_point("wal.checkpoint")
+        self._write_checkpoint(next_index, capture_state(db))
+        self._rotate_segment(next_index)
+        self._compact_below(next_index)
         self.stats.checkpoints += 1
         self._commits_since_checkpoint = 0
         return next_index
@@ -627,6 +799,7 @@ class WriteAheadLog:
         """Flush, fsync and close the current segment.  Idempotent."""
         if self._closed:
             return
+        self._join_background_checkpoint()
         self._closed = True
         if self._fh is not None:
             if self._buffer:

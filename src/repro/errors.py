@@ -90,7 +90,48 @@ class WhatIfError(ReproError):
     """Invalid what-if scenario specification."""
 
 
+class ReadOnlyHistoryError(ReproError):
+    """The database has been quarantined to read-only (a WAL append
+    failure exhausted its retries): recorded history stays queryable
+    and reenactable, but no new transaction may begin or commit."""
+
+
 class ServiceError(ReproError):
     """Reenactment-service failure: bad configuration (admission check
     rejected the backend), submission to a closed service, or a job
     that cannot be scheduled."""
+
+
+class HandleTimeout(ServiceError):
+    """``JobHandle.result(timeout=)`` (or ``exception``/``explain``)
+    expired while the job was still pending — distinct from a job that
+    *failed*.  Carries the handle's ``trace_id`` and job ``kind`` so
+    callers can correlate the still-running work."""
+
+    def __init__(self, message: str, trace_id=None, kind=None):
+        self.trace_id = trace_id
+        self.kind = kind
+        super().__init__(message)
+
+
+class JobTimeout(ServiceError):
+    """A queued job's deadline (``submit(..., deadline=)``) passed
+    before any worker claimed it; the job was cancelled instead of
+    run.  Carries ``trace_id`` and job ``kind``."""
+
+    def __init__(self, message: str, trace_id=None, kind=None):
+        self.trace_id = trace_id
+        self.kind = kind
+        super().__init__(message)
+
+
+class WorkerCrashed(ServiceError):
+    """A worker thread died while running this job and the job could
+    not be requeued (non-idempotent, already retried, or the service
+    is closing).  Carries the job ``kind`` and crashed ``worker``
+    index."""
+
+    def __init__(self, message: str, kind=None, worker=None):
+        self.kind = kind
+        self.worker = worker
+        super().__init__(message)

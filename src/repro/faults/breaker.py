@@ -1,0 +1,136 @@
+"""A circuit breaker for repeatedly-failing dependencies.
+
+Retries absorb *transient* failures; a breaker handles the other mode
+— a dependency that is down and stays down — by failing fast instead
+of paying the full retry budget on every call.  Classic three-state
+machine:
+
+* **closed** — calls flow; a streak of ``failure_threshold``
+  consecutive failures trips it open.
+* **open** — calls are short-circuited (:meth:`allow` returns False)
+  until ``cooldown`` seconds pass.
+* **half-open** — after the cooldown, up to ``half_open_probes`` calls
+  are let through; one success closes the breaker, one failure trips
+  it open again.
+
+The spill tier wraps itself in one of these
+(:class:`repro.service.resilience.ResilientStore`): with the breaker
+open, sessions degrade to cache-only operation — a store outage slows
+the service down (rebuilds instead of rehydrations) but never takes it
+down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+from repro.errors import ReproError
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Thread-safe three-state circuit breaker.
+
+    Protocol: call :meth:`allow` before the guarded operation (False =
+    short-circuit, don't attempt it), then exactly one of
+    :meth:`record_success` / :meth:`record_failure` for attempts that
+    ran.  ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 cooldown: float = 1.0, half_open_probes: int = 1,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ReproError(f"failure_threshold must be >= 1, "
+                             f"got {failure_threshold}")
+        if cooldown < 0:
+            raise ReproError(f"cooldown must be >= 0, got {cooldown}")
+        if half_open_probes < 1:
+            raise ReproError(f"half_open_probes must be >= 1, "
+                             f"got {half_open_probes}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._streak = 0          # consecutive failures while closed
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        # counters (all monotone)
+        self.successes = 0
+        self.failures = 0
+        self.trips = 0
+        self.short_circuits = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May the next call proceed?  Transitions open → half-open
+        once the cooldown has elapsed."""
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.cooldown:
+                    self._state = HALF_OPEN
+                    self._probes_in_flight = 0
+                else:
+                    self.short_circuits += 1
+                    return False
+            # half-open: admit a bounded number of probes
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            self.short_circuits += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.successes += 1
+            self._streak = 0
+            if self._state == HALF_OPEN:
+                self._state = CLOSED
+                self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            if self._state == HALF_OPEN:
+                self._trip_locked()
+                return
+            self._streak += 1
+            if self._state == CLOSED \
+                    and self._streak >= self.failure_threshold:
+                self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._streak = 0
+        self._probes_in_flight = 0
+        self.trips += 1
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "successes": self.successes,
+                "failures": self.failures,
+                "trips": self.trips,
+                "short_circuits": self.short_circuits,
+                "open": 0 if self._state == CLOSED else 1,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<CircuitBreaker {self.state} trips={self.trips} "
+                f"short_circuits={self.short_circuits}>")

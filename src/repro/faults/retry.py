@@ -1,0 +1,104 @@
+"""Exponential-backoff retry with deterministic jitter.
+
+The transient half of the failure surface ("How to Write to SSDs":
+transient EIO, busy devices, flaky fsync) is absorbed by retrying the
+idempotent unit of work a bounded number of times.  What counts as
+retryable is explicit — :class:`TransientInjectedFault` (the fault
+injector's default) and ``OSError`` by default — so logic errors
+always propagate on the first throw.
+
+Jitter is drawn from a seeded :class:`random.Random` (never the global
+RNG): backoff sequences are reproducible per policy instance, which
+keeps chaos runs deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from repro.errors import ReproError
+from repro.faults.inject import TransientInjectedFault
+
+__all__ = ["RetryPolicy"]
+
+#: exception types retried when a policy doesn't name its own.
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = \
+    (TransientInjectedFault, OSError)
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    ``attempts`` is the total number of tries (1 = no retry).  The
+    delay before retry ``k`` (0-based) is
+    ``min(max_delay, base_delay * 2**k) * (1 + jitter * U[0, 1))``.
+    ``on_retry(site)`` is invoked before each sleep — the hook the
+    service uses to drive its ``reenact_retries_total`` counter.
+
+    Thread-safe; one policy instance may guard many call sites.
+    """
+
+    def __init__(self, attempts: int = 3, base_delay: float = 0.005,
+                 max_delay: float = 0.25, jitter: float = 0.5,
+                 retryable: Tuple[Type[BaseException], ...] =
+                 DEFAULT_RETRYABLE,
+                 seed: int = 0,
+                 on_retry: Optional[Callable[[str], None]] = None):
+        if attempts < 1:
+            raise ReproError(f"attempts must be >= 1, got {attempts}")
+        if base_delay < 0 or max_delay < 0 or jitter < 0:
+            raise ReproError("delays and jitter must be >= 0")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.retryable = tuple(retryable)
+        self.on_retry = on_retry
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        #: individual retries performed (sleeps taken).
+        self.retries = 0
+        #: calls that failed even after every retry.
+        self.exhausted = 0
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        base = min(self.max_delay, self.base_delay * (2 ** attempt))
+        with self._lock:
+            fraction = self._rng.random()
+        return base * (1.0 + self.jitter * fraction)
+
+    def call(self, fn: Callable[..., Any], *args: Any, site: str = "",
+             **kwargs: Any) -> Any:
+        """Run ``fn(*args, **kwargs)``, retrying retryable failures.
+        ``fn`` must be idempotent — the caller's contract."""
+        last: Optional[BaseException] = None
+        for attempt in range(self.attempts):
+            try:
+                return fn(*args, **kwargs)
+            except self.retryable as exc:
+                last = exc
+                if attempt == self.attempts - 1:
+                    with self._lock:
+                        self.exhausted += 1
+                    break
+                with self._lock:
+                    self.retries += 1
+                if self.on_retry is not None:
+                    self.on_retry(site)
+                delay = self.delay_for(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+        raise last
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"retries": self.retries,
+                    "exhausted": self.exhausted}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<RetryPolicy attempts={self.attempts} "
+                f"retries={self.retries} exhausted={self.exhausted}>")

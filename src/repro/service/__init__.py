@@ -9,19 +9,23 @@ deduplicates identical jobs through a :class:`ResultCache` plus an
 in-flight table.
 """
 
+from repro.errors import (HandleTimeout, JobTimeout, ServiceError,
+                          WorkerCrashed)
 from repro.service.cache import ResultCache, ResultCacheStats
 from repro.service.jobs import (PRIORITY_HIGH, PRIORITY_LOW,
                                 PRIORITY_NORMAL, EquivalenceJob, Job,
                                 ReenactJob, TimelineScanJob,
                                 WhatIfFleetJob, options_fingerprint)
+from repro.service.resilience import ResilientStore
 from repro.service.scheduler import (JobHandle, ReenactmentService,
                                      ServiceStats)
 from repro.service.store import SnapshotStore, StoreStats
 
 __all__ = [
-    "EquivalenceJob", "Job", "JobHandle", "PRIORITY_HIGH",
-    "PRIORITY_LOW", "PRIORITY_NORMAL", "ReenactJob",
-    "ReenactmentService", "ResultCache", "ResultCacheStats",
-    "ServiceStats", "SnapshotStore", "StoreStats", "TimelineScanJob",
-    "WhatIfFleetJob", "options_fingerprint",
+    "EquivalenceJob", "HandleTimeout", "Job", "JobHandle",
+    "JobTimeout", "PRIORITY_HIGH", "PRIORITY_LOW", "PRIORITY_NORMAL",
+    "ReenactJob", "ReenactmentService", "ResilientStore",
+    "ResultCache", "ResultCacheStats", "ServiceError", "ServiceStats",
+    "SnapshotStore", "StoreStats", "TimelineScanJob", "WhatIfFleetJob",
+    "WorkerCrashed", "options_fingerprint",
 ]

@@ -67,6 +67,12 @@ class Job:
 
     kind: str = "abstract"
 
+    #: safe to requeue after a worker crash: re-running produces the
+    #: same result with no duplicated side effects.  Every shipped
+    #: kind is a pure read over recorded history, so the default is
+    #: True; jobs wrapping caller-held mutable state opt out.
+    idempotent: bool = True
+
     def cache_key(self, db) -> Optional[Hashable]:
         """Identity for result caching / in-flight dedup, or ``None``
         when the job is not a pure function of hashable inputs."""
@@ -153,6 +159,13 @@ class WhatIfFleetJob(Job):
     fleet: Optional[object] = None
 
     kind = "whatif_fleet"
+
+    @property
+    def idempotent(self) -> bool:
+        # a prebuilt fleet is caller-held state the job's run mutates
+        # (scenario compilation, result attachment): after a crash
+        # mid-run it must fail loudly, not silently run twice
+        return self.fleet is None
 
     def cache_key(self, db) -> Optional[Hashable]:
         if self.fleet is not None or not self.variants \

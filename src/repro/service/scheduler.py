@@ -49,7 +49,10 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.backends import BackendSpec, resolve_backend
 from repro.backends.base import SessionStats
 from repro.core.reenactor import ReenactmentOptions, Reenactor
-from repro.errors import ServiceError
+from repro.errors import (HandleTimeout, JobTimeout, ServiceError,
+                          WorkerCrashed)
+from repro.faults.inject import fault_point
+from repro.faults.retry import RetryPolicy
 from repro.obs.explain import ExplainCollector
 from repro.obs.metrics import MetricsRegistry, publish_stats
 from repro.obs.trace import span, span_from
@@ -57,6 +60,7 @@ from repro.service.cache import ResultCache
 from repro.service.jobs import (PRIORITY_HIGH, PRIORITY_NORMAL,
                                 EquivalenceJob, Job, ReenactJob,
                                 TimelineScanJob, WhatIfFleetJob)
+from repro.service.resilience import ResilientStore
 from repro.service.store import SnapshotStore
 
 #: queue sentinel telling a worker to exit; scheduled *after* every
@@ -95,17 +99,28 @@ class JobHandle:
         #: set once a worker takes the job — duplicate queue entries
         #: (priority escalation re-enqueues a handle) run it only once.
         self._claimed = False
+        #: absolute monotonic deadline (None = no deadline); enforced
+        #: by the worker at claim time, not while the job runs.
+        self._deadline: Optional[float] = None
+        #: worker crashes survived so far — caps requeue-after-crash
+        #: at one attempt so a job that *causes* crashes cannot cycle.
+        self._crashes = 0
 
     def done(self) -> bool:
         return self._event.is_set()
 
+    def _wait(self, timeout: Optional[float]) -> None:
+        if not self._event.wait(timeout):
+            raise HandleTimeout(
+                f"timed out waiting for {self.job.describe()}",
+                trace_id=self.trace_id, kind=self.job.kind)
+
     def result(self, timeout: Optional[float] = None) -> Any:
         """Block until the job finishes and return its result (or
         re-raise its error).  ``timeout`` in seconds raises
-        :class:`ServiceError` on expiry."""
-        if not self._event.wait(timeout):
-            raise ServiceError(
-                f"timed out waiting for {self.job.describe()}")
+        :class:`~repro.errors.HandleTimeout` (a :class:`ServiceError`)
+        on expiry, carrying the handle's trace id and job kind."""
+        self._wait(timeout)
         if self._error is not None:
             raise self._error
         return self._result
@@ -113,9 +128,7 @@ class JobHandle:
     def exception(self,
                   timeout: Optional[float] = None
                   ) -> Optional[BaseException]:
-        if not self._event.wait(timeout):
-            raise ServiceError(
-                f"timed out waiting for {self.job.describe()}")
+        self._wait(timeout)
         return self._error
 
     def explain(self, timeout: Optional[float] = None
@@ -126,9 +139,7 @@ class JobHandle:
         from the result cache ran nothing and returns ``[]``; a
         deduplicated handle shares the executing submission's
         events."""
-        if not self._event.wait(timeout):
-            raise ServiceError(
-                f"timed out waiting for {self.job.describe()}")
+        self._wait(timeout)
         return list(self._explain)
 
     def _resolve(self, value: Any, source: str = "executed") -> None:
@@ -160,10 +171,19 @@ class ServiceStats:
     jobs_deduplicated: int = 0
     #: submissions answered from the completed-result cache.
     jobs_from_cache: int = 0
+    #: jobs rejected at claim time because their deadline had passed.
+    jobs_deadline_expired: int = 0
+    #: jobs re-enqueued after the worker running them crashed.
+    jobs_requeued: int = 0
+    #: worker threads restarted after an uncaught crash.
+    workers_restarted: int = 0
     queue_depth: int = 0
     result_cache: Dict[str, int] = field(default_factory=dict)
     #: ``None`` when the service runs without a spill store.
     store: Optional[Dict[str, int]] = None
+    #: spill-tier degradation counters (retries, breaker state) —
+    #: ``None`` when the store is unwrapped or absent.
+    resilience: Optional[Dict[str, int]] = None
     #: every worker session's counters, merged (see
     #: :meth:`SessionStats.as_dict`).
     sessions: Dict[str, int] = field(default_factory=dict)
@@ -176,9 +196,14 @@ class ServiceStats:
             "jobs_failed": self.jobs_failed,
             "jobs_deduplicated": self.jobs_deduplicated,
             "jobs_from_cache": self.jobs_from_cache,
+            "jobs_deadline_expired": self.jobs_deadline_expired,
+            "jobs_requeued": self.jobs_requeued,
+            "workers_restarted": self.workers_restarted,
             "queue_depth": self.queue_depth,
             "result_cache": dict(self.result_cache),
             "store": dict(self.store) if self.store else None,
+            "resilience": dict(self.resilience)
+            if self.resilience else None,
             "sessions": dict(self.sessions),
         }
 
@@ -245,6 +270,13 @@ class ReenactmentService:
     creates the store at that path, an existing :class:`SnapshotStore`
     is shared (and not closed with the service), and ``None``/``False``
     disables spilling.
+
+    ``resilient_spill`` (default on) wraps whatever store is attached
+    in a :class:`~repro.service.resilience.ResilientStore`: transient
+    spill/rehydrate failures are retried with backoff, persistent
+    failure trips a circuit breaker and the service degrades to
+    cache-only operation instead of failing jobs — the spill tier is
+    an optimization, so losing it costs speed, never answers.
     """
 
     def __init__(self, db, backend: BackendSpec = "sqlite",
@@ -257,7 +289,8 @@ class ReenactmentService:
                  store_capacity: Optional[int] = None,
                  async_spill: bool = True,
                  pipeline: Optional[str] = None,
-                 windowscan: Optional[str] = None):
+                 windowscan: Optional[str] = None,
+                 resilient_spill: bool = True):
         if workers < 1:
             raise ServiceError(f"need at least 1 worker, got {workers}")
         self.db = db
@@ -355,11 +388,37 @@ class ReenactmentService:
         self._hist_queue_wait = self._metrics.histogram(
             "reenact_job_queue_wait_seconds",
             "time between submission and a worker claiming the job")
+        self._ctr_retries = self._metrics.counter(
+            "reenact_retries_total",
+            "transient-failure retries absorbed, by fault site")
+        self._open_retry = RetryPolicy(
+            attempts=3, base_delay=0.01, max_delay=0.1,
+            on_retry=lambda site: self._ctr_retries.inc(1, site=site))
+        #: degradation wrapper around the spill tier: retries
+        #: transients, trips a circuit breaker on persistent failure
+        #: and falls back to cache-only operation — a broken spill
+        #: disk slows the service down instead of taking it down.
+        if resilient_spill and self._store is not None:
+            from repro.service.resilience import SPILL_RETRYABLE
+            self._store = ResilientStore(
+                self._store,
+                retry=RetryPolicy(
+                    retryable=SPILL_RETRYABLE,
+                    on_retry=lambda site:
+                    self._ctr_retries.inc(1, site=site)))
         self._session_totals = SessionStats()
         self._live_sessions: List = []
         self._closed = False
+        #: handle currently running on each worker, by worker index —
+        #: what the supervisor recovers when that worker crashes.
+        #: Each slot is written only by its own worker/supervisor
+        #: thread, so no lock is needed.
+        self._dispatching: Dict[int, JobHandle] = {}
+        #: WAL retry count already bridged into the retries counter
+        #: (Counters only increment, so :meth:`metrics` feeds deltas).
+        self._wal_retries_seen = 0
         self._threads = [
-            threading.Thread(target=self._worker_loop, args=(i,),
+            threading.Thread(target=self._supervise, args=(i,),
                              name=f"reenact-worker-{i}", daemon=True)
             for i in range(workers)]
         for thread in self._threads:
@@ -391,13 +450,23 @@ class ReenactmentService:
     # -- submission --------------------------------------------------------
 
     def submit(self, job: Job,
-               priority: int = PRIORITY_NORMAL) -> JobHandle:
+               priority: int = PRIORITY_NORMAL,
+               deadline: Optional[float] = None) -> JobHandle:
         """Schedule ``job``; returns a :class:`JobHandle` immediately.
 
         Identical jobs (same :meth:`~repro.service.jobs.Job.cache_key`)
         are served from the result cache when already finished, or
         coalesced onto the in-flight handle when currently running or
-        queued."""
+        queued.
+
+        ``deadline`` (seconds from now) bounds how long the job may
+        wait in the queue: a worker that claims it past the deadline
+        rejects the handle with :class:`~repro.errors.JobTimeout`
+        instead of running stale work.  A submission coalesced onto an
+        in-flight duplicate shares that handle's original deadline."""
+        if deadline is not None and deadline <= 0:
+            raise ServiceError(
+                f"deadline must be positive, got {deadline!r}")
         key = job.cache_key(self.db)
         with span("service.submit", kind=job.kind,
                   priority=priority) as sub:
@@ -435,6 +504,8 @@ class ReenactmentService:
                 handle.trace_id = sub.trace_id or None
                 handle._trace_parent = sub.context
                 handle._enqueued_at = time.perf_counter()
+                if deadline is not None:
+                    handle._deadline = time.monotonic() + deadline
                 if key is not None:
                     self._inflight[key] = handle
                 self._queue.put((priority, next(self._seq), job,
@@ -541,15 +612,56 @@ class ReenactmentService:
 
     # -- the worker loop ---------------------------------------------------
 
+    def _supervise(self, index: int) -> None:
+        """Worker supervision: run the worker loop, and when an
+        uncaught error (an injected ``worker.dispatch`` crash, or any
+        bug in the scheduler bookkeeping itself) unwinds it, recover
+        the in-flight job and restart the loop on this same thread.
+
+        The crashed job is re-enqueued once when its kind declares
+        itself idempotent (every shipped kind is a pure read over
+        recorded history); otherwise — or on a second crash — its
+        handle is rejected with a structured
+        :class:`~repro.errors.WorkerCrashed` so waiters fail fast
+        instead of hanging on a worker that no longer exists."""
+        while True:
+            try:
+                self._worker_loop(index)
+                return  # clean exit via the stop sentinel
+            except BaseException as exc:
+                handle = self._dispatching.pop(index, None)
+                with self._lock:
+                    self._stats.workers_restarted += 1
+                if handle is None or handle.done():
+                    continue
+                if handle.job.idempotent and handle._crashes < 1:
+                    handle._crashes += 1
+                    with self._lock:
+                        self._stats.jobs_requeued += 1
+                        handle._claimed = False
+                    self._queue.put((handle.priority, next(self._seq),
+                                     handle.job, handle))
+                else:
+                    with self._lock:
+                        self._stats.jobs_failed += 1
+                        if handle.key is not None:
+                            self._inflight.pop(handle.key, None)
+                    handle._reject(WorkerCrashed(
+                        f"worker {index} crashed running "
+                        f"{handle.job.describe()}: {exc!r}",
+                        kind=handle.job.kind, worker=index))
+
     def _worker_loop(self, index: int) -> None:
         try:
-            session = self.backend.open_session()
+            session = self._open_retry.call(self.backend.open_session,
+                                            site="session.open")
             if self._store is not None:
                 session.attach_spill_store(self._store)
         except BaseException as exc:
-            # a worker that cannot get a session must not vanish
-            # silently — submitted jobs would hang forever.  It stays
-            # on the queue rejecting everything it receives instead.
+            # a worker that cannot get a session even after retries
+            # must not vanish silently — submitted jobs would hang
+            # forever.  It stays on the queue rejecting everything it
+            # receives instead.
             self._reject_loop(ServiceError(
                 f"worker {index} failed to open a backend session: "
                 f"{exc!r}"))
@@ -562,10 +674,30 @@ class ReenactmentService:
                 _, _, job, handle = self._queue.get()
                 if job is None:  # stop sentinel
                     break
+                expired = False
                 with self._lock:
                     if handle._claimed:
                         continue  # stale duplicate queue entry
                     handle._claimed = True
+                    if handle._deadline is not None \
+                            and time.monotonic() > handle._deadline:
+                        expired = True
+                        self._stats.jobs_failed += 1
+                        self._stats.jobs_deadline_expired += 1
+                        if handle.key is not None:
+                            self._inflight.pop(handle.key, None)
+                if expired:
+                    handle._reject(JobTimeout(
+                        f"{job.describe()} expired in queue before a "
+                        f"worker could run it",
+                        trace_id=handle.trace_id, kind=job.kind))
+                    continue
+                # record what this worker is about to run *before* the
+                # crash fault point: a crash between here and handle
+                # resolution leaves the entry for the supervisor.
+                self._dispatching[index] = handle
+                fault_point("worker.dispatch", kind=job.kind,
+                            worker=index)
                 self._hist_queue_wait.observe(
                     time.perf_counter() - handle._enqueued_at,
                     kind=job.kind)
@@ -603,6 +735,7 @@ class ReenactmentService:
                                                        result)
                         with span("service.result", outcome="ok"):
                             handle._resolve(result)
+                self._dispatching.pop(index, None)
         finally:
             with self._lock:
                 if session in self._live_sessions:
@@ -645,6 +778,10 @@ class ReenactmentService:
             merged.merge(self._session_totals)
             for session in self._live_sessions:
                 merged.merge(session.stats)
+            resilience = None
+            if self._store is not None \
+                    and hasattr(self._store, "resilience_stats"):
+                resilience = self._store.resilience_stats()
             snapshot = ServiceStats(
                 workers=self.workers,
                 jobs_submitted=self._stats.jobs_submitted,
@@ -652,10 +789,14 @@ class ReenactmentService:
                 jobs_failed=self._stats.jobs_failed,
                 jobs_deduplicated=self._stats.jobs_deduplicated,
                 jobs_from_cache=self._stats.jobs_from_cache,
+                jobs_deadline_expired=self._stats.jobs_deadline_expired,
+                jobs_requeued=self._stats.jobs_requeued,
+                workers_restarted=self._stats.workers_restarted,
                 queue_depth=self._queue.qsize(),
                 result_cache=self._result_cache.stats.as_dict(),
                 store=self._store.stats.as_dict()
                 if self._store is not None else None,
+                resilience=resilience,
                 sessions=merged.as_dict())
         return snapshot
 
@@ -677,6 +818,15 @@ class ReenactmentService:
         if wal_stats is not None:
             publish_stats(registry, "reenact_wal",
                           wal_stats.as_dict())
+            # bridge WAL retry counts into the shared retries counter
+            # (Counters only move forward, so feed the delta since the
+            # last publish).
+            wal_retried = (wal_stats.appends_retried
+                           + wal_stats.fsyncs_retried)
+            delta = wal_retried - self._wal_retries_seen
+            if delta > 0:
+                self._wal_retries_seen = wal_retried
+                self._ctr_retries.inc(delta, site="wal")
         return registry
 
     def prometheus(self) -> str:

@@ -44,10 +44,12 @@ import pickle
 import sqlite3
 import tempfile
 import threading
+import time
 from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ServiceError
+from repro.faults.inject import fault_point
 from repro.obs.trace import span
 
 
@@ -80,6 +82,9 @@ class StoreStats:
     #: lookups served from the write-behind queue — a spill that was
     #: readable before its store write landed.
     pending_hits: int = 0
+    #: publisher-thread write failures survived (the batch stays
+    #: queued and is retried on the next drain).
+    publisher_errors: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -93,6 +98,7 @@ class StoreStats:
             "async_queued": self.async_queued,
             "queue_flushes": self.queue_flushes,
             "pending_hits": self.pending_hits,
+            "publisher_errors": self.publisher_errors,
         }
 
     def merge(self, other: "StoreStats") -> None:
@@ -203,6 +209,7 @@ class SnapshotStore:
 
     def _put(self, realm, table: str, ts: int,
              rows: List[Tuple]) -> None:
+        fault_point("store.spill", table=table)
         if self.async_publish:
             overflow = False
             with self._drain:
@@ -255,6 +262,7 @@ class SnapshotStore:
 
     def _get(self, realm, table: str,
              ts: int) -> Optional[List[Tuple]]:
+        fault_point("store.rehydrate", table=table)
         skey = self._skey(realm, table, ts)
         with self._lock:
             self._check_open()
@@ -297,6 +305,7 @@ class SnapshotStore:
 
     def _fetch_many(self, realm, pairs
                     ) -> Dict[Tuple[str, int], List[Tuple]]:
+        fault_point("store.rehydrate")
         wanted = {self._skey(realm, table, ts): (table, int(ts))
                   for table, ts in pairs}
         out: Dict[Tuple[str, int], List[Tuple]] = {}
@@ -406,7 +415,12 @@ class SnapshotStore:
     def _publish_loop(self) -> None:
         """Background publisher: drain the pending queue in batches.
         Serialization happens outside the lock (the expensive part of
-        a spill), the SQLite write inside it."""
+        a spill), the SQLite write inside it.
+
+        Self-healing: a failed drain (injected fault, transient I/O
+        error) leaves the batch queued — still readable by every
+        lookup — and is retried on the next pass, so one bad write
+        never silently kills write-behind publishing."""
         while True:
             with self._drain:
                 while not self._closed \
@@ -415,19 +429,35 @@ class SnapshotStore:
                 if self._closed:
                     return  # close() drains what remains itself
                 batch = dict(self._pending)
-            payloads = [(skey, len(rows),
-                         pickle.dumps(rows,
-                                      protocol=pickle.HIGHEST_PROTOCOL))
-                        for skey, rows in batch.items()]
+            try:
+                fault_point("store.publisher")
+                payloads = [(skey, len(rows),
+                             pickle.dumps(
+                                 rows,
+                                 protocol=pickle.HIGHEST_PROTOCOL))
+                            for skey, rows in batch.items()]
+            except Exception:
+                with self._drain:
+                    self.stats.publisher_errors += 1
+                time.sleep(0.01)  # don't spin on a persistent fault
+                continue
+            failed = False
             with self._drain:
                 if self._closed:
                     return
-                self._write_payloads(payloads)
-                for skey, rows in batch.items():
-                    if self._pending.get(skey) is rows:
-                        del self._pending[skey]
-                self.stats.queue_flushes += 1
+                try:
+                    self._write_payloads(payloads)
+                except Exception:
+                    self.stats.publisher_errors += 1
+                    failed = True
+                else:
+                    for skey, rows in batch.items():
+                        if self._pending.get(skey) is rows:
+                            del self._pending[skey]
+                    self.stats.queue_flushes += 1
                 self._drain.notify_all()
+            if failed:
+                time.sleep(0.01)  # don't spin on a persistent fault
 
     def _drain_locked(self) -> int:
         """Write every pending spill inline (caller holds the lock)."""
@@ -517,10 +547,17 @@ class SnapshotStore:
             # use-after-close on the SQLite handle
             publisher.join(timeout=self._join_timeout)
             if publisher.is_alive():
+                # the publisher is wedged (e.g. an injected-latency
+                # fault mid-pickle).  Drain whatever it left queued
+                # inline — no unpublished snapshot may leak — then
+                # refuse to tear down the connection under it.
+                with self._lock:
+                    drained = self._drain_locked()
                 raise ServiceError(
                     f"snapshot store publisher did not exit within "
-                    f"{self._join_timeout}s; the connection was left "
-                    f"open (close() may be retried)")
+                    f"{self._join_timeout}s; {drained} queued "
+                    f"spill(s) were drained inline and the connection "
+                    f"was left open (close() may be retried)")
         with self._lock:
             if self._torn_down:
                 return

@@ -1,0 +1,178 @@
+"""Unit tests for the seeded fault-injection substrate."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import (FaultPlan, FaultSpec, InjectedFault,
+                          TransientInjectedFault, WorkerCrash, arm,
+                          armed, disarm, fault_point, faults_enabled)
+
+
+def teardown_function(_fn):
+    disarm()  # never leak an armed plan into another test
+
+
+# -- disarmed behaviour ----------------------------------------------------
+
+def test_disarmed_fault_point_is_noop():
+    assert not faults_enabled()
+    fault_point("wal.append")
+    fault_point("store.spill", table="account")  # attrs ignored
+
+
+def test_unarmed_site_never_fires():
+    with armed(FaultPlan(seed=1).on("store.spill")):
+        fault_point("wal.append")  # a different site
+        fault_point("wal.append")
+
+
+# -- firing semantics ------------------------------------------------------
+
+def test_probability_one_fires_every_hit():
+    with armed(FaultPlan(seed=1).on("store.spill")):
+        for _ in range(3):
+            with pytest.raises(TransientInjectedFault) as exc:
+                fault_point("store.spill")
+            assert exc.value.site == "store.spill"
+    fault_point("store.spill")  # disarmed again on context exit
+
+
+def test_injected_fault_is_repro_error():
+    assert issubclass(TransientInjectedFault, InjectedFault)
+    assert issubclass(InjectedFault, ReproError)
+    assert issubclass(WorkerCrash, InjectedFault)
+
+
+def test_count_caps_fires():
+    plan = FaultPlan(seed=1).on("s", count=2)
+    with armed(plan):
+        for _ in range(2):
+            with pytest.raises(TransientInjectedFault):
+                fault_point("s")
+        fault_point("s")  # budget exhausted: passes
+        fault_point("s")
+    assert plan.stats()["s"] == {"hits": 4, "fired": 2}
+
+
+def test_after_skips_initial_hits():
+    with armed(FaultPlan(seed=1).on("s", after=2)):
+        fault_point("s")
+        fault_point("s")
+        with pytest.raises(TransientInjectedFault):
+            fault_point("s")
+
+
+def test_latency_only_site_sleeps_without_raising():
+    plan = FaultPlan(seed=1).on("s", latency=0.001, error=None)
+    with armed(plan):
+        fault_point("s")
+    assert plan.stats()["s"]["fired"] == 1
+
+
+def test_custom_error_type():
+    with armed(FaultPlan(seed=1).on("s", error=WorkerCrash)):
+        with pytest.raises(WorkerCrash):
+            fault_point("s")
+
+
+# -- determinism -----------------------------------------------------------
+
+def _fire_pattern(seed, hits=200, probability=0.3):
+    plan = FaultPlan(seed=seed).on("s", probability=probability)
+    pattern = []
+    with armed(plan):
+        for _ in range(hits):
+            try:
+                fault_point("s")
+                pattern.append(False)
+            except TransientInjectedFault:
+                pattern.append(True)
+    return pattern
+
+
+def test_same_seed_replays_same_decisions():
+    assert _fire_pattern(7) == _fire_pattern(7)
+    assert _fire_pattern(7) != _fire_pattern(8)
+
+
+def test_per_site_rng_is_independent_of_interleaving():
+    # the same site fires identically whether or not another armed
+    # site is being hit in between — per-site RNG streams
+    solo = _fire_pattern(7)
+    plan = FaultPlan(seed=7).on("s", probability=0.3) \
+                            .on("other", probability=0.5)
+    interleaved = []
+    with armed(plan):
+        for _ in range(200):
+            try:
+                fault_point("other")
+            except TransientInjectedFault:
+                pass
+            try:
+                fault_point("s")
+                interleaved.append(False)
+            except TransientInjectedFault:
+                interleaved.append(True)
+    assert interleaved == solo
+
+
+def test_thread_safety_under_concurrent_hits():
+    plan = FaultPlan(seed=3).on("s", probability=0.5)
+    fired = []
+
+    def worker():
+        local = 0
+        for _ in range(500):
+            try:
+                fault_point("s")
+            except TransientInjectedFault:
+                local += 1
+        fired.append(local)
+
+    with armed(plan):
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    stats = plan.stats()["s"]
+    assert stats["hits"] == 2000
+    assert stats["fired"] == sum(fired)
+    assert 0 < stats["fired"] < 2000
+
+
+# -- plan construction -----------------------------------------------------
+
+def test_spec_validation():
+    with pytest.raises(ReproError):
+        FaultSpec(probability=1.5)
+    with pytest.raises(ReproError):
+        FaultSpec(count=-1)
+    with pytest.raises(ReproError):
+        FaultSpec(latency=-0.1)
+    with pytest.raises(ReproError):
+        FaultPlan().on("s", FaultSpec(), probability=0.5)
+
+
+def test_plan_from_sites_dict_and_chaining():
+    plan = FaultPlan(seed=2, sites={"a": FaultSpec(count=1)}) \
+        .on("b", probability=0.5)
+    assert set(plan.sites()) == {"a", "b"}
+    assert plan.sites()["a"].count == 1
+
+
+def test_arm_returns_plan_and_disarm_clears():
+    plan = arm(FaultPlan(seed=1))
+    assert faults_enabled()
+    disarm()
+    assert not faults_enabled()
+    assert plan.stats() == {}
+
+
+def test_armed_disarms_on_exception():
+    with pytest.raises(RuntimeError):
+        with armed(FaultPlan(seed=1).on("s")):
+            raise RuntimeError("body blew up")
+    assert not faults_enabled()

@@ -1,0 +1,186 @@
+"""Unit tests for the retry policy and the circuit breaker."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import (CircuitBreaker, RetryPolicy,
+                          TransientInjectedFault)
+
+
+# -- RetryPolicy -----------------------------------------------------------
+
+class Flaky:
+    """Callable failing the first ``n`` invocations."""
+
+    def __init__(self, n, error=TransientInjectedFault):
+        self.n = n
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.n:
+            raise self.error("s")
+        return "ok"
+
+
+def _fast_policy(**kw):
+    kw.setdefault("base_delay", 0.0)
+    kw.setdefault("max_delay", 0.0)
+    return RetryPolicy(**kw)
+
+
+def test_retry_absorbs_transients():
+    policy = _fast_policy(attempts=3)
+    fn = Flaky(2)
+    assert policy.call(fn, site="s") == "ok"
+    assert fn.calls == 3
+    assert policy.stats() == {"retries": 2, "exhausted": 0}
+
+
+def test_retry_exhaustion_reraises_last_error():
+    policy = _fast_policy(attempts=3)
+    with pytest.raises(TransientInjectedFault):
+        policy.call(Flaky(10), site="s")
+    assert policy.stats() == {"retries": 2, "exhausted": 1}
+
+
+def test_non_retryable_propagates_immediately():
+    policy = _fast_policy(attempts=5)
+    fn = Flaky(10, error=lambda s: ValueError(s))
+    with pytest.raises(ValueError):
+        policy.call(fn)
+    assert fn.calls == 1
+    assert policy.stats() == {"retries": 0, "exhausted": 0}
+
+
+def test_on_retry_hook_sees_site():
+    seen = []
+    policy = _fast_policy(attempts=3, on_retry=seen.append)
+    policy.call(Flaky(2), site="wal.append")
+    assert seen == ["wal.append", "wal.append"]
+
+
+def test_backoff_grows_and_is_capped():
+    policy = RetryPolicy(base_delay=0.01, max_delay=0.04, jitter=0.0)
+    assert policy.delay_for(0) == pytest.approx(0.01)
+    assert policy.delay_for(1) == pytest.approx(0.02)
+    assert policy.delay_for(4) == pytest.approx(0.04)  # capped
+
+
+def test_jitter_is_seeded_and_bounded():
+    a = RetryPolicy(base_delay=0.01, jitter=0.5, seed=9)
+    b = RetryPolicy(base_delay=0.01, jitter=0.5, seed=9)
+    delays = [a.delay_for(0) for _ in range(5)]
+    assert delays == [b.delay_for(0) for _ in range(5)]
+    assert all(0.01 <= d <= 0.015 for d in delays)
+
+
+def test_retry_validation():
+    with pytest.raises(ReproError):
+        RetryPolicy(attempts=0)
+    with pytest.raises(ReproError):
+        RetryPolicy(base_delay=-1)
+
+
+def test_attempts_one_means_no_retry():
+    policy = _fast_policy(attempts=1)
+    with pytest.raises(TransientInjectedFault):
+        policy.call(Flaky(1))
+    assert policy.stats() == {"retries": 0, "exhausted": 1}
+
+
+# -- CircuitBreaker --------------------------------------------------------
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_breaker_trips_after_failure_streak():
+    breaker = CircuitBreaker(failure_threshold=3, cooldown=1.0)
+    for _ in range(2):
+        assert breaker.allow()
+        breaker.record_failure()
+    assert breaker.state == "closed"
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert breaker.stats()["trips"] == 1
+
+
+def test_success_resets_the_streak():
+    breaker = CircuitBreaker(failure_threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == "closed"
+
+
+def test_open_breaker_short_circuits_until_cooldown():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0,
+                             clock=clock)
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert not breaker.allow()
+    assert not breaker.allow()
+    assert breaker.stats()["short_circuits"] == 2
+    clock.now = 5.0
+    assert breaker.allow()  # half-open probe admitted
+    assert breaker.state == "half-open"
+
+
+def test_half_open_probe_success_closes():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=1.0,
+                             clock=clock)
+    breaker.record_failure()
+    clock.now = 1.0
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.allow()
+
+
+def test_half_open_probe_failure_retrips():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=1.0,
+                             clock=clock)
+    breaker.record_failure()
+    clock.now = 1.0
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert breaker.stats()["trips"] == 2
+    assert not breaker.allow()  # cooldown restarted
+
+
+def test_half_open_admits_bounded_probes():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=1.0,
+                             half_open_probes=2, clock=clock)
+    breaker.record_failure()
+    clock.now = 1.0
+    assert breaker.allow()
+    assert breaker.allow()
+    assert not breaker.allow()  # third concurrent probe refused
+
+
+def test_breaker_stats_are_numeric():
+    breaker = CircuitBreaker(failure_threshold=1)
+    breaker.record_failure()
+    stats = breaker.stats()
+    assert stats["open"] == 1
+    assert all(isinstance(v, int) for v in stats.values())
+
+
+def test_breaker_validation():
+    with pytest.raises(ReproError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ReproError):
+        CircuitBreaker(cooldown=-1)
+    with pytest.raises(ReproError):
+        CircuitBreaker(half_open_probes=0)

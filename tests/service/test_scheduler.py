@@ -19,7 +19,7 @@ from repro.core.reenactor import ReenactmentOptions, Reenactor
 from repro.core.whatif import WhatIfFleet
 from repro.errors import ReenactmentError, ReproError, ServiceError
 from repro.service import (PRIORITY_HIGH, PRIORITY_LOW, Job, ReenactJob,
-                           options_fingerprint)
+                           ResilientStore, options_fingerprint)
 
 from service_helpers import (assert_relations_match, committed_xids,
                              run_txn)
@@ -104,7 +104,10 @@ def test_sqlite_service_attaches_store_and_knobs(db):
     svc = ReenactmentService(db, backend="sqlite", workers=1,
                              cache_capacity=3, delta="off")
     try:
-        assert isinstance(svc.store, SnapshotStore)
+        # the service wraps its store in the resilience layer by
+        # default; the spill tier underneath is a SnapshotStore
+        assert isinstance(svc.store, ResilientStore)
+        assert isinstance(svc.store.inner, SnapshotStore)
         assert svc.backend.cache_capacity == 3
         assert svc.backend.delta == "off"
     finally:
